@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation of Vachharajani's copy-on-read policy (§7.1): creating a
+ * new cache line version for every read from a new VID redundantly
+ * stores read-only data, raising cache pressure; HMTX copies only on
+ * speculative writes.
+ */
+
+#include "bench/common.hh"
+
+using namespace hmtx;
+using namespace hmtx::bench;
+
+int
+main()
+{
+    std::printf("Ablation §7.1: copy-on-read (Vachharajani) vs "
+                "copy-on-write (HMTX)\n");
+    rule(98);
+    std::printf("%-12s | %-13s %-11s | %-13s %-11s | %-9s %-10s\n",
+                "Benchmark", "HMTX cycles", "L1 misses",
+                "CoR cycles", "L1 misses", "dup lines", "slowdown");
+    rule(98);
+
+    // Read-heavy benchmarks with shared structures show the pressure.
+    for (const char* name :
+         {"197.parser", "130.li", "456.hmmer", "052.alvinn"}) {
+        sim::MachineConfig cow; // default: copy on speculative write
+        auto a = workloads::makeByName(name);
+        runtime::ExecResult rw = runtime::Runner::runHmtx(*a, cow);
+
+        sim::MachineConfig cor = cow;
+        cor.copyOnRead = true;
+        auto b = workloads::makeByName(name);
+        runtime::ExecResult rr = runtime::Runner::runHmtx(*b, cor);
+        requireChecksum(name, rw, rr);
+
+        std::printf(
+            "%-12s | %13llu %11llu | %13llu %11llu | %9llu %8.2fx\n",
+            name, static_cast<unsigned long long>(rw.cycles),
+            static_cast<unsigned long long>(rw.stats.l1Misses),
+            static_cast<unsigned long long>(rr.cycles),
+            static_cast<unsigned long long>(rr.stats.l1Misses),
+            static_cast<unsigned long long>(rr.stats.corDuplicates),
+            static_cast<double>(rr.cycles) /
+                static_cast<double>(rw.cycles));
+    }
+    rule(98);
+    std::printf(
+        "\nCopy-on-read allocates one redundant line per "
+        "(speculatively read line, VID) pair —\nthe 'dup lines' "
+        "column — evicting useful data when read sets rival the "
+        "cache size\n(130.li). HMTX tracks readers with the highVID "
+        "field on a single physical line\ninstead (§4.1, §7.1).\n");
+    return 0;
+}

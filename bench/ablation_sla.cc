@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation of speculative load acknowledgments (§5.1): with SLAs,
+ * wrong-path loads never mark cache lines and the benchmarks run
+ * abort-free; without them (as in all prior systems), every branch
+ * misprediction can plant a false speculative marking and trigger
+ * spurious aborts — up to a livelock on branch-heavy code.
+ */
+
+#include "bench/common.hh"
+
+using namespace hmtx;
+using namespace hmtx::bench;
+
+int
+main()
+{
+    std::printf("Ablation §5.1: speculative load acknowledgments\n");
+    rule(100);
+    std::printf("%-12s | %-12s %-12s | %-12s %-14s | %-12s\n",
+                "Benchmark", "SLA cycles", "aborts",
+                "noSLA cycles", "false aborts", "slowdown");
+    rule(100);
+
+    // The branch-light benchmarks can finish without SLAs (after many
+    // recoveries); the branch-heavy ones livelock, which we report.
+    for (const char* name :
+         {"052.alvinn", "456.hmmer", "ispell", "164.gzip",
+          "186.crafty"}) {
+        sim::MachineConfig on; // SLA enabled (default)
+        auto wlOn = workloads::makeByName(name);
+        runtime::ExecResult rOn = runtime::Runner::runHmtx(*wlOn, on);
+
+        sim::MachineConfig off = on;
+        off.slaEnabled = false;
+        off.maxRecoveries = 3000;
+        auto wlOff = workloads::makeByName(name);
+        try {
+            runtime::ExecResult rOff =
+                runtime::Runner::runHmtx(*wlOff, off);
+            std::printf(
+                "%-12s | %12llu %12llu | %12llu %14llu | %11.2fx\n",
+                name, static_cast<unsigned long long>(rOn.cycles),
+                static_cast<unsigned long long>(rOn.stats.aborts),
+                static_cast<unsigned long long>(rOff.cycles),
+                static_cast<unsigned long long>(
+                    rOff.stats.falseAbortsWrongPath),
+                static_cast<double>(rOff.cycles) /
+                    static_cast<double>(rOn.cycles));
+        } catch (const std::exception& e) {
+            std::printf("%-12s | %12llu %12llu | %12s %14s | %12s\n",
+                        name,
+                        static_cast<unsigned long long>(rOn.cycles),
+                        static_cast<unsigned long long>(
+                            rOn.stats.aborts),
+                        "LIVELOCK", ">3000", "inf");
+        }
+    }
+    rule(100);
+    std::printf(
+        "\nWith SLAs every benchmark runs abort-free (the 'aborts "
+        "avoided via SLA' column of\nTable 1 counts how often a "
+        "wrong-path marking would have killed a transaction).\n"
+        "Without them, spurious misspeculation makes long "
+        "transactions on branchy code\nimpractical — \"to our "
+        "knowledge, no past work has recognized or solved this "
+        "issue\"\n(§5.1).\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Extension bench (§8 future work): "adapt the HMTX coherence scheme
+ * to a directory-based protocol to allow for efficient scaling to
+ * many more cores." Sweeps PS-DSWP core counts on the snoopy bus vs.
+ * the directory fabric: the bus serializes all coherence traffic and
+ * flattens out; address-interleaved directory banks keep scaling.
+ */
+
+#include "bench/common.hh"
+
+using namespace hmtx;
+using namespace hmtx::bench;
+
+int
+main()
+{
+    std::printf("Extension §8: PS-DSWP scaling, snoopy bus vs "
+                "directory fabric\n");
+
+    for (const char* name : {"456.hmmer", "197.parser"}) {
+        auto seqWl = workloads::makeByName(name);
+        sim::MachineConfig base;
+        runtime::ExecResult seq =
+            runtime::Runner::runSequential(*seqWl, base);
+
+        std::printf("\n%s (sequential: %llu cycles)\n", name,
+                    static_cast<unsigned long long>(seq.cycles));
+        rule(88);
+        std::printf("%-7s | %-12s %-9s | %-12s %-9s | %-12s\n",
+                    "cores", "snoop cyc", "speedup", "dir cyc",
+                    "speedup", "dir lookups");
+        rule(88);
+        for (unsigned cores : {2u, 4u, 8u, 16u}) {
+            sim::MachineConfig snoop;
+            snoop.numCores = cores;
+            auto a = workloads::makeByName(name);
+            runtime::ExecResult rs = runtime::Runner::runHmtx(*a, snoop);
+            requireChecksum(name, seq, rs);
+
+            sim::MachineConfig dir = snoop;
+            dir.fabric = sim::Fabric::Directory;
+            dir.dirBanks = 16;
+            auto b = workloads::makeByName(name);
+            runtime::ExecResult rd = runtime::Runner::runHmtx(*b, dir);
+            requireChecksum(name, seq, rd);
+
+            std::printf(
+                "%-7u | %12llu %8.2fx | %12llu %8.2fx | %12llu\n",
+                cores, static_cast<unsigned long long>(rs.cycles),
+                speedup(seq, rs),
+                static_cast<unsigned long long>(rd.cycles),
+                speedup(seq, rd),
+                static_cast<unsigned long long>(
+                    rd.stats.dirLookups));
+        }
+        rule(88);
+    }
+    std::printf(
+        "\nThe HMTX version rules are fabric-independent; only the "
+        "transport changes. The\nsnoopy bus (4-cycle occupancy per "
+        "transaction) saturates as cores multiply, while\ndirectory "
+        "banks let transactions to independent lines proceed "
+        "concurrently.\n");
+    return 0;
+}

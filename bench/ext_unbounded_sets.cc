@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Extension bench (§8 future work): "unlimited read and write sets
+ * could be supported by overflowing speculatively modified versions
+ * of lines into memory and managing them via data structures" [27].
+ * Shrinks the cache hierarchy under the two largest-footprint
+ * benchmarks: the bounded baseline capacity-aborts into a recovery
+ * livelock, while the overflow table completes at a measured cost.
+ */
+
+#include "bench/common.hh"
+
+using namespace hmtx;
+using namespace hmtx::bench;
+
+int
+main()
+{
+    std::printf("Extension §8: unbounded speculative sets via a "
+                "memory-resident overflow table\n");
+
+    for (const char* name : {"130.li", "256.bzip2"}) {
+        auto seqWl = workloads::makeByName(name);
+        sim::MachineConfig ref;
+        runtime::ExecResult seq =
+            runtime::Runner::runSequential(*seqWl, ref);
+
+        std::printf("\n%s (sequential on Table 2 machine: %llu "
+                    "cycles)\n",
+                    name, static_cast<unsigned long long>(seq.cycles));
+        rule(100);
+        std::printf("%-9s | %-22s | %-12s %-8s | %-8s %-8s\n",
+                    "L1/L2 KB", "bounded (paper §5.4)",
+                    "unbounded cyc", "speedup", "spills", "refills");
+        rule(100);
+        struct Geometry
+        {
+            unsigned l1, l2;
+        };
+        for (Geometry g : {Geometry{64, 32 * 1024}, Geometry{16, 256},
+                           Geometry{8, 64}}) {
+            sim::MachineConfig bounded;
+            bounded.l1SizeKB = g.l1;
+            bounded.l2SizeKB = g.l2;
+            bounded.maxRecoveries = 400;
+            std::string boundedOutcome;
+            auto a = workloads::makeByName(name);
+            try {
+                runtime::ExecResult rb =
+                    runtime::Runner::runHmtx(*a, bounded);
+                requireChecksum(name, seq, rb);
+                boundedOutcome =
+                    std::to_string(rb.cycles) + " cyc, " +
+                    std::to_string(rb.stats.capacityAborts) +
+                    " cap-aborts";
+            } catch (const std::exception&) {
+                boundedOutcome = "LIVELOCK (capacity aborts)";
+            }
+
+            sim::MachineConfig unb = bounded;
+            unb.unboundedSpecSets = true;
+            auto b = workloads::makeByName(name);
+            runtime::ExecResult ru = runtime::Runner::runHmtx(*b, unb);
+            requireChecksum(name, seq, ru);
+
+            std::printf("%3u/%-5u | %-22s | %12llu %7.2fx | %8llu "
+                        "%8llu\n",
+                        g.l1, g.l2, boundedOutcome.c_str(),
+                        static_cast<unsigned long long>(ru.cycles),
+                        speedup(seq, ru),
+                        static_cast<unsigned long long>(
+                            ru.stats.specSpills),
+                        static_cast<unsigned long long>(
+                            ru.stats.specRefills));
+        }
+        rule(100);
+    }
+    std::printf(
+        "\nWith Table 2's 32 MB L2 nothing spills (the paper's §5.4 "
+        "policy suffices); as the\nhierarchy shrinks below the "
+        "speculative footprint, the bounded design livelocks on\n"
+        "capacity aborts while the overflow table completes, paying "
+        "one table walk per spill\nand refill.\n");
+    return 0;
+}

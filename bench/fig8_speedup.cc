@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Regenerates Figure 8: hot-loop speedup over sequential execution on
+ * 4 cores, for SMTX with expert-minimal read/write sets vs. HMTX with
+ * the maximal possible read/write sets (every load and store inside
+ * each transaction validated). 186.crafty and ispell have no SMTX
+ * comparison (§6.1).
+ */
+
+#include "bench/common.hh"
+
+using namespace hmtx;
+using namespace hmtx::bench;
+
+int
+main()
+{
+    sim::MachineConfig cfg; // Table 2 defaults, 4 cores
+
+    std::printf("Figure 8: Hot loop speedup over sequential, "
+                "4 cores\n");
+    std::printf("(paper bar heights shown for shape comparison)\n");
+    rule();
+    std::printf("%-12s | %-9s %-9s | %-9s %-9s\n", "Benchmark",
+                "SMTX min", "(paper)", "HMTX max", "(paper)");
+    rule();
+
+    std::vector<double> hmtxAll, hmtxComp, smtxComp;
+    for (auto& wl : workloads::makeSuite()) {
+        const std::string name = wl->name();
+        auto seqWl = workloads::makeByName(name);
+        auto smtxWl = workloads::makeByName(name);
+        auto hmtxWl = workloads::makeByName(name);
+
+        runtime::ExecResult seq =
+            runtime::Runner::runSequential(*seqWl, cfg);
+        runtime::ExecResult hm = runtime::Runner::runHmtx(*hmtxWl, cfg);
+        requireChecksum(name, seq, hm);
+        double sh = speedup(seq, hm);
+        hmtxAll.push_back(sh);
+
+        const PaperRef& ref = paperRefs().at(name);
+        if (workloads::hasSmtxComparison(name)) {
+            runtime::ExecResult sm = smtx::SmtxRunner::run(
+                *smtxWl, cfg, smtx::RwSetMode::Minimal);
+            requireChecksum(name, seq, sm);
+            double ss = speedup(seq, sm);
+            smtxComp.push_back(ss);
+            hmtxComp.push_back(sh);
+            std::printf("%-12s | %8.2fx %8.2fx | %8.2fx %8.2fx\n",
+                        name.c_str(), ss, ref.smtxSpeedup, sh,
+                        ref.hmtxSpeedup);
+        } else {
+            std::printf("%-12s | %8s %9s | %8.2fx %8.2fx\n",
+                        name.c_str(), "-", "-", sh,
+                        ref.hmtxSpeedup);
+        }
+    }
+    rule();
+    std::printf("%-12s | %8.2fx %8.2fx | %8.2fx %8.2fx\n",
+                "Geo (Comp.)", geomean(smtxComp), 1.44,
+                geomean(hmtxComp), 2.02);
+    std::printf("%-12s | %8s %9s | %8.2fx %8.2fx\n", "Geo (All)",
+                "-", "-", geomean(hmtxAll), 1.99);
+    rule();
+    std::printf("\nPaper headline: HMTX geomean 1.99x over sequential "
+                "on all 8 benchmarks (99%% speedup),\noutperforming "
+                "SMTX (1.44x) despite maximal validation; SMTX also "
+                "burns one core\non its commit process.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: the Figure 3 linked-list loop, end to end.
+ *
+ * Builds a pointer-chased linked list in simulated memory, runs the
+ * original sequential loop, then runs the speculative PS-DSWP version
+ * on the 4-core HMTX machine of Table 2 — stage 1 chases `node =
+ * node->next` and publishes each node through versioned memory
+ * (beginMTX / producedNode), replicated stage-2 workers run the work
+ * function inside the same multithreaded transactions, and
+ * commitMTX group-commits each one in program order.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "runtime/executors.hh"
+#include "workloads/linked_list.hh"
+
+using namespace hmtx;
+
+int
+main()
+{
+    // The machine of Table 2: 4 cores, 64 KB L1s, shared 32 MB L2,
+    // MOESI + the HMTX extensions, 6-bit VIDs.
+    sim::MachineConfig cfg;
+
+    workloads::LinkedListWorkload::Params params;
+    params.nodes = 400;     // loop iterations
+    params.workRounds = 60; // work(node) cost
+    workloads::LinkedListWorkload seqLoop(params);
+    workloads::LinkedListWorkload parLoop(params);
+
+    std::printf("HMTX quickstart: Figure 3's linked-list loop, "
+                "%" PRIu64 " iterations\n\n",
+                params.nodes);
+
+    // 1. The original program: while (node) { work(node); ... }
+    runtime::ExecResult seq =
+        runtime::Runner::runSequential(seqLoop, cfg);
+    std::printf("sequential:    %10" PRIu64 " cycles\n", seq.cycles);
+
+    // 2. Speculative PS-DSWP with hardware MTXs: every load and
+    //    store inside each transaction is validated by the cache
+    //    hierarchy (the maximal read/write set of §6.1).
+    runtime::ExecResult par = runtime::Runner::runHmtx(parLoop, cfg);
+    std::printf("HMTX PS-DSWP:  %10" PRIu64 " cycles   (%.2fx)\n",
+                par.cycles,
+                static_cast<double>(seq.cycles) /
+                    static_cast<double>(par.cycles));
+
+    // 3. The parallelization preserved the program's semantics
+    //    (§4.3): identical output, and with high-confidence
+    //    speculation, zero misspeculation (§6.3).
+    std::printf("\nchecksums:     %016" PRIx64 " (sequential)\n"
+                "               %016" PRIx64 " (parallel)   -> %s\n",
+                seq.checksum, par.checksum,
+                seq.checksum == par.checksum ? "identical" : "BUG");
+    std::printf("transactions:  %" PRIu64 " committed, %" PRIu64
+                " aborted\n",
+                par.transactions, par.stats.aborts);
+    std::printf("validation:    %" PRIu64 " speculative accesses "
+                "(avg %.0f per transaction)\n",
+                par.stats.specLoads + par.stats.specStores,
+                par.stats.avgSpecAccessesPerTx());
+    std::printf("R/W sets:      %.2f kB read + %.2f kB written per "
+                "transaction (avg)\n",
+                par.stats.avgReadSetKB(), par.stats.avgWriteSetKB());
+    return seq.checksum == par.checksum ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Domain example: VID overflow and reset (§4.6) made visible.
+ *
+ * Runs the same 120-iteration pipeline with 3-, 4-, 6- and 8-bit VID
+ * fields. With m bits the hardware can name 2^m - 1 concurrent
+ * transactions before the software must drain the pipeline, send a
+ * VID Reset to the memory system, and restart numbering at 1 — the
+ * stalls are measured and printed, showing why the paper "settled on
+ * 6 as a fair medium".
+ */
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "runtime/executors.hh"
+#include "workloads/linked_list.hh"
+
+using namespace hmtx;
+
+int
+main()
+{
+    workloads::LinkedListWorkload::Params p;
+    p.nodes = 120;
+    p.workRounds = 40;
+
+    std::printf("VID overflow & reset (§4.6): %" PRIu64
+                " transactions through m-bit VID windows\n\n",
+                p.nodes);
+    std::printf("%-6s %-10s %-12s %-12s %-14s %-10s\n", "m",
+                "VIDs", "cycles", "VID resets", "stall cycles",
+                "speedup");
+
+    workloads::LinkedListWorkload seqWl(p);
+    sim::MachineConfig base;
+    runtime::ExecResult seq =
+        runtime::Runner::runSequential(seqWl, base);
+
+    for (unsigned bits : {3u, 4u, 6u, 8u}) {
+        sim::MachineConfig cfg;
+        cfg.vidBits = bits;
+        workloads::LinkedListWorkload wl(p);
+        runtime::ExecResult r = runtime::Runner::runHmtx(wl, cfg);
+        if (r.checksum != seq.checksum) {
+            std::fprintf(stderr, "output mismatch at m=%u!\n", bits);
+            return 1;
+        }
+        std::printf("%-6u %-10u %-12" PRIu64 " %-12" PRIu64
+                    " %-14" PRIu64 " %5.2fx\n",
+                    bits, (1u << bits) - 1, r.cycles, r.vidResets,
+                    r.vidStallCycles,
+                    static_cast<double>(seq.cycles) /
+                        static_cast<double>(r.cycles));
+    }
+
+    std::printf("\nEvery window exhaustion stalls new transactions "
+                "until the max-VID transaction\ncommits and all "
+                "cache-line VIDs flash back to (0,0); correctness is "
+                "unaffected\n(identical checksums), only "
+                "performance.\n");
+    return 0;
+}

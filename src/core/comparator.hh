@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Model of the cascaded low/high VID comparator (§4.5).
+ */
+
+#ifndef HMTX_CORE_COMPARATOR_HH
+#define HMTX_CORE_COMPARATOR_HH
+
+#include <cstdint>
+
+#include "core/types.hh"
+
+namespace hmtx
+{
+
+/**
+ * Energy/latency model of the per-line VID comparators (§4.5).
+ *
+ * Because VIDs in flight are consecutive, they are almost always equal
+ * or very close. The hardware therefore splits each m-bit comparison:
+ * the high m/2 bits are checked for equality while the low m/2 bits do
+ * a magnitude comparison. Only when the high bits differ does a
+ * cascading full comparison run, which is slower and costs extra
+ * dynamic energy. This class performs the comparison and accounts for
+ * which path was taken; the power model (src/power) integrates the
+ * counts into Table 3's dynamic-power rows.
+ */
+class VidComparator
+{
+  public:
+    /** @param bits total VID width m (6 in the evaluated design) */
+    explicit VidComparator(unsigned bits = 6)
+        : lowBits_(bits / 2),
+          lowMask_((Vid{1} << (bits / 2)) - 1)
+    {}
+
+    /**
+     * Compares a request VID against a line VID.
+     *
+     * @param req  VID carried by the request
+     * @param line VID stored on the line (modVID or highVID)
+     * @return negative/zero/positive like a three-way comparison
+     */
+    int
+    compare(Vid req, Vid line)
+    {
+        ++comparisons_;
+        if ((req >> lowBits_) == (line >> lowBits_)) {
+            ++fastPath_;
+        } else {
+            ++cascaded_;
+        }
+        if (req < line)
+            return -1;
+        return req == line ? 0 : 1;
+    }
+
+    /** Total comparisons performed. */
+    std::uint64_t comparisons() const { return comparisons_; }
+
+    /** Comparisons resolved by the low-bit fast path. */
+    std::uint64_t fastPath() const { return fastPath_; }
+
+    /** Comparisons that needed the cascading high-bit stage. */
+    std::uint64_t cascaded() const { return cascaded_; }
+
+    /** Extra hit-latency cycles charged for cascaded comparisons. */
+    static constexpr Cycles kCascadePenalty = 1;
+
+    /** Resets the activity counters. */
+    void
+    clear()
+    {
+        comparisons_ = fastPath_ = cascaded_ = 0;
+    }
+
+  private:
+    unsigned lowBits_;
+    Vid lowMask_;
+    std::uint64_t comparisons_ = 0;
+    std::uint64_t fastPath_ = 0;
+    std::uint64_t cascaded_ = 0;
+};
+
+} // namespace hmtx
+
+#endif // HMTX_CORE_COMPARATOR_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Coherence states of the HMTX protocol: the five MOESI states plus the
+ * four speculative states introduced by the paper (§4.1, Figure 4).
+ */
+
+#ifndef HMTX_CORE_SPEC_STATE_HH
+#define HMTX_CORE_SPEC_STATE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace hmtx
+{
+
+/**
+ * Coherence state of one cache line version.
+ *
+ * The base protocol is snoopy MOESI [Sweazey & Smith]. HMTX adds four
+ * speculative states (§4.1):
+ *
+ *  - SpecModified (S-M):  the "latest" speculative version of the line
+ *    with respect to original program order; dirty on commit.
+ *  - SpecOwned (S-O):     a speculatively accessed version later
+ *    superseded by a speculative write with a higher VID; a write that
+ *    hits it aborts.
+ *  - SpecExclusive (S-E): like S-M but no version of the line has been
+ *    modified since entering the cache; returns to a clean state on
+ *    commit. modVID is always 0.
+ *  - SpecShared (S-S):    a read-only peer copy of a speculatively
+ *    accessed line; never responds to snoops.
+ */
+enum class State : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Owned,
+    Modified,
+    SpecShared,
+    SpecExclusive,
+    SpecOwned,
+    SpecModified,
+};
+
+/** True for the four speculative states. */
+constexpr bool
+isSpec(State s)
+{
+    return s >= State::SpecShared;
+}
+
+/** True if this state holds valid data. */
+constexpr bool
+isValid(State s)
+{
+    return s != State::Invalid;
+}
+
+/**
+ * True if this version responds to snooped requests. Exactly one copy of
+ * each version is in a responder state; S-S copies stay silent (§4.1).
+ */
+constexpr bool
+isSpecResponder(State s)
+{
+    return s == State::SpecExclusive || s == State::SpecOwned ||
+        s == State::SpecModified;
+}
+
+/**
+ * True for speculative states that represent the latest version of the
+ * line (hit rule: request VID >= modVID).
+ */
+constexpr bool
+isSpecLatest(State s)
+{
+    return s == State::SpecModified || s == State::SpecExclusive;
+}
+
+/**
+ * True for speculative states representing a superseded (or peer-copy)
+ * version (hit rule: modVID <= request VID < highVID).
+ */
+constexpr bool
+isSpecSuperseded(State s)
+{
+    return s == State::SpecOwned || s == State::SpecShared;
+}
+
+/** Human-readable state name, matching the paper's notation. */
+constexpr std::string_view
+stateName(State s)
+{
+    switch (s) {
+      case State::Invalid:        return "I";
+      case State::Shared:         return "S";
+      case State::Exclusive:      return "E";
+      case State::Owned:          return "O";
+      case State::Modified:       return "M";
+      case State::SpecShared:     return "S-S";
+      case State::SpecExclusive:  return "S-E";
+      case State::SpecOwned:      return "S-O";
+      case State::SpecModified:   return "S-M";
+    }
+    return "?";
+}
+
+} // namespace hmtx
+
+#endif // HMTX_CORE_SPEC_STATE_HH

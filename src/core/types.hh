@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fundamental types shared by the HMTX protocol layer and the simulator.
+ *
+ * The HMTX protocol layer (src/core) is the paper's primary contribution:
+ * it is pure logic with no dependency on the event-driven simulator, so it
+ * can be unit tested exhaustively and reused by other cache models.
+ */
+
+#ifndef HMTX_CORE_TYPES_HH
+#define HMTX_CORE_TYPES_HH
+
+#include <cstdint>
+
+namespace hmtx
+{
+
+/** Simulated time, in clock cycles of the 2.0 GHz machine (Table 2). */
+using Tick = std::uint64_t;
+
+/** A duration in cycles. */
+using Cycles = std::uint64_t;
+
+/** Simulated physical address. */
+using Addr = std::uint64_t;
+
+/** Core identifier (0-based). */
+using CoreId = std::uint32_t;
+
+/**
+ * Transaction version identifier (§3).
+ *
+ * VID 0 is reserved for non-speculative execution. VIDs are assigned in
+ * original sequential program order; the hardware stores them in m bits
+ * (m = 6 in the evaluated configuration, §4.5), so the usable window is
+ * [1, 2^m - 1] between VID resets (§4.6). Inside the simulator a VID is
+ * kept in a wide integer; VidWindow enforces the m-bit constraint.
+ */
+using Vid = std::uint32_t;
+
+/** The non-speculative VID. */
+inline constexpr Vid kNonSpecVid = 0;
+
+/** Cache line size in bytes (Table 2). */
+inline constexpr unsigned kLineBytes = 64;
+
+/** log2 of the line size. */
+inline constexpr unsigned kLineShift = 6;
+
+/** Returns the line-aligned base address containing @p a. */
+constexpr Addr
+lineAddr(Addr a)
+{
+    return a & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Returns the byte offset of @p a within its cache line. */
+constexpr unsigned
+lineOffset(Addr a)
+{
+    return static_cast<unsigned>(a & (kLineBytes - 1));
+}
+
+} // namespace hmtx
+
+#endif // HMTX_CORE_TYPES_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * m-bit VID window management (§4.5, §4.6).
+ */
+
+#ifndef HMTX_CORE_VID_HH
+#define HMTX_CORE_VID_HH
+
+#include <cassert>
+#include <cstdint>
+
+#include "core/types.hh"
+
+namespace hmtx
+{
+
+/**
+ * Allocates VIDs in original program order within the finite m-bit
+ * window the hardware supports (§4.6).
+ *
+ * VIDs are handed out consecutively starting at 1. Once 2^m - 1 has
+ * been allocated the window is exhausted: the software must delay new
+ * transactions until the transaction with the maximum VID commits, send
+ * a VID Reset to the memory system, and continue from VID 1. The
+ * runtime (src/runtime) drives that sequence; this class only does the
+ * arithmetic and bookkeeping so the policy is testable in isolation.
+ */
+class VidWindow
+{
+  public:
+    /**
+     * @param bits width m of the hardware VID fields; the evaluated
+     *             configuration uses 6 (§4.5)
+     */
+    explicit VidWindow(unsigned bits = 6)
+        : bits_(bits)
+    {
+        assert(bits >= 1 && bits <= 20);
+    }
+
+    /** Width m of the VID fields. */
+    unsigned bits() const { return bits_; }
+
+    /** Largest usable VID, 2^m - 1. */
+    Vid maxVid() const { return (Vid{1} << bits_) - 1; }
+
+    /** True once every VID in the current window has been allocated. */
+    bool exhausted() const { return next_ > maxVid(); }
+
+    /** Last VID handed out in the current window (0 if none yet). */
+    Vid lastAllocated() const { return next_ - 1; }
+
+    /**
+     * Allocates the next VID.
+     * @pre !exhausted()
+     */
+    Vid
+    allocate()
+    {
+        assert(!exhausted());
+        return next_++;
+    }
+
+    /**
+     * Records a VID Reset (§4.6): the caller has drained all
+     * outstanding transactions and reset the memory system; allocation
+     * restarts at 1.
+     */
+    void
+    reset()
+    {
+        next_ = 1;
+        ++resets_;
+    }
+
+    /** Number of VID Resets performed so far. */
+    std::uint64_t resets() const { return resets_; }
+
+  private:
+    unsigned bits_;
+    Vid next_ = 1;
+    std::uint64_t resets_ = 0;
+};
+
+} // namespace hmtx
+
+#endif // HMTX_CORE_VID_HH

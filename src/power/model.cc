@@ -1,0 +1,132 @@
+#include "power/model.hh"
+
+namespace hmtx::power
+{
+
+namespace
+{
+
+// --- 22 nm technology constants ------------------------------------------
+// Calibrated against the paper's McPAT/CACTI outputs (Table 3); see
+// EXPERIMENTS.md for the anchor-point comparison.
+
+/** Effective SRAM area per bit including array overhead, mm^2. A 22 nm
+ *  6T cell is ~0.092 um^2; x1.35 covers decoders/sense-amps/wiring. */
+constexpr double kSramMm2PerBit = 0.092e-6 * 1.35;
+
+/** Area of one Alpha-21264-class out-of-order core at 22 nm. */
+constexpr double kCoreAreaMm2 = 12.0;
+
+/** Fixed uncore area (bus, memory controller, clocking, I/O). */
+constexpr double kUncoreAreaMm2 = 21.0;
+
+/** Fixed logic area of the HMTX extensions beyond the VID bits:
+ *  cascaded comparators per way (§4.5), SLA buffers (§5.1), and the
+ *  commit/abort control. */
+constexpr double kHmtxLogicAreaMm2 = 3.1;
+
+/** Extra metadata bits per line with HMTX: two 6-bit VIDs (§6.4). */
+constexpr unsigned kHmtxBitsPerLine = 12;
+
+/** Tag + state metadata bits per line in the base machine. */
+constexpr unsigned kBaseMetaBitsPerLine = 44;
+
+// Leakage densities per component class, W/mm^2. Cores leak harder
+// than SRAM with power gating and low-standby-power cells applied
+// (§6.4 "power gating and low L2 cache standby power are utilized").
+constexpr double kCoreLeakWPerMm2 = 0.066;
+constexpr double kSramLeakWPerMm2 = 0.056;
+constexpr double kUncoreLeakWPerMm2 = 0.012;
+constexpr double kHmtxLogicLeakWPerMm2 = 0.022;
+
+// Dynamic energy per event, joules.
+constexpr double kEnergyPerInstr = 2.6e-9;  // whole-core switching
+constexpr double kCoreIdleW = 0.85;         // clocked but stalled
+constexpr double kEnergyL1Access = 0.05e-9;
+constexpr double kEnergyL2Access = 0.55e-9;
+constexpr double kEnergyMemAccess = 6.0e-9;
+constexpr double kEnergyBusTxn = 0.35e-9;
+constexpr double kEnergyVidCompareFast = 2.0e-12;
+constexpr double kEnergyVidCompareCascade = 6.5e-12;
+constexpr double kEnergySla = 0.2e-9;
+
+} // namespace
+
+PowerModel::PowerModel(const sim::MachineConfig& cfg,
+                       bool hmtxExtensions)
+    : cfg_(cfg), hmtx_(hmtxExtensions)
+{
+    const double lineBits = 8.0 * kLineBytes + kBaseMetaBitsPerLine;
+    const double l1Lines =
+        static_cast<double>(cfg.l1SizeKB) * 1024 / kLineBytes;
+    const double l2Lines =
+        static_cast<double>(cfg.l2SizeKB) * 1024 / kLineBytes;
+    const double totalLines = l1Lines * cfg.numCores + l2Lines;
+
+    area_.coresMm2 = kCoreAreaMm2 * cfg.numCores;
+    area_.l1Mm2 =
+        l1Lines * cfg.numCores * lineBits * kSramMm2PerBit;
+    area_.l2Mm2 = l2Lines * lineBits * kSramMm2PerBit;
+    area_.uncoreMm2 = kUncoreAreaMm2;
+    if (hmtx_) {
+        area_.hmtxExtraMm2 =
+            totalLines * kHmtxBitsPerLine * kSramMm2PerBit +
+            kHmtxLogicAreaMm2;
+    }
+
+    leakage_ = area_.coresMm2 * kCoreLeakWPerMm2 +
+        (area_.l1Mm2 + area_.l2Mm2) * kSramLeakWPerMm2 +
+        area_.uncoreMm2 * kUncoreLeakWPerMm2;
+    if (hmtx_) {
+        leakage_ +=
+            (area_.hmtxExtraMm2 - kHmtxLogicAreaMm2) *
+                kSramLeakWPerMm2 +
+            kHmtxLogicAreaMm2 * kHmtxLogicLeakWPerMm2;
+    }
+}
+
+PowerResult
+PowerModel::evaluate(const sim::SysStats& stats,
+                     std::uint64_t instructions,
+                     std::uint64_t comparisons,
+                     std::uint64_t cascaded, Tick cycles) const
+{
+    PowerResult r;
+    r.areaMm2 = area_.totalMm2();
+    r.leakageW = leakage_;
+    r.timeSec = static_cast<double>(cycles) / kClockHz;
+    if (r.timeSec <= 0)
+        return r;
+
+    double dynJ = 0;
+    dynJ += static_cast<double>(instructions) * kEnergyPerInstr;
+    dynJ += static_cast<double>(stats.l1Hits + stats.l1Misses) *
+        kEnergyL1Access;
+    dynJ += static_cast<double>(stats.snoopHits) * kEnergyL2Access;
+    dynJ += static_cast<double>(stats.memFetches +
+                                stats.writebacks) *
+        kEnergyMemAccess;
+    dynJ += static_cast<double>(stats.busTxns) * kEnergyBusTxn;
+    if (hmtx_) {
+        dynJ += static_cast<double>(comparisons - cascaded) *
+            kEnergyVidCompareFast;
+        dynJ += static_cast<double>(cascaded) *
+            kEnergyVidCompareCascade;
+        dynJ += static_cast<double>(stats.slaNeeded) * kEnergySla;
+    }
+    // Idle clocking of cores that are not retiring instructions.
+    const double busyCoreSeconds =
+        static_cast<double>(instructions) / kClockHz;
+    const double totalCoreSeconds = r.timeSec * cfg_.numCores;
+    const double idleSeconds =
+        totalCoreSeconds > busyCoreSeconds
+            ? totalCoreSeconds - busyCoreSeconds
+            : 0.0;
+    dynJ += idleSeconds * kCoreIdleW;
+
+    r.dynamicW = dynJ / r.timeSec;
+    r.energyJ = (r.dynamicW + r.leakageW) * r.timeSec;
+    return r;
+}
+
+} // namespace hmtx::power

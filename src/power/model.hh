@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Analytical area/power/energy model in the spirit of McPAT/CACTI
+ * (§6.4, Table 3), at the 22 nm node.
+ */
+
+#ifndef HMTX_POWER_MODEL_HH
+#define HMTX_POWER_MODEL_HH
+
+#include <cstdint>
+
+#include "core/types.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace hmtx::power
+{
+
+/** Area breakdown of the modeled chip, in mm^2. */
+struct AreaBreakdown
+{
+    double coresMm2 = 0;
+    double l1Mm2 = 0;
+    double l2Mm2 = 0;
+    double uncoreMm2 = 0;
+    /** Extra 12 bits/line plus cascaded comparators and SLA buffers
+     *  (§4.5, §5.1, §6.4). Zero without the HMTX extensions. */
+    double hmtxExtraMm2 = 0;
+
+    double
+    totalMm2() const
+    {
+        return coresMm2 + l1Mm2 + l2Mm2 + uncoreMm2 + hmtxExtraMm2;
+    }
+};
+
+/** Power/energy evaluation of one simulated run. */
+struct PowerResult
+{
+    double areaMm2 = 0;
+    double leakageW = 0;
+    double dynamicW = 0;
+    double energyJ = 0;
+    double timeSec = 0;
+};
+
+/**
+ * First-order model: SRAM area scales with bit count, leakage with
+ * area per component class, and dynamic power integrates per-event
+ * energies (instructions, cache levels, bus, memory, VID comparators,
+ * SLA traffic) over the run's activity counts. The free constants are
+ * calibrated against the paper's McPAT anchor points — 107.1 mm^2 /
+ * 5.515 W leakage for the commodity 4-core machine and 111.1 mm^2 /
+ * 5.607 W with the HMTX extensions (Table 3) — so the *relative*
+ * costs of the extensions match the paper.
+ */
+class PowerModel
+{
+  public:
+    /**
+     * @param cfg            machine geometry (Table 2)
+     * @param hmtxExtensions model the HMTX hardware additions
+     */
+    PowerModel(const sim::MachineConfig& cfg, bool hmtxExtensions);
+
+    /** Chip area breakdown. */
+    AreaBreakdown area() const { return area_; }
+
+    /** Total leakage in watts. */
+    double leakageW() const { return leakage_; }
+
+    /**
+     * Evaluates a finished run.
+     *
+     * @param stats        memory-system activity counters
+     * @param instructions dynamic instructions across all cores
+     * @param comparisons  VID comparator activations (fast path)
+     * @param cascaded     VID comparator cascades (§4.5)
+     * @param cycles       run length in cycles
+     */
+    PowerResult evaluate(const sim::SysStats& stats,
+                         std::uint64_t instructions,
+                         std::uint64_t comparisons,
+                         std::uint64_t cascaded, Tick cycles) const;
+
+    /** Clock frequency in Hz (Table 2: 2.0 GHz). */
+    static constexpr double kClockHz = 2.0e9;
+
+  private:
+    sim::MachineConfig cfg_;
+    bool hmtx_;
+    AreaBreakdown area_;
+    double leakage_ = 0;
+};
+
+} // namespace hmtx::power
+
+#endif // HMTX_POWER_MODEL_HH

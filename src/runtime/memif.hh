@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Abstract memory interface workloads are written against, so the same
+ * workload code runs under HMTX (speculative, versioned accesses) and
+ * under the SMTX baseline (non-speculative accesses plus software
+ * logging/forwarding costs).
+ */
+
+#ifndef HMTX_RUNTIME_MEMIF_HH
+#define HMTX_RUNTIME_MEMIF_HH
+
+#include <cstdint>
+
+#include "core/types.hh"
+#include "runtime/thread_context.hh"
+#include "sim/task.hh"
+
+namespace hmtx::runtime
+{
+
+/**
+ * Memory operations as seen by workload code. Implementations route
+ * them to the simulated core with whatever extra behaviour the
+ * execution model requires (HMTX: nothing, the hardware does the
+ * validation; SMTX: per-access logging and forwarding).
+ */
+class MemIf
+{
+  public:
+    virtual ~MemIf() = default;
+
+    /** Loads @p size bytes at @p a. */
+    virtual sim::Task<std::uint64_t> load(Addr a, unsigned size = 8)
+        = 0;
+
+    /** Stores @p size bytes of @p v at @p a. */
+    virtual sim::Task<void> store(Addr a, std::uint64_t v,
+                                  unsigned size = 8) = 0;
+
+    /** Models @p c cycles of computation. */
+    virtual sim::Task<void> compute(Cycles c) = 0;
+
+    /**
+     * Models a conditional branch and returns @p taken so workloads
+     * can branch on data they just computed.
+     */
+    virtual sim::Task<bool> branch(Addr pc, bool taken) = 0;
+};
+
+/**
+ * Straight pass-through to the thread context, used by sequential
+ * execution and by all HMTX paradigms (the transaction VID is already
+ * set in the context's VID register by the executor).
+ */
+class DirectMem final : public MemIf
+{
+  public:
+    explicit DirectMem(ThreadContext& tc) : tc_(tc) {}
+
+    sim::Task<std::uint64_t>
+    load(Addr a, unsigned size = 8) override
+    {
+        co_return co_await tc_.load(a, size);
+    }
+
+    sim::Task<void>
+    store(Addr a, std::uint64_t v, unsigned size = 8) override
+    {
+        co_await tc_.store(a, v, size);
+    }
+
+    sim::Task<void>
+    compute(Cycles c) override
+    {
+        co_await tc_.compute(c);
+    }
+
+    sim::Task<bool>
+    branch(Addr pc, bool taken) override
+    {
+        co_return co_await tc_.branch(pc, taken) != 0;
+    }
+
+  private:
+    ThreadContext& tc_;
+};
+
+} // namespace hmtx::runtime
+
+#endif // HMTX_RUNTIME_MEMIF_HH

@@ -1,0 +1,61 @@
+#include "runtime/queue.hh"
+
+#include "runtime/machine.hh"
+#include "runtime/thread_context.hh"
+
+namespace hmtx::runtime
+{
+
+SimQueue::SimQueue(Machine& m, unsigned capacity)
+    : m_(m), cap_(capacity),
+      slots_(m.heap().allocWords(capacity)),
+      headAddr_(m.heap().allocLines(1)),
+      tailAddr_(m.heap().allocLines(1)),
+      notEmpty_(m.eq()), notFull_(m.eq())
+{}
+
+sim::Task<void>
+SimQueue::produce(ThreadContext& tc, std::uint64_t v)
+{
+    while (tail_ - head_ >= cap_) {
+        co_await notFull_.wait();
+        if (abortFlag_)
+            throw sim::TxAborted{};
+    }
+    co_await tc.store(slots_ + (tail_ % cap_) * 8, v);
+    co_await tc.store(tailAddr_, tail_ + 1);
+    ++tail_;
+    notEmpty_.notifyAll();
+}
+
+sim::Task<std::uint64_t>
+SimQueue::consume(ThreadContext& tc)
+{
+    while (head_ == tail_) {
+        co_await notEmpty_.wait();
+        if (abortFlag_)
+            throw sim::TxAborted{};
+    }
+    std::uint64_t v = co_await tc.load(slots_ + (head_ % cap_) * 8);
+    co_await tc.store(headAddr_, head_ + 1);
+    ++head_;
+    notFull_.notifyAll();
+    co_return v;
+}
+
+void
+SimQueue::abortWake()
+{
+    abortFlag_ = true;
+    notEmpty_.notifyAll();
+    notFull_.notifyAll();
+}
+
+void
+SimQueue::reset()
+{
+    head_ = tail_ = 0;
+    abortFlag_ = false;
+}
+
+} // namespace hmtx::runtime

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Coroutine condition-variable analog for the simulated runtime.
+ */
+
+#ifndef HMTX_RUNTIME_SIGNAL_HH
+#define HMTX_RUNTIME_SIGNAL_HH
+
+#include <coroutine>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace hmtx::runtime
+{
+
+/**
+ * A broadcast wake-up primitive. Tasks co_await wait() and are resumed
+ * (one simulated cycle later) by the next notifyAll(). Like a condition
+ * variable, waiters must re-check their predicate after waking —
+ * executors use this for in-order commit turns, VID-window epochs and
+ * abort-recovery barriers.
+ */
+class Signal
+{
+  public:
+    explicit Signal(sim::EventQueue& eq) : eq_(eq) {}
+
+    struct Awaiter
+    {
+        Signal& sig;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            sig.waiters_.push_back(h);
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    /** Suspends until the next notifyAll(). */
+    Awaiter wait() { return Awaiter{*this}; }
+
+    /** Wakes every waiter at curTick() + 1. */
+    void
+    notifyAll()
+    {
+        auto ws = std::exchange(waiters_, {});
+        for (auto h : ws)
+            eq_.scheduleIn(1, [h] { h.resume(); });
+    }
+
+    /** Number of tasks currently blocked. */
+    std::size_t waiting() const { return waiters_.size(); }
+
+  private:
+    sim::EventQueue& eq_;
+    std::vector<std::coroutine_handle<>> waiters_;
+};
+
+} // namespace hmtx::runtime
+
+#endif // HMTX_RUNTIME_SIGNAL_HH

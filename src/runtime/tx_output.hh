@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Transactional output buffering (§4.7): "output must be handled
+ * specially inside a transaction. Outputs are explicitly buffered to
+ * ensure no speculative effects occur until commit."
+ */
+
+#ifndef HMTX_RUNTIME_TX_OUTPUT_HH
+#define HMTX_RUNTIME_TX_OUTPUT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace hmtx::runtime
+{
+
+/**
+ * A speculation-safe output stream. Records emitted inside a
+ * transaction are buffered under its VID and only released — in
+ * original program order — when that VID commits; records of aborted
+ * transactions are discarded with the rest of their speculative
+ * effects. Records emitted outside any transaction (VID 0) release
+ * immediately.
+ *
+ * This is the simple explicit-buffering scheme of §4.7; the paper
+ * notes a transactional I/O system [20] could be used instead.
+ */
+class TxOutput
+{
+  public:
+    /** Emits @p record from transaction @p vid (0 = non-speculative). */
+    void
+    emit(Vid vid, std::string record)
+    {
+        if (vid == kNonSpecVid) {
+            released_.push_back(std::move(record));
+            ++immediate_;
+        } else {
+            pending_[vid].push_back(std::move(record));
+            ++buffered_;
+        }
+    }
+
+    /**
+     * Transaction @p vid committed: release its buffered records.
+     * Commits arrive in program order (§4.7), so the released stream
+     * is the sequential program's output.
+     */
+    void
+    commit(Vid vid)
+    {
+        auto it = pending_.find(vid);
+        if (it == pending_.end())
+            return;
+        for (auto& r : it->second)
+            released_.push_back(std::move(r));
+        pending_.erase(it);
+    }
+
+    /**
+     * All uncommitted transactions aborted: their buffered output
+     * vanishes, like every other speculative effect. Records of
+     * transactions at or below the committed watermark @p lcVid are
+     * committed state and release instead (in program order).
+     */
+    void
+    abortAll(Vid lcVid = kNonSpecVid)
+    {
+        for (auto it = pending_.begin(); it != pending_.end();) {
+            if (it->first <= lcVid) {
+                for (auto& r : it->second)
+                    released_.push_back(std::move(r));
+            } else {
+                discarded_ += it->second.size();
+            }
+            it = pending_.erase(it);
+        }
+    }
+
+    /** A VID reset (§4.6) recycles the namespace; every transaction
+     *  has committed, so everything pending releases. */
+    void
+    vidReset()
+    {
+        abortAll(~Vid{0});
+    }
+
+    /** The committed output stream, in program order. */
+    const std::vector<std::string>& released() const
+    {
+        return released_;
+    }
+
+    /** Records currently buffered in uncommitted transactions. */
+    std::size_t
+    pendingCount() const
+    {
+        std::size_t n = 0;
+        for (auto& [vid, recs] : pending_)
+            n += recs.size();
+        return n;
+    }
+
+    /** Records discarded by aborts. */
+    std::uint64_t discarded() const { return discarded_; }
+
+    /** Records buffered speculatively over the run. */
+    std::uint64_t buffered() const { return buffered_; }
+
+    /** Records emitted non-speculatively. */
+    std::uint64_t immediate() const { return immediate_; }
+
+  private:
+    std::map<Vid, std::vector<std::string>> pending_;
+    std::vector<std::string> released_;
+    std::uint64_t buffered_ = 0;
+    std::uint64_t immediate_ = 0;
+    std::uint64_t discarded_ = 0;
+};
+
+} // namespace hmtx::runtime
+
+#endif // HMTX_RUNTIME_TX_OUTPUT_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Interface for parallelizable loop workloads (the benchmarks of §6).
+ */
+
+#ifndef HMTX_RUNTIME_WORKLOAD_HH
+#define HMTX_RUNTIME_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/machine.hh"
+#include "runtime/memif.hh"
+#include "sim/task.hh"
+
+namespace hmtx::runtime
+{
+
+class TxOutput;
+
+/** Parallelization paradigm of a workload's hot loop (Table 1). */
+enum class Paradigm
+{
+    PsDswp,
+    Dswp,
+    Doall,
+};
+
+/** Human-readable paradigm name as printed in Table 1. */
+constexpr const char*
+paradigmName(Paradigm p)
+{
+    switch (p) {
+      case Paradigm::PsDswp: return "PS-DSWP";
+      case Paradigm::Dswp:   return "DSWP";
+      case Paradigm::Doall:  return "DOALL";
+    }
+    return "?";
+}
+
+/**
+ * A hot loop split into the two pipeline stages used by the paper's
+ * parallelizations: stage 1 is the sequential traversal/production
+ * part (kept in program order on one core), stage 2 the heavy work
+ * that PS-DSWP replicates across the remaining cores. DOALL workloads
+ * put everything in stage 2. Inter-stage values flow through shared
+ * simulated memory, leveraging HMTX's versioned memory instead of
+ * explicit queues (§3.2).
+ *
+ * Workload code performs every access through a MemIf, so the same
+ * loop body runs under sequential, HMTX, and SMTX execution.
+ */
+class LoopWorkload
+{
+  public:
+    virtual ~LoopWorkload() = default;
+
+    /** Benchmark name as it appears in Table 1. */
+    virtual std::string name() const = 0;
+
+    /** Parallelization paradigm (Table 1). */
+    virtual Paradigm paradigm() const { return Paradigm::PsDswp; }
+
+    /** Number of hot-loop iterations to simulate. */
+    virtual std::uint64_t iterations() const = 0;
+
+    /**
+     * Fraction of native whole-program time spent in the hot loop
+     * (Table 1, "Hot Loop Native Exec Time %"); used to derive
+     * whole-program speedups via Amdahl's law (Figure 2).
+     */
+    virtual double hotLoopFraction() const { return 1.0; }
+
+    /**
+     * Number of accesses per iteration that the expert-minimized SMTX
+     * version still has to forward/validate (§2.3: "minimal read and
+     * write sets").
+     */
+    virtual unsigned minRwSetPerIter() const { return 2; }
+
+    /** Allocates and initializes the workload's data structures. */
+    virtual void setup(Machine& m) = 0;
+
+    /** Pipeline stage 1 of iteration @p iter (runs inside the MTX). */
+    virtual sim::Task<void> stage1(MemIf& mem, std::uint64_t iter) = 0;
+
+    /** Pipeline stage 2 of iteration @p iter (runs inside the MTX). */
+    virtual sim::Task<void> stage2(MemIf& mem, std::uint64_t iter) = 0;
+
+    /**
+     * The original sequential loop; the default runs stage1 + stage2
+     * per iteration on one core.
+     */
+    virtual sim::Task<void>
+    runSequential(MemIf& mem)
+    {
+        const std::uint64_t n = iterations();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            co_await stage1(mem, i);
+            co_await stage2(mem, i);
+        }
+    }
+
+    /**
+     * Transactional output stream of this workload (§4.7), or nullptr
+     * if it produces none. When provided, the executors release each
+     * transaction's buffered records at its commit and discard
+     * uncommitted records at abort recovery, so the released stream
+     * always equals the sequential program's output.
+     */
+    virtual TxOutput* txOutput() { return nullptr; }
+
+    /**
+     * Deterministic digest of the workload's output state, read
+     * host-side after CacheSystem::flushDirtyToMemory(). Equal
+     * checksums across execution models prove the parallelization
+     * preserved the program's semantics.
+     */
+    virtual std::uint64_t checksum(Machine& m) = 0;
+};
+
+} // namespace hmtx::runtime
+
+#endif // HMTX_RUNTIME_WORKLOAD_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * gshare branch predictor used by the core model.
+ */
+
+#ifndef HMTX_SIM_BRANCH_PREDICTOR_HH
+#define HMTX_SIM_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace hmtx::sim
+{
+
+/**
+ * A gshare predictor (global history XOR PC indexing a table of 2-bit
+ * saturating counters). The paper's interest in branch prediction is
+ * indirect: mispredictions issue wrong-path loads, which is the problem
+ * SLAs (§5.1) solve, and Table 1 reports per-benchmark misprediction
+ * rates inside the hot loop.
+ */
+class BranchPredictor
+{
+  public:
+    /** @param log2Entries table size as a power of two (default 4096) */
+    explicit BranchPredictor(unsigned log2Entries = 12)
+        : mask_((std::uint64_t{1} << log2Entries) - 1),
+          table_(std::size_t{1} << log2Entries, 1)
+    {}
+
+    /**
+     * Predicts and updates for one conditional branch.
+     *
+     * @param pc    branch address
+     * @param taken actual outcome
+     * @return true if the prediction matched the outcome
+     */
+    bool
+    predict(Addr pc, bool taken)
+    {
+        // Short (6-bit) history: long histories alias heavily on the
+        // short warm-up runs the simulator executes.
+        std::size_t idx = ((pc >> 2) ^ (history_ & 0x3f)) & mask_;
+        std::uint8_t& ctr = table_[idx];
+        bool predicted = ctr >= 2;
+        if (taken) {
+            if (ctr < 3)
+                ++ctr;
+        } else {
+            if (ctr > 0)
+                --ctr;
+        }
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask_;
+        ++branches_;
+        if (predicted != taken)
+            ++mispredicts_;
+        return predicted == taken;
+    }
+
+    /** Conditional branches predicted. */
+    std::uint64_t branches() const { return branches_; }
+
+    /** Mispredictions. */
+    std::uint64_t mispredicts() const { return mispredicts_; }
+
+    /** Misprediction rate in [0, 1]. */
+    double
+    mispredictRate() const
+    {
+        return branches_ ? static_cast<double>(mispredicts_) / branches_
+                         : 0.0;
+    }
+
+  private:
+    std::uint64_t history_ = 0;
+    std::uint64_t mask_;
+    std::vector<std::uint8_t> table_;
+    std::uint64_t branches_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+} // namespace hmtx::sim
+
+#endif // HMTX_SIM_BRANCH_PREDICTOR_HH

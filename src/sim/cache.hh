@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Set-associative cache storage holding versioned lines.
+ */
+
+#ifndef HMTX_SIM_CACHE_HH
+#define HMTX_SIM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/spec_state.hh"
+#include "core/types.hh"
+#include "core/version_rules.hh"
+#include "sim/memory.hh"
+
+namespace hmtx::sim
+{
+
+/**
+ * One physical cache line slot. Multiple versions of the same address
+ * may occupy slots of the same set, distinguished by their VersionTag
+ * (§4.1). Invalid slots are reused rather than erased so references
+ * into a set stay valid across protocol actions.
+ */
+struct Line
+{
+    /** Line-aligned base address (valid only when state != Invalid). */
+    Addr base = 0;
+    /** Coherence state, including the speculative states. */
+    State state = State::Invalid;
+    /** (modVID, highVID) version tags (§4.1). */
+    VersionTag tag{};
+    /** True when the data differs from main memory. */
+    bool dirty = false;
+    /**
+     * True when peer caches may hold S-S copies of this version; a
+     * write-in-place must then broadcast to invalidate them.
+     */
+    bool mayHaveSharers = false;
+    /**
+     * For S-S lines only: this is a copy of the *latest* version of
+     * the line (its owner is S-M/S-E), so it serves any request VID
+     * >= modVID and records the highest local reader in highVID —
+     * that is what makes sharing read-only speculative data efficient
+     * across transactions (§4.1). Store broadcasts aggregate these
+     * distributed read marks and supersede or invalidate the copies.
+     * When false, an S-S line is a copy of a superseded version and
+     * highVID is the usual coverage bound (hit iff mod <= a < high).
+     */
+    bool latestCopy = false;
+    /**
+     * True when highVID was last raised by a wrong-path load (only
+     * possible with SLAs disabled); used to classify false aborts.
+     */
+    bool highFromWrongPath = false;
+    /** LRU timestamp. */
+    Tick lastUse = 0;
+    /** Line contents. */
+    LineData data{};
+};
+
+/**
+ * Dumb set-associative storage: geometry, lookup and slot allocation.
+ * All protocol intelligence lives in CacheSystem so the full snoopy
+ * state is manipulated in one place.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param name  for debugging/stat output (e.g. "L1.0", "L2")
+     * @param sets  number of sets
+     * @param assoc associativity (max versions+addresses per set)
+     */
+    Cache(std::string name, unsigned sets, unsigned assoc)
+        : name_(std::move(name)), setCount_(sets), assoc_(assoc),
+          sets_(sets)
+    {}
+
+    const std::string& name() const { return name_; }
+    unsigned assoc() const { return assoc_; }
+    unsigned setCount() const { return setCount_; }
+
+    /** Set index for an address. */
+    std::size_t
+    setIndex(Addr a) const
+    {
+        return (a >> kLineShift) % setCount_;
+    }
+
+    /** All slots of the set containing @p a. */
+    std::vector<Line>& set(Addr a) { return sets_[setIndex(a)]; }
+
+    /** Applies @p fn to every slot in the cache. */
+    template <typename Fn>
+    void
+    forEachLine(Fn&& fn)
+    {
+        for (auto& s : sets_)
+            for (auto& l : s)
+                fn(l);
+    }
+
+    /** Number of valid slots currently held. */
+    std::size_t
+    validLines() const
+    {
+        std::size_t n = 0;
+        for (const auto& s : sets_)
+            for (const auto& l : s)
+                if (l.state != State::Invalid)
+                    ++n;
+        return n;
+    }
+
+    /**
+     * Returns an empty slot in the set of @p a, growing the set up to
+     * the associativity limit; returns nullptr when the set is full
+     * (the caller must evict first).
+     */
+    Line*
+    freeSlot(Addr a)
+    {
+        auto& s = set(a);
+        // Reserve up front on first touch so growth never reallocates:
+        // protocol code holds Line* across slot allocations in the
+        // same set.
+        if (s.capacity() < assoc_)
+            s.reserve(assoc_);
+        for (auto& l : s)
+            if (l.state == State::Invalid)
+                return &l;
+        if (s.size() < assoc_) {
+            s.emplace_back();
+            return &s.back();
+        }
+        return nullptr;
+    }
+
+  private:
+    std::string name_;
+    unsigned setCount_;
+    unsigned assoc_;
+    std::vector<std::vector<Line>> sets_;
+};
+
+} // namespace hmtx::sim
+
+#endif // HMTX_SIM_CACHE_HH

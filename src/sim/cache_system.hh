@@ -1,0 +1,274 @@
+/**
+ * @file
+ * The HMTX memory system: per-core L1s, a shared L2, a snoopy bus, and
+ * main memory, running the MOESI protocol extended with the paper's
+ * speculative states and version rules (§4).
+ */
+
+#ifndef HMTX_SIM_CACHE_SYSTEM_HH
+#define HMTX_SIM_CACHE_SYSTEM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/comparator.hh"
+#include "core/sla.hh"
+#include "core/types.hh"
+#include "core/version_rules.hh"
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/memory.hh"
+#include "sim/overflow_table.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+
+namespace hmtx::sim
+{
+
+/** Outcome of one memory access through the hierarchy. */
+struct AccessResult
+{
+    /** Loaded value (unspecified for stores and aborted accesses). */
+    std::uint64_t value = 0;
+    /** Total latency in cycles, including bus and memory time. */
+    Cycles latency = 0;
+    /**
+     * For speculative loads: true when the line had not yet logged
+     * this VID, so an SLA must be sent once the load retires (§5.1).
+     */
+    bool needSla = false;
+    /** True when the access triggered a (global) abort. */
+    bool aborted = false;
+    /** True when the request was satisfied by the local L1. */
+    bool l1Hit = false;
+};
+
+/**
+ * Functional-with-latency model of the whole coherent memory system.
+ *
+ * Accesses complete atomically at issue time (state transitions happen
+ * immediately and deterministically) and report the latency the
+ * requester must stall for; bus occupancy is tracked so concurrent
+ * traffic serializes. This is the component the paper contributes:
+ * everything in §4 and §5 is implemented here and in src/core.
+ *
+ * Abort model: any detected violation aborts *all* uncommitted
+ * transactional state (§4.4: "on an abort for any VID, all uncommitted
+ * transactional memory in the cache system is flushed"). An abort
+ * generation counter lets thread contexts discover the abort at their
+ * next operation and unwind.
+ */
+class CacheSystem
+{
+  public:
+    CacheSystem(EventQueue& eq, const MachineConfig& cfg);
+
+    /**
+     * Performs a load.
+     *
+     * @param core      requesting core
+     * @param a         byte address (must not cross a line boundary)
+     * @param size      1, 2, 4 or 8 bytes
+     * @param vid       transaction VID; 0 for non-speculative
+     * @param wrongPath true for squashed wrong-path loads injected by
+     *                  the core model on a branch misprediction (§5.1)
+     */
+    AccessResult load(CoreId core, Addr a, unsigned size, Vid vid,
+                      bool wrongPath = false);
+
+    /** Performs a store. VID 0 is a non-speculative store. */
+    AccessResult store(CoreId core, Addr a, std::uint64_t value,
+                       unsigned size, Vid vid);
+
+    /**
+     * Processes a speculative load acknowledgment (§5.1): re-verifies
+     * the value the load observed and, if unchanged, applies the
+     * deferred VID marking. A mismatch triggers an abort.
+     *
+     * @return false if the verification failed (abort was triggered)
+     */
+    bool slaConfirm(CoreId core, const SlaEntry& e);
+
+    /**
+     * Group-commits transaction @p vid across all caches (§4.4).
+     * Commits must be consecutive (§4.7); the next legal VID is
+     * lcVid() + 1.
+     * @return cycles the commit occupied the memory system
+     */
+    Cycles commit(Vid vid);
+
+    /** Flushes all uncommitted transactional state (§4.4, Figure 7). */
+    Cycles abortAll();
+
+    /**
+     * VID Reset (§4.6). Only legal once every outstanding transaction
+     * has committed; the latest committed VID returns to 0.
+     */
+    Cycles vidReset();
+
+    /** Highest committed VID (the LC VID register, §5.3). */
+    Vid lcVid() const { return lcVid_; }
+
+    /** Abort generation; bumps on every abort. */
+    std::uint64_t abortGen() const { return abortGen_; }
+
+    /**
+     * Writes every reconciled dirty committed line back to memory and
+     * marks it clean. Used at region boundaries so tests can compare
+     * memory images.
+     */
+    void flushDirtyToMemory();
+
+    /** Direct functional access helpers for test/workload setup. */
+    MainMemory& memory() { return mem_; }
+
+    const SysStats& stats() const { return stats_; }
+    SysStats& stats() { return stats_; }
+
+    const VidComparator& comparator() const { return cmp_; }
+
+    const MachineConfig& config() const { return cfg_; }
+
+    /** L1 of @p core (exposed for tests). */
+    Cache& l1(CoreId core) { return caches_[core]; }
+    /** The shared L2 (exposed for tests). */
+    Cache& l2() { return caches_.back(); }
+    /** The spec-line overflow table (unbounded-sets extension). */
+    const OverflowTable& overflowTable() const { return overflow_; }
+
+    /** Debug trace log (categories per MachineConfig::traceFlags). */
+    Trace& trace() { return trace_; }
+
+    /**
+     * Protocol self-check: verifies that for every cached address and
+     * every VID in [0, maxVid], at most one responder-class version
+     * hits. Throws std::logic_error on violation. Used by tests.
+     */
+    void checkInvariants();
+
+  private:
+    // --- lookup -------------------------------------------------------
+    /** Reconciles a line against the current LC VID (lazy commit). */
+    void reconcile(Line& l);
+    /** Reconciles every version of @p la in @p c. */
+    void reconcileAddr(Cache& c, Addr la);
+    /** True if this version hits request VID @p a (counts compares). */
+    bool hits(const Line& l, Addr la, Vid a);
+    /**
+     * Finds the hitting version in one cache. @p forStore skips S-S
+     * copies (stores must consult the responder/owner version).
+     */
+    Line* findLocal(Cache& c, Addr la, Vid a, bool forStore);
+    struct RemoteHit
+    {
+        Line* line = nullptr;
+        Cache* cache = nullptr;
+        /** §5.4: some speculative version asserts the line was
+         *  speculatively modified with a VID above the request's. */
+        bool assertModified = false;
+        /** Extra cycles (overflow-table walks) to charge. */
+        Cycles extraLatency = 0;
+    };
+    /** Snoops all caches except @p self's L1. */
+    RemoteHit findRemote(CoreId self, Addr la, Vid a, bool forStore);
+
+    // --- allocation & eviction ----------------------------------------
+    /**
+     * Returns a slot for @p la in @p c, evicting if needed. May
+     * trigger a capacity abort (§5.4), in which case nullptr is
+     * returned and the caller must report the access as aborted.
+     */
+    Line* allocate(Cache& c, Addr la);
+    /**
+     * Best-effort allocation for optional fills (S-S copies, §5.4
+     * refetches): returns nullptr instead of evicting.
+     */
+    Line* allocateOpt(Cache& c, Addr la);
+    /** Evicts @p victim from @p c per the §5.4 rules. */
+    bool evict(Cache& c, Line& victim);
+    /** Eviction preference class; lower evicts first. */
+    int victimClass(const Line& l) const;
+
+    // --- protocol actions ---------------------------------------------
+    /**
+     * Applies the read marking for VID @p vid on owner version @p l
+     * (may upgrade a non-exclusive non-speculative line, costing a bus
+     * transaction). Sets r.needSla when the line had not logged this
+     * VID yet.
+     */
+    void applyReadMark(CoreId core, Line& l, Vid vid, AccessResult& r);
+    /** Converts peer copies after a new version @p y of @p la. */
+    void fixPeersForNewVersion(Addr la, const Line* owner, Vid y);
+    /** Invalidates peer S-S copies of version @p mod of @p la. */
+    void invalidatePeerSpecShared(Addr la, const Line* keep, Vid mod);
+    /** Invalidates non-speculative copies of @p la except @p keep. */
+    void invalidateNonSpecPeers(Addr la, const Line* keep);
+    /** True if any non-speculative copy of @p la but @p except is
+     *  dirty (MOESI allows a clean S hit while a dirty O exists). */
+    bool anyNonSpecDirty(Addr la, const Line* except);
+    /** Triggers a global abort; records why. */
+    void triggerAbort(const Line* offender);
+
+    // --- data movement -------------------------------------------------
+    std::uint64_t readData(const Line& l, Addr a, unsigned size) const;
+    void writeData(Line& l, Addr a, std::uint64_t v, unsigned size);
+    /**
+     * Serializes a coherence transaction for @p la on the configured
+     * fabric: the single snoopy bus, or the address-interleaved
+     * directory bank (which lets independent lines proceed in
+     * parallel — the §8 scaling extension). Adds wait + transfer
+     * cycles to @p r.
+     */
+    void busAcquire(AccessResult& r, Addr la = 0);
+    /** Charges asynchronous fabric occupancy (SLA traffic). */
+    void busAsync(Addr la = 0);
+    /** Remote-transfer latency on the configured fabric. */
+    Cycles remoteLatency() const;
+    /** Bus occupancy per snoop transaction (grows with core count). */
+    Cycles busOccupancy() const;
+
+    // --- bookkeeping ----------------------------------------------------
+    void recordRead(Vid vid, Addr la);
+    void recordWrite(Vid vid, Addr la);
+    void noteShadowWrongPath(Addr la, Vid vid);
+    void checkShadowAvoided(Addr la, Vid storeVid);
+
+    AccessResult nonSpecStore(CoreId core, Addr a, std::uint64_t value,
+                              unsigned size);
+
+    EventQueue& eq_;
+    MachineConfig cfg_;
+    MainMemory mem_;
+    /** caches_[0..numCores-1] are L1s; caches_.back() is the L2. */
+    std::vector<Cache> caches_;
+    Vid lcVid_ = 0;
+    std::uint64_t abortGen_ = 0;
+    Tick busFree_ = 0;
+    /** Directory fabric: per-bank next-free ticks. */
+    std::vector<Tick> bankFree_;
+    VidComparator cmp_;
+    SysStats stats_;
+    Trace trace_;
+
+    /** Spilled speculative versions (unbounded-sets extension). */
+    OverflowTable overflow_;
+
+    /** Wrong-path shadow marks: line -> highest wrong-path VID (§5.1
+     *  "aborts avoided via SLA" accounting). */
+    std::unordered_map<Addr, Vid> shadow_;
+
+    /** Per-live-VID read/write line sets (Figure 9 accounting). */
+    struct RwSets
+    {
+        std::unordered_set<Addr> reads;
+        std::unordered_set<Addr> writes;
+    };
+    std::unordered_map<Vid, RwSets> rw_;
+};
+
+} // namespace hmtx::sim
+
+#endif // HMTX_SIM_CACHE_SYSTEM_HH

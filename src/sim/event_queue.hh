@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ */
+
+#ifndef HMTX_SIM_EVENT_QUEUE_HH
+#define HMTX_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace hmtx::sim
+{
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * Every timed behaviour in the simulator (memory latencies, bus
+ * occupancy, core compute delays, coroutine wake-ups) is an event.
+ * Events at the same tick fire in schedule order, so a run is fully
+ * deterministic for a given workload and seed.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick curTick() const { return now_; }
+
+    /** True when no events are pending. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /** Total events ever executed. */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Schedules @p cb to run at absolute tick @p when.
+     * @pre when >= curTick()
+     */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        events_.push(Event{when, seq_++, std::move(cb)});
+    }
+
+    /** Schedules @p cb to run @p delay cycles from now. */
+    void
+    scheduleIn(Cycles delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Executes the next event, advancing simulated time.
+     * @return false if the queue was empty
+     */
+    bool
+    step()
+    {
+        if (events_.empty())
+            return false;
+        // Move the callback out before popping so that callbacks may
+        // schedule new events (and thus reallocate) safely.
+        Event ev = events_.top();
+        events_.pop();
+        now_ = ev.when;
+        ++executed_;
+        ev.fn();
+        return true;
+    }
+
+    /** Runs until no events remain. */
+    void
+    run()
+    {
+        while (step()) {}
+    }
+
+    /** Runs until simulated time would exceed @p limit or queue empties. */
+    void
+    runUntil(Tick limit)
+    {
+        while (!events_.empty() && events_.top().when <= limit)
+            step();
+        if (now_ < limit && events_.empty())
+            now_ = limit;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback fn;
+
+        bool
+        operator>(const Event& o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace hmtx::sim
+
+#endif // HMTX_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Memory-resident overflow table for speculative lines (§8 future
+ * work): "unlimited read and write sets could be supported by
+ * overflowing speculatively modified versions of lines into memory
+ * and managing them via data structures", as in Prvulovic et al.
+ * [27].
+ */
+
+#ifndef HMTX_SIM_OVERFLOW_TABLE_HH
+#define HMTX_SIM_OVERFLOW_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hh"
+#include "sim/cache.hh"
+
+namespace hmtx::sim
+{
+
+/**
+ * Holds speculative line versions that fell out of the last-level
+ * cache, instead of aborting their transaction (§5.4's fallback).
+ * Conceptually this is a hash table in main memory walked by a
+ * hardware engine; the simulator keeps the entries host-side and the
+ * cache system charges the table-walk latency on every spill and
+ * refill.
+ *
+ * Entries keep their full protocol identity (state, VID tags, data,
+ * dirtiness), so a refilled line continues exactly where it left off;
+ * commit/abort/VID-reset reconciliation is applied lazily by the
+ * cache system when it touches an entry, and eagerly on aborts.
+ */
+class OverflowTable
+{
+  public:
+    /** Spills @p line into the table. */
+    void
+    spill(const Line& line)
+    {
+        entries_[line.base].push_back(line);
+        ++spills_;
+    }
+
+    /** All spilled versions of @p la (mutable for reconciliation). */
+    std::vector<Line>*
+    versionsOf(Addr la)
+    {
+        auto it = entries_.find(la);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    /**
+     * Removes @p idx-th version of @p la (after a refill promoted it
+     * back into a cache).
+     */
+    void
+    remove(Addr la, std::size_t idx)
+    {
+        auto it = entries_.find(la);
+        if (it == entries_.end())
+            return;
+        it->second.erase(it->second.begin() +
+                         static_cast<std::ptrdiff_t>(idx));
+        if (it->second.empty())
+            entries_.erase(it);
+        ++refills_;
+    }
+
+    /** Applies @p fn to every entry; entries left Invalid are erased. */
+    template <typename Fn>
+    void
+    forEach(Fn&& fn)
+    {
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            auto& v = it->second;
+            for (auto& l : v)
+                fn(l);
+            std::erase_if(v, [](const Line& l) {
+                return l.state == State::Invalid;
+            });
+            if (v.empty())
+                it = entries_.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    /** Entries currently held. */
+    std::size_t
+    size() const
+    {
+        std::size_t n = 0;
+        for (auto& [a, v] : entries_)
+            n += v.size();
+        return n;
+    }
+
+    /** Lines ever spilled. */
+    std::uint64_t spills() const { return spills_; }
+
+    /** Lines ever refilled into a cache. */
+    std::uint64_t refills() const { return refills_; }
+
+    /** Table-walk cost charged per spill or refill, in cycles. */
+    static constexpr Cycles kWalkCycles = 60;
+
+  private:
+    std::unordered_map<Addr, std::vector<Line>> entries_;
+    std::uint64_t spills_ = 0;
+    std::uint64_t refills_ = 0;
+};
+
+} // namespace hmtx::sim
+
+#endif // HMTX_SIM_OVERFLOW_TABLE_HH

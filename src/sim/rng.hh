@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for workloads.
+ */
+
+#ifndef HMTX_SIM_RNG_HH
+#define HMTX_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace hmtx::sim
+{
+
+/**
+ * SplitMix64-based PRNG. Small, fast, and fully deterministic across
+ * platforms, so every simulation run is reproducible bit-for-bit.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed)
+    {}
+
+    /** Next 64 uniformly distributed bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, n). @pre n > 0 */
+    std::uint64_t range(std::uint64_t n) { return next() % n; }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace hmtx::sim
+
+#endif // HMTX_SIM_RNG_HH

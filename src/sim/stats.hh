@@ -1,0 +1,124 @@
+/**
+ * @file
+ * System-wide statistics collected by the memory system.
+ */
+
+#ifndef HMTX_SIM_STATS_HH
+#define HMTX_SIM_STATS_HH
+
+#include <cstdint>
+
+#include "core/types.hh"
+
+namespace hmtx::sim
+{
+
+/**
+ * Counters accumulated by CacheSystem. These feed Table 1 (per-TX
+ * speculative accesses, SLA counts, avoided aborts), Figure 9 (read and
+ * write set sizes), and Table 3 (activity counts for the power model).
+ */
+struct SysStats
+{
+    // Access mix.
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t specLoads = 0;
+    std::uint64_t specStores = 0;
+    std::uint64_t wrongPathLoads = 0;
+
+    // Hierarchy behaviour.
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t snoopHits = 0;
+    std::uint64_t memFetches = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t busTxns = 0;
+    /** Directory-fabric transactions (bank lookups). */
+    std::uint64_t dirLookups = 0;
+
+    // HMTX protocol events.
+    std::uint64_t commits = 0;
+    /** Cycles the memory system spent processing commits/aborts:
+     *  O(1) per commit with the lazy scheme (§5.3), O(speculative
+     *  lines) with the naive §4.4 scheme. */
+    std::uint64_t commitProcessingCycles = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t falseAbortsWrongPath = 0;
+    std::uint64_t capacityAborts = 0;
+    std::uint64_t newVersions = 0;
+    /** Redundant per-VID read copies allocated under the §7.1
+     *  copy-on-read ablation policy. */
+    std::uint64_t corDuplicates = 0;
+    std::uint64_t vidResets = 0;
+
+    // SLA machinery (§5.1).
+    std::uint64_t slaNeeded = 0;
+    std::uint64_t slaConfirms = 0;
+    std::uint64_t slaMismatchAborts = 0;
+    std::uint64_t avoidedAborts = 0;
+
+    // §5.4 overflow handling.
+    std::uint64_t soOverflowWritebacks = 0;
+    std::uint64_t soRefetches = 0;
+    /** Speculative responder lines spilled to the overflow table
+     *  (unbounded-sets extension, §8). */
+    std::uint64_t specSpills = 0;
+    std::uint64_t specRefills = 0;
+
+    // Read/write set accounting (Figure 9), accumulated at commit.
+    std::uint64_t committedTxs = 0;
+    std::uint64_t readSetLines = 0;
+    std::uint64_t writeSetLines = 0;
+    std::uint64_t combinedSetLines = 0;
+    std::uint64_t maxCombinedSetLines = 0;
+
+    /** Average read set size per committed transaction, in kB. */
+    double
+    avgReadSetKB() const
+    {
+        return committedTxs == 0 ? 0.0
+            : static_cast<double>(readSetLines) * kLineBytes / 1024.0 /
+                static_cast<double>(committedTxs);
+    }
+
+    /** Average write set size per committed transaction, in kB. */
+    double
+    avgWriteSetKB() const
+    {
+        return committedTxs == 0 ? 0.0
+            : static_cast<double>(writeSetLines) * kLineBytes / 1024.0 /
+                static_cast<double>(committedTxs);
+    }
+
+    /** Average combined set size per committed transaction, in kB. */
+    double
+    avgCombinedSetKB() const
+    {
+        return committedTxs == 0 ? 0.0
+            : static_cast<double>(combinedSetLines) * kLineBytes /
+                1024.0 / static_cast<double>(committedTxs);
+    }
+
+    /** Average speculative accesses per committed transaction. */
+    double
+    avgSpecAccessesPerTx() const
+    {
+        return committedTxs == 0 ? 0.0
+            : static_cast<double>(specLoads + specStores) /
+                static_cast<double>(committedTxs);
+    }
+
+    /** Fraction of speculative loads that needed an SLA (Table 1). */
+    double
+    slaNeededRate() const
+    {
+        return specLoads == 0 ? 0.0
+            : static_cast<double>(slaNeeded) /
+                static_cast<double>(specLoads);
+    }
+};
+
+} // namespace hmtx::sim
+
+#endif // HMTX_SIM_STATS_HH

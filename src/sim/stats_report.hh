@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Human-readable report formatting for run statistics.
+ */
+
+#ifndef HMTX_SIM_STATS_REPORT_HH
+#define HMTX_SIM_STATS_REPORT_HH
+
+#include <cstdio>
+#include <string>
+
+#include "sim/stats.hh"
+
+namespace hmtx::sim
+{
+
+/**
+ * Formats a SysStats snapshot as a gem5-style `name  value  # desc`
+ * listing. Used by the benchmark driver example and handy when
+ * debugging a run interactively.
+ */
+class StatsReport
+{
+  public:
+    explicit StatsReport(const SysStats& s) : s_(s) {}
+
+    /** Writes the report to @p out. */
+    void
+    print(std::FILE* out = stdout) const
+    {
+        auto row = [&](const char* name, double v,
+                       const char* desc) {
+            std::fprintf(out, "%-28s %14.0f  # %s\n", name, v, desc);
+        };
+        auto rate = [&](const char* name, double v,
+                        const char* desc) {
+            std::fprintf(out, "%-28s %14.4f  # %s\n", name, v, desc);
+        };
+
+        row("mem.loads", double(s_.loads), "loads issued");
+        row("mem.stores", double(s_.stores), "stores issued");
+        row("mem.specLoads", double(s_.specLoads),
+            "speculative loads (VID != 0)");
+        row("mem.specStores", double(s_.specStores),
+            "speculative stores");
+        row("mem.wrongPathLoads", double(s_.wrongPathLoads),
+            "squashed wrong-path loads (SS 5.1)");
+        row("cache.l1Hits", double(s_.l1Hits), "L1 hits");
+        row("cache.l1Misses", double(s_.l1Misses), "L1 misses");
+        rate("cache.l1MissRate",
+             s_.l1Hits + s_.l1Misses
+                 ? double(s_.l1Misses) / double(s_.l1Hits +
+                                               s_.l1Misses)
+                 : 0.0,
+             "L1 miss rate");
+        row("cache.snoopHits", double(s_.snoopHits),
+            "hits served by a peer cache or the L2");
+        row("cache.memFetches", double(s_.memFetches),
+            "lines fetched from memory");
+        row("cache.writebacks", double(s_.writebacks),
+            "dirty lines written back");
+        row("fabric.busTxns", double(s_.busTxns),
+            "coherence transactions");
+        row("fabric.dirLookups", double(s_.dirLookups),
+            "directory bank lookups (SS 8 fabric)");
+        row("hmtx.commits", double(s_.commits),
+            "group commits (SS 4.4)");
+        row("hmtx.aborts", double(s_.aborts),
+            "transactional aborts");
+        row("hmtx.newVersions", double(s_.newVersions),
+            "speculative line versions created");
+        row("hmtx.commitCycles", double(s_.commitProcessingCycles),
+            "memory-system cycles processing commits (SS 5.3)");
+        row("hmtx.vidResets", double(s_.vidResets),
+            "VID window resets (SS 4.6)");
+        row("sla.needed", double(s_.slaNeeded),
+            "loads needing an acknowledgment (SS 5.1)");
+        rate("sla.neededRate", s_.slaNeededRate(),
+             "fraction of speculative loads needing an SLA");
+        row("sla.avoidedAborts", double(s_.avoidedAborts),
+            "false aborts avoided by SLAs");
+        row("overflow.soWritebacks", double(s_.soOverflowWritebacks),
+            "pristine versions overflowed to memory (SS 5.4)");
+        row("overflow.soRefetches", double(s_.soRefetches),
+            "pristine versions recovered from memory (SS 5.4)");
+        row("overflow.specSpills", double(s_.specSpills),
+            "speculative lines spilled (unbounded sets, SS 8)");
+        row("overflow.specRefills", double(s_.specRefills),
+            "speculative lines refilled (unbounded sets, SS 8)");
+        row("tx.committed", double(s_.committedTxs),
+            "committed transactions");
+        rate("tx.avgReadSetKB", s_.avgReadSetKB(),
+             "avg read set per transaction, kB (Fig. 9)");
+        rate("tx.avgWriteSetKB", s_.avgWriteSetKB(),
+             "avg write set per transaction, kB (Fig. 9)");
+        rate("tx.avgSpecAccesses", s_.avgSpecAccessesPerTx(),
+             "avg speculative accesses per transaction (Table 1)");
+    }
+
+  private:
+    const SysStats& s_;
+};
+
+} // namespace hmtx::sim
+
+#endif // HMTX_SIM_STATS_REPORT_HH

@@ -1,0 +1,60 @@
+#include "workloads/all.hh"
+
+#include "workloads/alvinn.hh"
+#include "workloads/bzip2.hh"
+#include "workloads/crafty.hh"
+#include "workloads/gzip.hh"
+#include "workloads/hmmer.hh"
+#include "workloads/ispell.hh"
+#include "workloads/li.hh"
+#include "workloads/parser.hh"
+
+namespace hmtx::workloads
+{
+
+std::vector<std::unique_ptr<runtime::LoopWorkload>>
+makeSuite()
+{
+    std::vector<std::unique_ptr<runtime::LoopWorkload>> v;
+    v.push_back(std::make_unique<AlvinnWorkload>());
+    v.push_back(std::make_unique<LiWorkload>());
+    v.push_back(std::make_unique<GzipWorkload>());
+    v.push_back(std::make_unique<CraftyWorkload>());
+    v.push_back(std::make_unique<ParserWorkload>());
+    v.push_back(std::make_unique<Bzip2Workload>());
+    v.push_back(std::make_unique<HmmerWorkload>());
+    v.push_back(std::make_unique<IspellWorkload>());
+    return v;
+}
+
+std::unique_ptr<runtime::LoopWorkload>
+makeByName(const std::string& name)
+{
+    if (name == "052.alvinn")
+        return std::make_unique<AlvinnWorkload>();
+    if (name == "130.li")
+        return std::make_unique<LiWorkload>();
+    if (name == "164.gzip")
+        return std::make_unique<GzipWorkload>();
+    if (name == "186.crafty")
+        return std::make_unique<CraftyWorkload>();
+    if (name == "197.parser")
+        return std::make_unique<ParserWorkload>();
+    if (name == "256.bzip2")
+        return std::make_unique<Bzip2Workload>();
+    if (name == "456.hmmer")
+        return std::make_unique<HmmerWorkload>();
+    if (name == "ispell")
+        return std::make_unique<IspellWorkload>();
+    return nullptr;
+}
+
+bool
+hasSmtxComparison(const std::string& name)
+{
+    // §6.1: 6 of the 8 benchmarks were also evaluated by SMTX [29];
+    // 186.crafty and ispell have no SMTX comparison.
+    return name != "186.crafty" && name != "ispell";
+}
+
+} // namespace hmtx::workloads

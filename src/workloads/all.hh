@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Factory for the full benchmark suite of §6.
+ */
+
+#ifndef HMTX_WORKLOADS_ALL_HH
+#define HMTX_WORKLOADS_ALL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/workload.hh"
+
+namespace hmtx::workloads
+{
+
+/**
+ * Creates the 8 evaluated benchmarks (7 SPEC + ispell) in Table 1
+ * order, at the default scaled-down sizes.
+ */
+std::vector<std::unique_ptr<runtime::LoopWorkload>> makeSuite();
+
+/** Creates one benchmark by its Table 1 name (e.g. "130.li");
+ *  returns nullptr for unknown names. */
+std::unique_ptr<runtime::LoopWorkload>
+makeByName(const std::string& name);
+
+/** Names of the 6 benchmarks with an SMTX comparison (§6.1: crafty
+ *  and ispell have none). */
+bool hasSmtxComparison(const std::string& name);
+
+} // namespace hmtx::workloads
+
+#endif // HMTX_WORKLOADS_ALL_HH

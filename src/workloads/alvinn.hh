@@ -1,0 +1,67 @@
+/**
+ * @file
+ * 052.alvinn proxy: neural-network training, the one DOALL benchmark
+ * of Table 1.
+ */
+
+#ifndef HMTX_WORKLOADS_ALVINN_HH
+#define HMTX_WORKLOADS_ALVINN_HH
+
+#include "workloads/worklist.hh"
+
+namespace hmtx::workloads
+{
+
+/**
+ * ALVINN trains a small feed-forward network on road images. The
+ * proxy runs one training pattern per iteration: a fixed-point
+ * forward pass through input->hidden->output layers over shared
+ * (read-only) weight matrices, then a backward pass writing
+ * per-pattern weight-delta vectors. Iterations are independent
+ * (deltas are accumulated after the loop, as in batched training), so
+ * the loop is DOALL (Table 1). Regular dense loops give it the low
+ * branch and misprediction rates the paper reports.
+ */
+class AlvinnWorkload : public ChasedListWorkload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t patterns = 48;
+        unsigned inputs = 32;
+        unsigned hidden = 32;
+        unsigned outputs = 8;
+        std::uint64_t seed = 52;
+    };
+
+    /** Constructs with default parameters. */
+    AlvinnWorkload();
+    explicit AlvinnWorkload(Params p) : p_(p) {}
+
+    std::string name() const override { return "052.alvinn"; }
+    runtime::Paradigm paradigm() const override
+    {
+        return runtime::Paradigm::Doall;
+    }
+    std::uint64_t iterations() const override { return p_.patterns; }
+    double hotLoopFraction() const override { return 0.855; }
+    unsigned minRwSetPerIter() const override { return 2; }
+
+    void setup(runtime::Machine& m) override;
+    sim::Task<void> stage2(runtime::MemIf& mem,
+                           std::uint64_t iter) override;
+    std::uint64_t checksum(runtime::Machine& m) override;
+
+  private:
+    Params p_;
+    Addr w1_ = 0;      // hidden x inputs weights (read-only)
+    Addr w2_ = 0;      // outputs x hidden weights (read-only)
+    Addr patterns_ = 0; // per-pattern inputs + targets
+    IterRegion deltas_; // per-pattern delta output region
+    unsigned patStride_ = 0;
+    unsigned deltaStride_ = 0;
+};
+
+} // namespace hmtx::workloads
+
+#endif // HMTX_WORKLOADS_ALVINN_HH

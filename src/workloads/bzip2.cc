@@ -1,0 +1,106 @@
+#include "workloads/bzip2.hh"
+
+namespace hmtx::workloads
+{
+
+Bzip2Workload::Bzip2Workload() : p_() {}
+
+void
+Bzip2Workload::setup(runtime::Machine& m)
+{
+    auto& mem = m.sys().memory();
+    const std::uint64_t total = p_.blocks * p_.wordsPerBlock;
+
+    input_ = m.heap().allocWords(total);
+    for (std::uint64_t i = 0; i < total; ++i) {
+        // Text-like distribution: few distinct symbols, long runs.
+        std::uint64_t sym = mix64(p_.seed ^ (i >> 5)) % 97;
+        mem.write(input_ + i * 8, sym, 8);
+    }
+
+    counts_.init(m, p_.blocks, kBucketCount);
+    sorted_.init(m, p_.blocks, p_.wordsPerBlock);
+    rle_.init(m, p_.blocks, p_.wordsPerBlock + 1);
+    rleLen_ = m.heap().allocLines(p_.blocks);
+
+    std::vector<std::uint64_t> payloads(p_.blocks);
+    for (std::uint64_t b = 0; b < p_.blocks; ++b)
+        payloads[b] = b;
+    initWorkList(m, payloads);
+}
+
+sim::Task<void>
+Bzip2Workload::stage2(runtime::MemIf& mem, std::uint64_t iter)
+{
+    std::uint64_t b = co_await fetchWork(mem, iter);
+    const std::uint64_t n = p_.wordsPerBlock;
+    const Addr in = input_ + b * n * 8;
+    const Addr cnt = counts_.at(b);
+    const Addr sorted = sorted_.at(b);
+    const Addr out = rle_.at(b);
+
+    // Phase 1: counting pass (histogram of the low byte).
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t w = co_await mem.load(in + i * 8);
+        unsigned bucket = w & 0xff;
+        std::uint64_t c = co_await mem.load(cnt + bucket * 8);
+        co_await mem.store(cnt + bucket * 8, c + 1);
+    }
+
+    // Phase 2: exclusive prefix sum over the histogram.
+    std::uint64_t run = 0;
+    for (unsigned s = 0; s < kBucketCount; ++s) {
+        std::uint64_t c = co_await mem.load(cnt + s * 8);
+        co_await mem.store(cnt + s * 8, run);
+        run += c;
+    }
+
+    // Phase 3: stable counting-sort permutation.
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t w = co_await mem.load(in + i * 8);
+        unsigned bucket = w & 0xff;
+        std::uint64_t dst = co_await mem.load(cnt + bucket * 8);
+        co_await mem.store(cnt + bucket * 8, dst + 1);
+        co_await mem.store(sorted + dst * 8, w);
+    }
+
+    // Phase 4: RLE over the sorted block.
+    std::uint64_t emitted = 0;
+    std::uint64_t prev = ~std::uint64_t{0};
+    std::uint64_t runLen = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t w = co_await mem.load(sorted + i * 8);
+        bool same = w == prev;
+        co_await mem.branch(0x800, same);
+        if (same) {
+            ++runLen;
+        } else {
+            if (runLen > 0)
+                co_await mem.store(out + emitted++ * 8,
+                                   (prev << 16) | runLen);
+            prev = w;
+            runLen = 1;
+        }
+    }
+    if (runLen > 0)
+        co_await mem.store(out + emitted++ * 8,
+                           (prev << 16) | runLen);
+    co_await mem.store(rleLen_ + b * kLineBytes, emitted);
+}
+
+std::uint64_t
+Bzip2Workload::checksum(runtime::Machine& m)
+{
+    std::uint64_t sum = 0;
+    auto& mem = m.sys().memory();
+    for (std::uint64_t b = 0; b < p_.blocks; ++b) {
+        std::uint64_t n = mem.read(rleLen_ + b * kLineBytes, 8);
+        sum = mix64(sum ^ n);
+        const Addr out = rle_.at(b);
+        for (std::uint64_t i = 0; i < n; ++i)
+            sum = mix64(sum ^ mem.read(out + i * 8, 8));
+    }
+    return sum;
+}
+
+} // namespace hmtx::workloads

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * 256.bzip2 proxy: block-sorting compression with the largest
+ * read/write sets of Figure 9.
+ */
+
+#ifndef HMTX_WORKLOADS_BZIP2_HH
+#define HMTX_WORKLOADS_BZIP2_HH
+
+#include "workloads/worklist.hh"
+
+namespace hmtx::workloads
+{
+
+/**
+ * bzip2 transforms large blocks (sort, MTF, RLE), streaming through
+ * megabytes per transaction. The proxy processes one block per
+ * iteration with the same phase structure: a counting pass builds a
+ * per-block byte histogram, a prefix-sum turns it into sort buckets, a
+ * permutation pass writes the reordered block, and an RLE pass
+ * compresses runs into the output region. Every word of the block is
+ * read and written, giving the largest per-TX combined set of the
+ * suite, as Figure 9 shows for bzip2.
+ */
+class Bzip2Workload : public ChasedListWorkload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t blocks = 10;
+        std::uint64_t wordsPerBlock = 4096; // 32 KB per block
+        std::uint64_t seed = 256;
+    };
+
+    /** Constructs with default parameters. */
+    Bzip2Workload();
+    explicit Bzip2Workload(Params p) : p_(p) {}
+
+    std::string name() const override { return "256.bzip2"; }
+    std::uint64_t iterations() const override { return p_.blocks; }
+    double hotLoopFraction() const override { return 0.985; }
+    unsigned minRwSetPerIter() const override { return 2; }
+
+    void setup(runtime::Machine& m) override;
+    sim::Task<void> stage2(runtime::MemIf& mem,
+                           std::uint64_t iter) override;
+    std::uint64_t checksum(runtime::Machine& m) override;
+
+  protected:
+    static constexpr unsigned kBucketCount = 256;
+    Params p_;
+    Addr input_ = 0;
+    IterRegion counts_; // per-block histograms
+    IterRegion sorted_; // per-block permuted data
+    IterRegion rle_;    // per-block RLE output
+    Addr rleLen_ = 0;
+};
+
+} // namespace hmtx::workloads
+
+#endif // HMTX_WORKLOADS_BZIP2_HH

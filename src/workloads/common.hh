@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared helpers for benchmark workloads.
+ */
+
+#ifndef HMTX_WORKLOADS_COMMON_HH
+#define HMTX_WORKLOADS_COMMON_HH
+
+#include <cstdint>
+
+#include "core/types.hh"
+#include "runtime/machine.hh"
+#include "runtime/memif.hh"
+
+namespace hmtx::workloads
+{
+
+/**
+ * The cross-stage communication buffer of Figure 3: stage 1 stores the
+ * work item for iteration i into a slot, and stage 2 of the same
+ * transaction loads it through HMTX's versioned memory (no explicit
+ * queue operations, §3.2).
+ *
+ * One slot per in-flight iteration (modulo kSlots) keeps the idiom
+ * valid under the SMTX substitution as well, where worker processes
+ * share the simulated memory directly (see DESIGN.md); kSlots exceeds
+ * the deepest possible pipeline (VID window of 63 plus queue slack).
+ */
+class IterSlots
+{
+  public:
+    /** Slots available; must exceed the maximum pipeline depth. */
+    static constexpr std::uint64_t kSlots = 128;
+
+    /**
+     * Allocates the slot array. Each slot occupies a full cache line
+     * (so concurrent transactions never build version chains on a
+     * shared slot line); @p words must be <= 8.
+     */
+    void
+    init(runtime::Machine& m, unsigned words = 1)
+    {
+        (void)words;
+        base_ = m.heap().allocLines(kSlots);
+    }
+
+    /** Address of @p word of iteration @p iter's slot. */
+    Addr
+    slot(std::uint64_t iter, unsigned word = 0) const
+    {
+        return base_ + (iter % kSlots) * kLineBytes + word * 8;
+    }
+
+  private:
+    Addr base_ = 0;
+};
+
+/**
+ * A per-iteration region of simulated memory whose per-iteration
+ * chunks are cache-line disjoint. Concurrent transactions may write
+ * only to line-disjoint data: a line written by transaction i and
+ * later stored by transaction j < i is a (correctly detected)
+ * dependence violation, so per-iteration outputs that shared a line
+ * would cause spurious aborts under PS-DSWP/DOALL.
+ */
+class IterRegion
+{
+  public:
+    /** Allocates @p iters chunks of @p words 64-bit words each,
+     *  rounded up to whole cache lines. */
+    void
+    init(runtime::Machine& m, std::uint64_t iters, unsigned words)
+    {
+        stride_ = (std::uint64_t{words} * 8 + kLineBytes - 1) /
+            kLineBytes * kLineBytes;
+        base_ = m.heap().alloc(iters * stride_, kLineBytes);
+    }
+
+    /** Address of @p word in iteration @p iter's chunk. */
+    Addr
+    at(std::uint64_t iter, std::uint64_t word = 0) const
+    {
+        return base_ + iter * stride_ + word * 8;
+    }
+
+  private:
+    Addr base_ = 0;
+    std::uint64_t stride_ = 0;
+};
+
+/** Cheap deterministic 64-bit mixer for synthetic data and hashing. */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace hmtx::workloads
+
+#endif // HMTX_WORKLOADS_COMMON_HH

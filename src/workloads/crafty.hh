@@ -1,0 +1,60 @@
+/**
+ * @file
+ * 186.crafty proxy: game-tree search with highly unpredictable
+ * branches.
+ */
+
+#ifndef HMTX_WORKLOADS_CRAFTY_HH
+#define HMTX_WORKLOADS_CRAFTY_HH
+
+#include "workloads/worklist.hh"
+
+namespace hmtx::workloads
+{
+
+/**
+ * crafty is a chess engine dominated by alpha-beta search. Each proxy
+ * iteration searches one root position: a fixed-depth, fixed-width
+ * alpha-beta over shared read-only move and evaluation tables, with
+ * pruning decisions that depend on hashed position values — the
+ * source of the highest branch-misprediction rate in Table 1
+ * (5.59%). Principal variations are written to a per-iteration
+ * region.
+ */
+class CraftyWorkload : public ChasedListWorkload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t positions = 60;
+        unsigned depth = 4;
+        unsigned width = 5;
+        std::uint64_t seed = 186;
+    };
+
+    /** Constructs with default parameters. */
+    CraftyWorkload();
+    explicit CraftyWorkload(Params p) : p_(p) {}
+
+    std::string name() const override { return "186.crafty"; }
+    std::uint64_t iterations() const override { return p_.positions; }
+    double hotLoopFraction() const override { return 0.995; }
+    unsigned minRwSetPerIter() const override { return 1; }
+
+    void setup(runtime::Machine& m) override;
+    sim::Task<void> stage2(runtime::MemIf& mem,
+                           std::uint64_t iter) override;
+    std::uint64_t checksum(runtime::Machine& m) override;
+
+  private:
+    Params p_;
+    static constexpr unsigned kMoveTable = 64;
+    static constexpr unsigned kEvalTable = 1024;
+    Addr moves_ = 0; // read-only
+    Addr evals_ = 0; // read-only
+    IterRegion pv_;  // per-iteration principal variation + score
+};
+
+} // namespace hmtx::workloads
+
+#endif // HMTX_WORKLOADS_CRAFTY_HH

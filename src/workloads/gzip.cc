@@ -1,0 +1,89 @@
+#include "workloads/gzip.hh"
+
+namespace hmtx::workloads
+{
+
+GzipWorkload::GzipWorkload() : p_() {}
+
+void
+GzipWorkload::setup(runtime::Machine& m)
+{
+    auto& mem = m.sys().memory();
+    const std::uint64_t totalWords = p_.blocks * p_.wordsPerBlock;
+
+    input_ = m.heap().allocWords(totalWords);
+    // Compressible input: long runs mixed with noise.
+    std::uint64_t w = 0;
+    for (std::uint64_t i = 0; i < totalWords; ++i) {
+        if (i % 16 == 0)
+            w = mix64(p_.seed ^ (i / 16)) & 0xffff;
+        mem.write(input_ + i * 8, w, 8);
+    }
+
+    tables_.init(m, p_.blocks, p_.tableEntries);
+    output_.init(m, p_.blocks, p_.wordsPerBlock + 1);
+    outLen_ = m.heap().allocLines(p_.blocks);
+
+    std::vector<std::uint64_t> payloads(p_.blocks);
+    for (std::uint64_t b = 0; b < p_.blocks; ++b)
+        payloads[b] = b;
+    initWorkList(m, payloads);
+}
+
+sim::Task<void>
+GzipWorkload::stage2(runtime::MemIf& mem, std::uint64_t iter)
+{
+    std::uint64_t block = co_await fetchWork(mem, iter);
+    const Addr in = input_ + block * p_.wordsPerBlock * 8;
+    const Addr table = tables_.at(block);
+    const Addr out = output_.at(block);
+
+    std::uint64_t emitted = 0;
+    std::uint64_t prev = 0;
+    for (std::uint64_t pos = 0; pos < p_.wordsPerBlock; ++pos) {
+        std::uint64_t cur = co_await mem.load(in + pos * 8);
+        std::uint64_t hash =
+            mix64(cur ^ (prev << 1)) % p_.tableEntries;
+        // Probe: the entry packs (tag | position | value digest); a
+        // wrong tag means "empty" (tables are reused across runs).
+        std::uint64_t entry = co_await mem.load(table + hash * 8);
+        bool match = (entry >> 48) == (block & 0xffff) &&
+            (entry & 0xffffffffull) == (cur & 0xffffffffull);
+        co_await mem.branch(0x500, match);
+        if (match) {
+            // Emit a back-reference token.
+            std::uint64_t dist = pos - ((entry >> 32) & 0xffff);
+            co_await mem.store(out + emitted * 8,
+                               0x8000000000000000ull | dist);
+        } else {
+            // Install and emit a literal.
+            std::uint64_t ne = (std::uint64_t{block & 0xffff} << 48) |
+                ((pos & 0xffff) << 32) | (cur & 0xffffffffull);
+            co_await mem.store(table + hash * 8, ne);
+            co_await mem.store(out + emitted * 8, cur);
+        }
+        ++emitted;
+        prev = cur;
+        co_await mem.compute(2);
+    }
+    co_await mem.store(outLen_ + block * kLineBytes, emitted);
+}
+
+std::uint64_t
+GzipWorkload::checksum(runtime::Machine& m)
+{
+    std::uint64_t sum = 0;
+    auto& mem = m.sys().memory();
+    for (std::uint64_t b = 0; b < p_.blocks; ++b) {
+        const Addr out = output_.at(b);
+        std::uint64_t n =
+            mem.read(outLen_ + b * kLineBytes, 8);
+        sum = mix64(sum ^ n);
+        for (std::uint64_t i = 0; i < std::min(n, p_.wordsPerBlock);
+             ++i)
+            sum = mix64(sum ^ mem.read(out + i * 8, 8));
+    }
+    return sum;
+}
+
+} // namespace hmtx::workloads

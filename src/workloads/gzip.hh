@@ -1,0 +1,58 @@
+/**
+ * @file
+ * 164.gzip proxy: LZ77-style block compression.
+ */
+
+#ifndef HMTX_WORKLOADS_GZIP_HH
+#define HMTX_WORKLOADS_GZIP_HH
+
+#include "workloads/worklist.hh"
+
+namespace hmtx::workloads
+{
+
+/**
+ * gzip's deflate loop hashes 3-byte prefixes, probes a hash chain for
+ * matches, and emits literals or (length, distance) pairs. The proxy
+ * compresses one block per iteration: a rolling hash over the block's
+ * words probes a per-block hash table (tag-checked, so stale entries
+ * read as empty), and every position emits a token into the block's
+ * output region. Match/no-match branches are data-dependent, matching
+ * gzip's moderate misprediction rate in Table 1.
+ */
+class GzipWorkload : public ChasedListWorkload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t blocks = 32;
+        std::uint64_t wordsPerBlock = 1600; // 8-byte words per block
+        unsigned tableEntries = 256;
+        std::uint64_t seed = 164;
+    };
+
+    /** Constructs with default parameters. */
+    GzipWorkload();
+    explicit GzipWorkload(Params p) : p_(p) {}
+
+    std::string name() const override { return "164.gzip"; }
+    std::uint64_t iterations() const override { return p_.blocks; }
+    double hotLoopFraction() const override { return 0.984; }
+    unsigned minRwSetPerIter() const override { return 2; }
+
+    void setup(runtime::Machine& m) override;
+    sim::Task<void> stage2(runtime::MemIf& mem,
+                           std::uint64_t iter) override;
+    std::uint64_t checksum(runtime::Machine& m) override;
+
+  private:
+    Params p_;
+    Addr input_ = 0;
+    IterRegion tables_; // per-block hash tables
+    IterRegion output_; // per-block token streams
+    Addr outLen_ = 0;  // per-block token counts
+};
+
+} // namespace hmtx::workloads
+
+#endif // HMTX_WORKLOADS_GZIP_HH

@@ -1,0 +1,99 @@
+#include "workloads/hmmer.hh"
+
+namespace hmtx::workloads
+{
+
+HmmerWorkload::HmmerWorkload() : p_() {}
+
+void
+HmmerWorkload::setup(runtime::Machine& m)
+{
+    auto& mem = m.sys().memory();
+    const unsigned S = p_.states;
+
+    emit_ = m.heap().allocWords(std::size_t{S} * kAlphabet);
+    trans_ = m.heap().allocWords(std::size_t{S} * 3);
+    for (unsigned s = 0; s < S; ++s) {
+        for (unsigned a = 0; a < kAlphabet; ++a)
+            mem.write(emit_ + (s * kAlphabet + a) * 8,
+                      mix64(p_.seed ^ (s * 31 + a)) & 0x3ff, 8);
+        // Match transitions dominate insert transitions, so the
+        // recurrence's max almost always selects the match path
+        // (hmmer's 1.03% misprediction rate in Table 1).
+        mem.write(trans_ + s * 24, 512 + (mix64(p_.seed ^ s) & 63),
+                  8);
+        mem.write(trans_ + s * 24 + 8, mix64(p_.seed ^ ~s) & 63, 8);
+        mem.write(trans_ + s * 24 + 16, 0, 8);
+    }
+
+    seqs_ = m.heap().allocWords(p_.sequences * p_.seqLen);
+    for (std::uint64_t q = 0; q < p_.sequences; ++q)
+        for (unsigned i = 0; i < p_.seqLen; ++i)
+            mem.write(seqs_ + (q * p_.seqLen + i) * 8,
+                      mix64(p_.seed ^ (q << 10) ^ i) % kAlphabet, 8);
+
+    rows_.init(m, p_.sequences, 2 * S);
+    scores_.init(m, p_.sequences, 1);
+
+    std::vector<std::uint64_t> payloads(p_.sequences);
+    for (std::uint64_t q = 0; q < p_.sequences; ++q)
+        payloads[q] = q;
+    initWorkList(m, payloads);
+}
+
+sim::Task<void>
+HmmerWorkload::stage2(runtime::MemIf& mem, std::uint64_t iter)
+{
+    std::uint64_t q = co_await fetchWork(mem, iter);
+    const unsigned S = p_.states;
+    const Addr seq = seqs_ + q * p_.seqLen * 8;
+    const Addr rowBase = rows_.at(q);
+
+    // Initialize row 0.
+    for (unsigned s = 0; s < S; ++s)
+        co_await mem.store(rowBase + s * 8, s == 0 ? 1000 : 0);
+
+    for (unsigned i = 1; i <= p_.seqLen; ++i) {
+        std::uint64_t sym = co_await mem.load(seq + (i - 1) * 8);
+        const Addr prev = rowBase + ((i - 1) % 2) * S * 8;
+        const Addr cur = rowBase + (i % 2) * S * 8;
+        for (unsigned s = 0; s < S; ++s) {
+            // Match / insert / delete predecessors.
+            std::uint64_t vm = co_await mem.load(
+                prev + (s == 0 ? S - 1 : s - 1) * 8);
+            std::uint64_t vi = co_await mem.load(prev + s * 8);
+            std::uint64_t tM = co_await mem.load(trans_ + s * 24);
+            std::uint64_t tI =
+                co_await mem.load(trans_ + s * 24 + 8);
+            std::uint64_t e = co_await mem.load(
+                emit_ + (s * kAlphabet + sym) * 8);
+            std::uint64_t best;
+            bool fromMatch = vm + tM >= vi + tI;
+            co_await mem.branch(0x900, fromMatch);
+            best = fromMatch ? vm + tM : vi + tI;
+            co_await mem.store(cur + s * 8, (best + e) / 2);
+            co_await mem.compute(1);
+        }
+    }
+
+    // Final score: max over the last row.
+    const Addr last = rowBase + (p_.seqLen % 2) * S * 8;
+    std::uint64_t score = 0;
+    for (unsigned s = 0; s < S; ++s) {
+        std::uint64_t v = co_await mem.load(last + s * 8);
+        if (v > score)
+            score = v;
+    }
+    co_await mem.store(scores_.at(q), score);
+}
+
+std::uint64_t
+HmmerWorkload::checksum(runtime::Machine& m)
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t q = 0; q < p_.sequences; ++q)
+        sum = mix64(sum ^ m.sys().memory().read(scores_.at(q), 8));
+    return sum;
+}
+
+} // namespace hmtx::workloads

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * 456.hmmer proxy: profile-HMM Viterbi dynamic programming.
+ */
+
+#ifndef HMTX_WORKLOADS_HMMER_HH
+#define HMTX_WORKLOADS_HMMER_HH
+
+#include "workloads/worklist.hh"
+
+namespace hmtx::workloads
+{
+
+/**
+ * hmmer scores protein sequences against a profile HMM with the
+ * Viterbi recurrence. Each proxy iteration scores one sequence: a
+ * row-by-row DP over (sequence position x model state) with
+ * match/insert/delete predecessors read from the previous row and
+ * emission scores from the shared read-only model tables. DP rows
+ * live in per-iteration buffers; the final score lands in a result
+ * array. The recurrence's max-selection branches are mostly
+ * predictable, matching hmmer's low misprediction rate in Table 1.
+ */
+class HmmerWorkload : public ChasedListWorkload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t sequences = 120;
+        unsigned seqLen = 20;
+        unsigned states = 10;
+        std::uint64_t seed = 456;
+    };
+
+    /** Constructs with default parameters. */
+    HmmerWorkload();
+    explicit HmmerWorkload(Params p) : p_(p) {}
+
+    std::string name() const override { return "456.hmmer"; }
+    std::uint64_t iterations() const override { return p_.sequences; }
+    double hotLoopFraction() const override { return 1.0; }
+    unsigned minRwSetPerIter() const override { return 1; }
+
+    void setup(runtime::Machine& m) override;
+    sim::Task<void> stage2(runtime::MemIf& mem,
+                           std::uint64_t iter) override;
+    std::uint64_t checksum(runtime::Machine& m) override;
+
+  private:
+    static constexpr unsigned kAlphabet = 16;
+    Params p_;
+    Addr emit_ = 0;   // states x alphabet emission scores (read-only)
+    Addr trans_ = 0;  // states x 3 transition scores (read-only)
+    Addr seqs_ = 0;   // sequence symbols
+    IterRegion rows_;   // per-iteration DP row double-buffers
+    IterRegion scores_; // per-sequence results
+};
+
+} // namespace hmtx::workloads
+
+#endif // HMTX_WORKLOADS_HMMER_HH

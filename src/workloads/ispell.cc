@@ -1,0 +1,98 @@
+#include "workloads/ispell.hh"
+
+#include "sim/rng.hh"
+
+namespace hmtx::workloads
+{
+
+IspellWorkload::IspellWorkload() : p_() {}
+
+void
+IspellWorkload::setup(runtime::Machine& m)
+{
+    auto& mem = m.sys().memory();
+    sim::Rng rng(p_.seed);
+
+    // Dictionary: chained hash of the vocabulary.
+    std::vector<Addr> nodes(p_.vocabulary);
+    for (auto& n : nodes)
+        n = m.heap().alloc(16, 8);
+    buckets_ = m.heap().allocWords(p_.buckets);
+    std::vector<Addr> head(p_.buckets, 0);
+    for (unsigned w = 0; w < p_.vocabulary; ++w) {
+        std::uint64_t wordSig = mix64(p_.seed ^ (w * 2654435761ull));
+        unsigned b = wordSig % p_.buckets;
+        mem.write(nodes[w] + 0, head[b], 8);
+        mem.write(nodes[w] + 8, wordSig, 8);
+        head[b] = nodes[w];
+    }
+    for (unsigned b = 0; b < p_.buckets; ++b)
+        mem.write(buckets_ + b * 8, head[b], 8);
+
+    verdicts_.init(m, p_.words, 1);
+
+    // Input stream: mostly dictionary words, some misspellings.
+    std::vector<std::uint64_t> payloads(p_.words);
+    for (std::uint64_t i = 0; i < p_.words; ++i) {
+        if (rng.uniform() < p_.missRate) {
+            payloads[i] = mix64(p_.seed ^ 0xBAD ^ i) | 1;
+        } else {
+            unsigned w = rng.range(p_.vocabulary);
+            payloads[i] = mix64(p_.seed ^ (w * 2654435761ull));
+        }
+    }
+    initWorkList(m, payloads);
+}
+
+sim::Task<std::uint64_t>
+IspellWorkload::probe(runtime::MemIf& mem, std::uint64_t word,
+                      Addr pc)
+{
+    unsigned b = word % p_.buckets;
+    Addr node = co_await mem.load(buckets_ + b * 8);
+    std::uint64_t found = 0;
+    while (node != 0) {
+        std::uint64_t sig = co_await mem.load(node + 8);
+        if (sig == word) {
+            found = 1;
+            break;
+        }
+        node = co_await mem.load(node + 0);
+    }
+    // Distinct sites: the main probe is almost always a hit, the
+    // near-miss variant probes almost always miss.
+    co_await mem.branch(pc, found != 0);
+    co_return found;
+}
+
+sim::Task<void>
+IspellWorkload::stage2(runtime::MemIf& mem, std::uint64_t iter)
+{
+    std::uint64_t word = co_await fetchWork(mem, iter);
+    co_await mem.compute(4); // hash the word
+
+    std::uint64_t found = co_await probe(mem, word, 0xA00);
+    std::uint64_t verdict = found;
+    if (!found) {
+        // Near-miss pass: try a few single-edit variants.
+        for (unsigned v = 1; v <= 4 && !verdict; ++v) {
+            std::uint64_t variant = mix64(word ^ v);
+            co_await mem.compute(2);
+            if (co_await probe(mem, variant, 0xA40))
+                verdict = v + 1;
+        }
+    }
+    co_await mem.store(verdicts_.at(iter), verdict);
+}
+
+std::uint64_t
+IspellWorkload::checksum(runtime::Machine& m)
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = 0; i < p_.words; ++i)
+        sum = mix64(sum ^
+                    m.sys().memory().read(verdicts_.at(i), 8));
+    return sum;
+}
+
+} // namespace hmtx::workloads

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * ispell (MiBench) proxy: hash-dictionary spell checking with the
+ * smallest transactions of Table 1.
+ */
+
+#ifndef HMTX_WORKLOADS_ISPELL_HH
+#define HMTX_WORKLOADS_ISPELL_HH
+
+#include "workloads/worklist.hh"
+
+namespace hmtx::workloads
+{
+
+/**
+ * ispell checks each input word against a hashed dictionary and, on a
+ * miss, probes a few near-miss variants (transpositions, deletions).
+ * One word per iteration gives the tiny per-TX access counts Table 1
+ * reports (tens of accesses), which makes ispell the stress test for
+ * per-transaction overheads rather than validation volume.
+ */
+class IspellWorkload : public ChasedListWorkload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t words = 400;
+        unsigned buckets = 2048;
+        unsigned vocabulary = 1024;
+        /** Fraction of input words that are misspelled. */
+        double missRate = 0.04;
+        std::uint64_t seed = 1011;
+    };
+
+    /** Constructs with default parameters. */
+    IspellWorkload();
+    explicit IspellWorkload(Params p) : p_(p) {}
+
+    std::string name() const override { return "ispell"; }
+    std::uint64_t iterations() const override { return p_.words; }
+    double hotLoopFraction() const override { return 0.865; }
+    unsigned minRwSetPerIter() const override { return 1; }
+
+    void setup(runtime::Machine& m) override;
+    sim::Task<void> stage2(runtime::MemIf& mem,
+                           std::uint64_t iter) override;
+    std::uint64_t checksum(runtime::Machine& m) override;
+
+  private:
+    sim::Task<std::uint64_t> probe(runtime::MemIf& mem,
+                                   std::uint64_t word, Addr pc);
+
+    Params p_;
+    Addr buckets_ = 0; // read-only dictionary
+    IterRegion verdicts_;
+};
+
+} // namespace hmtx::workloads
+
+#endif // HMTX_WORKLOADS_ISPELL_HH

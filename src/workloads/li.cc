@@ -1,0 +1,93 @@
+#include "workloads/li.hh"
+
+#include "sim/rng.hh"
+
+namespace hmtx::workloads
+{
+
+LiWorkload::LiWorkload() : p_() {}
+
+void
+LiWorkload::setup(runtime::Machine& m)
+{
+    auto& mem = m.sys().memory();
+    sim::Rng rng(p_.seed);
+
+    results_ = m.heap().allocLines(p_.expressions);
+    exprHeads_.clear();
+
+    std::vector<std::uint64_t> payloads;
+    for (std::uint64_t e = 0; e < p_.expressions; ++e) {
+        // Build this expression's cons chain: contiguous storage,
+        // shuffled linkage (two 32-byte cells per line).
+        Addr heap = m.heap().alloc(p_.cellsPerExpr * 32, kLineBytes);
+        std::vector<Addr> cells(p_.cellsPerExpr);
+        for (std::uint64_t c = 0; c < p_.cellsPerExpr; ++c)
+            cells[c] = heap + c * 32;
+        for (std::uint64_t c = p_.cellsPerExpr; c > 1; --c)
+            std::swap(cells[c - 1], cells[rng.range(c)]);
+        for (std::uint64_t c = 0; c < p_.cellsPerExpr; ++c) {
+            Addr cdr = c + 1 < p_.cellsPerExpr ? cells[c + 1] : 0;
+            mem.write(cells[c] + 0, mix64(p_.seed ^ (e << 20) ^ c),
+                      8);
+            mem.write(cells[c] + 8, cdr, 8);
+            mem.write(cells[c] + 16, 0, 8);
+        }
+        exprHeads_.push_back(cells.front());
+        payloads.push_back(cells.front());
+    }
+    initWorkList(m, payloads);
+}
+
+sim::Task<void>
+LiWorkload::stage2(runtime::MemIf& mem, std::uint64_t iter)
+{
+    Addr head = co_await fetchWork(mem, iter);
+
+    // Eval passes: interpreters re-traverse structures; three
+    // walks fold different operator chains over the cons values.
+    std::uint64_t acc = 0;
+    for (unsigned pass = 0; pass < 3; ++pass) {
+        Addr cell = head;
+        unsigned op = pass;
+        while (cell != 0) {
+            std::uint64_t car = co_await mem.load(cell + 0);
+            switch (op) {
+              case 0: acc += car; break;
+              case 1: acc ^= car; break;
+              case 2: acc = mix64(acc + car); break;
+            }
+            op = (op + 1) % 3;
+            co_await mem.branch(0x400, (car & 31) == 0);
+            cell = co_await mem.load(cell + 8);
+            co_await mem.compute(1);
+        }
+    }
+
+    // GC-style sweep: mark every reachable cell.
+    Addr cell = head;
+    std::uint64_t live = 0;
+    while (cell != 0) {
+        co_await mem.store(cell + 16, (iter << 32) | 1);
+        ++live;
+        cell = co_await mem.load(cell + 8);
+    }
+
+    co_await mem.store(results_ + iter * kLineBytes,
+                       mix64(acc ^ live));
+}
+
+std::uint64_t
+LiWorkload::checksum(runtime::Machine& m)
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t e = 0; e < p_.expressions; ++e)
+        sum = mix64(sum ^ m.sys().memory().read(
+                              results_ + e * kLineBytes, 8));
+    // Fold in a sample of mark words so the sweep is validated too.
+    for (Addr h : exprHeads_)
+        sum = mix64(sum ^ m.sys().memory().read(h + 16, 8));
+    return sum;
+}
+
+} // namespace hmtx::workloads

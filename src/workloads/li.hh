@@ -1,0 +1,61 @@
+/**
+ * @file
+ * 130.li proxy: a lisp-interpreter-flavoured workload with the largest
+ * per-transaction access counts of Table 1.
+ */
+
+#ifndef HMTX_WORKLOADS_LI_HH
+#define HMTX_WORKLOADS_LI_HH
+
+#include "workloads/worklist.hh"
+
+namespace hmtx::workloads
+{
+
+/**
+ * xlisp spends its time evaluating expressions over cons cells and
+ * garbage collecting them. Each iteration of the proxy evaluates one
+ * top-level expression: it walks a long per-expression cons-cell list
+ * (car = value, cdr = next), folds an operator chain over the values
+ * (eval pass), then sweeps the same cells writing mark words (GC
+ * pass) and finally stores the result. The cell chains are shuffled
+ * through memory, giving the irregular pointer-chasing behaviour and
+ * the very large per-TX read/write sets the paper reports for li.
+ */
+class LiWorkload : public ChasedListWorkload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t expressions = 12;
+        std::uint64_t cellsPerExpr = 1400;
+        std::uint64_t seed = 130;
+    };
+
+    /** Constructs with default parameters. */
+    LiWorkload();
+    explicit LiWorkload(Params p) : p_(p) {}
+
+    std::string name() const override { return "130.li"; }
+    std::uint64_t iterations() const override
+    {
+        return p_.expressions;
+    }
+    double hotLoopFraction() const override { return 1.0; }
+    unsigned minRwSetPerIter() const override { return 2; }
+
+    void setup(runtime::Machine& m) override;
+    sim::Task<void> stage2(runtime::MemIf& mem,
+                           std::uint64_t iter) override;
+    std::uint64_t checksum(runtime::Machine& m) override;
+
+  private:
+    /** Cell layout (32 B): [0]=car, [8]=cdr, [16]=mark, [24]=pad. */
+    Params p_;
+    Addr results_ = 0;
+    std::vector<Addr> exprHeads_;
+};
+
+} // namespace hmtx::workloads
+
+#endif // HMTX_WORKLOADS_LI_HH

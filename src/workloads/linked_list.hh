@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The linked-list traversal workload of Figures 1, 3 and 5: a pointer
+ * chase (stage 1) feeding a per-node work function (stage 2).
+ */
+
+#ifndef HMTX_WORKLOADS_LINKED_LIST_HH
+#define HMTX_WORKLOADS_LINKED_LIST_HH
+
+#include <vector>
+
+#include "runtime/workload.hh"
+#include "workloads/common.hh"
+
+namespace hmtx::workloads
+{
+
+/**
+ * while (node) { w = work(node); node = node->next; }
+ *
+ * The nodes are scattered through simulated memory so stage 1 is a
+ * genuine pointer chase. Stage 2's work function hashes the node's
+ * payload for a configurable number of rounds (with data-dependent
+ * branches) and writes the result into the node — later read by the
+ * host-side checksum. Used by the quickstart example, the Figure 1
+ * schedule bench, and the runtime tests.
+ */
+class LinkedListWorkload : public runtime::LoopWorkload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t nodes = 64;
+        /** Hash rounds per node in the work function. */
+        unsigned workRounds = 12;
+        /** Extra compute in stage 1 (traversal-side processing). */
+        unsigned stage1Rounds = 0;
+        std::uint64_t seed = 1;
+    };
+
+    /** Constructs with default parameters. */
+    LinkedListWorkload();
+    explicit LinkedListWorkload(Params p) : p_(p) {}
+
+    std::string name() const override { return "linked_list"; }
+    runtime::Paradigm paradigm() const override
+    {
+        return runtime::Paradigm::PsDswp;
+    }
+    std::uint64_t iterations() const override { return p_.nodes; }
+    unsigned minRwSetPerIter() const override { return 1; }
+
+    void setup(runtime::Machine& m) override;
+    sim::Task<void> stage1(runtime::MemIf& mem,
+                           std::uint64_t iter) override;
+    sim::Task<void> stage2(runtime::MemIf& mem,
+                           std::uint64_t iter) override;
+    std::uint64_t checksum(runtime::Machine& m) override;
+
+  private:
+    /** Node layout: [0]=next, [8]=value, [16]=result. */
+    static constexpr unsigned kNextOff = 0;
+    static constexpr unsigned kValueOff = 8;
+    static constexpr unsigned kResultOff = 16;
+
+    Params p_;
+    Addr head_ = 0;
+    IterSlots slots_;
+    std::vector<Addr> order_; // host mirror for recovery & checksum
+    std::uint64_t nextIter_ = 0;
+    Addr cursor_ = 0;
+    runtime::Machine* m_ = nullptr;
+};
+
+} // namespace hmtx::workloads
+
+#endif // HMTX_WORKLOADS_LINKED_LIST_HH

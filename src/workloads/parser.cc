@@ -1,0 +1,106 @@
+#include "workloads/parser.hh"
+
+#include "sim/rng.hh"
+
+namespace hmtx::workloads
+{
+
+ParserWorkload::ParserWorkload() : p_() {}
+
+void
+ParserWorkload::setup(runtime::Machine& m)
+{
+    auto& mem = m.sys().memory();
+    sim::Rng rng(p_.seed);
+
+    // Dictionary: vocabulary words distributed over hash buckets,
+    // chained through a shuffled node pool.
+    std::vector<Addr> nodes(p_.vocabulary);
+    for (auto& n : nodes)
+        n = m.heap().alloc(24, 8);
+    for (std::size_t i = p_.vocabulary; i > 1; --i)
+        std::swap(nodes[i - 1], nodes[rng.range(i)]);
+
+    buckets_ = m.heap().allocWords(p_.buckets);
+    std::vector<Addr> bucketHead(p_.buckets, 0);
+    for (unsigned wid = 0; wid < p_.vocabulary; ++wid) {
+        unsigned b = mix64(p_.seed ^ wid) % p_.buckets;
+        Addr n = nodes[wid];
+        mem.write(n + 0, bucketHead[b], 8);
+        mem.write(n + 8, wid, 8);
+        mem.write(n + 16, mix64(wid * 0x9e37) & 0xffff, 8);
+        bucketHead[b] = n;
+    }
+    for (unsigned b = 0; b < p_.buckets; ++b)
+        mem.write(buckets_ + b * 8, bucketHead[b], 8);
+
+    // Sentences: arrays of word ids.
+    sentences_ = m.heap().allocWords(p_.sentences *
+                                     p_.wordsPerSentence);
+    for (std::uint64_t s = 0; s < p_.sentences; ++s)
+        for (std::uint64_t w = 0; w < p_.wordsPerSentence; ++w)
+            mem.write(sentences_ +
+                          (s * p_.wordsPerSentence + w) * 8,
+                      mix64(p_.seed ^ (s << 16) ^ w) % p_.vocabulary,
+                      8);
+
+    parses_.init(m, p_.sentences, p_.wordsPerSentence + 1);
+
+    std::vector<std::uint64_t> payloads(p_.sentences);
+    for (std::uint64_t s = 0; s < p_.sentences; ++s)
+        payloads[s] = s;
+    initWorkList(m, payloads);
+}
+
+sim::Task<void>
+ParserWorkload::stage2(runtime::MemIf& mem, std::uint64_t iter)
+{
+    std::uint64_t s = co_await fetchWork(mem, iter);
+    const Addr sent = sentences_ + s * p_.wordsPerSentence * 8;
+    const Addr parse = parses_.at(s);
+
+    std::uint64_t prevLex = 0;
+    std::uint64_t linkScore = 0;
+    for (std::uint64_t w = 0; w < p_.wordsPerSentence; ++w) {
+        std::uint64_t wid = co_await mem.load(sent + w * 8);
+        unsigned b = mix64(p_.seed ^ wid) % p_.buckets;
+        Addr node = co_await mem.load(buckets_ + b * 8);
+        std::uint64_t lex = 0;
+        // Chain walk until the word is found.
+        while (node != 0) {
+            std::uint64_t nid = co_await mem.load(node + 8);
+            if (nid == wid) {
+                lex = co_await mem.load(node + 16);
+                break;
+            }
+            node = co_await mem.load(node + 0);
+        }
+        // Dictionary words are essentially always found: a heavily
+        // biased branch (parser's 1.05% rate in Table 1).
+        co_await mem.branch(0x700, lex != 0);
+        // Linkage: score this word against its predecessor.
+        std::uint64_t link = mix64(lex ^ (prevLex << 1)) & 0xff;
+        linkScore += link;
+        co_await mem.store(parse + w * 8, (lex << 16) | link);
+        prevLex = lex;
+        co_await mem.compute(2);
+    }
+    co_await mem.store(parse + p_.wordsPerSentence * 8, linkScore);
+}
+
+std::uint64_t
+ParserWorkload::checksum(runtime::Machine& m)
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t s = 0; s < p_.sentences; ++s) {
+        Addr parse = parses_.at(s);
+        sum = mix64(sum ^ m.sys().memory().read(
+                              parse + p_.wordsPerSentence * 8, 8));
+        for (std::uint64_t w = 0; w < p_.wordsPerSentence; w += 17)
+            sum = mix64(sum ^
+                        m.sys().memory().read(parse + w * 8, 8));
+    }
+    return sum;
+}
+
+} // namespace hmtx::workloads

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * 197.parser proxy: dictionary-driven sentence parsing.
+ */
+
+#ifndef HMTX_WORKLOADS_PARSER_HH
+#define HMTX_WORKLOADS_PARSER_HH
+
+#include "workloads/worklist.hh"
+
+namespace hmtx::workloads
+{
+
+/**
+ * The link-grammar parser looks every word of a sentence up in a
+ * large hash dictionary and then links word pairs. Each proxy
+ * iteration parses one sentence: per word, a hash-bucket chain walk
+ * through the shared read-only dictionary, then a linkage pass that
+ * scores adjacent pairs and writes a per-sentence parse array. Chain
+ * walks over a shuffled node pool give the irregular access pattern;
+ * Table 1 shows parser with 100% hot-loop coverage and large per-TX
+ * access counts, which the sentence length reproduces.
+ */
+class ParserWorkload : public ChasedListWorkload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t sentences = 32;
+        std::uint64_t wordsPerSentence = 1100;
+        unsigned buckets = 1024;
+        unsigned vocabulary = 1200;
+        std::uint64_t seed = 197;
+    };
+
+    /** Constructs with default parameters. */
+    ParserWorkload();
+    explicit ParserWorkload(Params p) : p_(p) {}
+
+    std::string name() const override { return "197.parser"; }
+    std::uint64_t iterations() const override { return p_.sentences; }
+    double hotLoopFraction() const override { return 1.0; }
+    unsigned minRwSetPerIter() const override { return 2; }
+
+    void setup(runtime::Machine& m) override;
+    sim::Task<void> stage2(runtime::MemIf& mem,
+                           std::uint64_t iter) override;
+    std::uint64_t checksum(runtime::Machine& m) override;
+
+  private:
+    /** Dictionary node layout: [0]=next, [8]=wordId, [16]=lexinfo. */
+    Params p_;
+    Addr buckets_ = 0;   // read-only bucket heads
+    Addr sentences_ = 0; // word-id arrays
+    IterRegion parses_;  // per-sentence output
+};
+
+} // namespace hmtx::workloads
+
+#endif // HMTX_WORKLOADS_PARSER_HH

@@ -1,0 +1,85 @@
+#include "workloads/stress.hh"
+
+#include "sim/rng.hh"
+
+namespace hmtx::workloads
+{
+
+StressWorkload::StressWorkload() : p_() {}
+
+void
+StressWorkload::setup(runtime::Machine& m)
+{
+    shared_ = m.heap().allocLines(1);
+    scratch_.init(m, p_.iterations, p_.scratchWords);
+    results_.init(m, p_.iterations, 1);
+
+    // Pre-draw which iterations misspeculate so sequential and
+    // parallel runs of separate instances agree on the data (the
+    // injected store only fires under parallel execution's first
+    // attempt and is excluded from the output).
+    sim::Rng rng(p_.seed);
+    conflictIters_.clear();
+    fired_.clear();
+    for (std::uint64_t i = 2; i + 2 < p_.iterations; ++i)
+        if (rng.uniform() < p_.conflictRate)
+            conflictIters_.insert(i);
+
+    auto& mem = m.sys().memory();
+    for (std::uint64_t i = 0; i < p_.iterations; ++i)
+        for (unsigned w = 0; w < p_.scratchWords; ++w)
+            mem.write(scratch_.at(i, w), mix64(p_.seed ^ (i << 8) ^ w),
+                      8);
+
+    std::vector<std::uint64_t> payloads(p_.iterations);
+    for (std::uint64_t i = 0; i < p_.iterations; ++i)
+        payloads[i] = i;
+    initWorkList(m, payloads);
+}
+
+sim::Task<void>
+StressWorkload::stage1(runtime::MemIf& mem, std::uint64_t iter)
+{
+    // The speculated-away dependence: stage 1 reads the shared flag
+    // far ahead of where any stage 2 might write it.
+    co_await mem.load(shared_);
+    co_await ChasedListWorkload::stage1(mem, iter);
+}
+
+sim::Task<void>
+StressWorkload::stage2(runtime::MemIf& mem, std::uint64_t iter)
+{
+    std::uint64_t i = co_await fetchWork(mem, iter);
+
+    std::uint64_t h = p_.seed ^ i;
+    for (unsigned w = 0; w < p_.scratchWords; ++w) {
+        std::uint64_t v = co_await mem.load(scratch_.at(i, w));
+        h = mix64(h + v);
+        if (p_.branches > 0 &&
+            w % std::max(1u, p_.scratchWords / p_.branches) == 0) {
+            co_await mem.branch(0xB00 + 4 * (w & 3), (h & 3) != 0);
+        }
+        co_await mem.store(scratch_.at(i, w), h);
+    }
+    co_await mem.store(results_.at(i), h);
+
+    if (conflictIters_.count(iter) && !fired_.count(iter)) {
+        fired_.insert(iter);
+        // Let later iterations' stage 1 read the shared line first,
+        // then violate the dependence. Detected, aborted, replayed —
+        // and not repeated on the replay.
+        co_await mem.compute(2500);
+        co_await mem.store(shared_, 0xBAD0000 + iter);
+    }
+}
+
+std::uint64_t
+StressWorkload::checksum(runtime::Machine& m)
+{
+    std::uint64_t s = 0;
+    for (std::uint64_t i = 0; i < p_.iterations; ++i)
+        s = mix64(s ^ m.sys().memory().read(results_.at(i), 8));
+    return s;
+}
+
+} // namespace hmtx::workloads

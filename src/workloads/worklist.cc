@@ -1,0 +1,57 @@
+#include "workloads/worklist.hh"
+
+#include "sim/rng.hh"
+
+namespace hmtx::workloads
+{
+
+void
+ChasedListWorkload::initWorkList(
+    runtime::Machine& m, const std::vector<std::uint64_t>& payloads)
+{
+    payloads_ = payloads;
+    slots_.init(m);
+    sim::Rng rng(0x11aa22bb);
+
+    std::vector<Addr> nodes;
+    nodes.reserve(payloads.size());
+    for (std::size_t i = 0; i < payloads.size(); ++i)
+        nodes.push_back(m.heap().allocLines(1));
+    for (std::size_t i = payloads.size(); i > 1; --i)
+        std::swap(nodes[i - 1], nodes[rng.range(i)]);
+
+    order_ = nodes;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        Addr next = i + 1 < nodes.size() ? nodes[i + 1] : 0;
+        m.sys().memory().write(nodes[i], next, 8);
+        m.sys().memory().write(nodes[i] + 8, payloads[i], 8);
+    }
+    cursor_ = nodes.empty() ? 0 : nodes.front();
+    nextIter_ = 0;
+}
+
+sim::Task<void>
+ChasedListWorkload::stage1(runtime::MemIf& mem, std::uint64_t iter)
+{
+    // Derive this iteration's node locally. Under DOALL several
+    // workers run stage 1 concurrently, so (cursor_, nextIter_) is
+    // only a hint: it must be read as a consistent pair and never
+    // half-updated, or a concurrent worker would chase the wrong
+    // node. (Also covers abort-recovery restarts at an arbitrary
+    // iteration.)
+    Addr node = (iter == nextIter_) ? cursor_ : order_[iter];
+    std::uint64_t payload = co_await mem.load(node + 8);
+    co_await mem.store(slots_.slot(iter), payload);
+    Addr next = co_await mem.load(node);
+    co_await mem.branch(0x10, next != 0);
+    cursor_ = next;
+    nextIter_ = iter + 1;
+}
+
+sim::Task<std::uint64_t>
+ChasedListWorkload::fetchWork(runtime::MemIf& mem, std::uint64_t iter)
+{
+    co_return co_await mem.load(slots_.slot(iter));
+}
+
+} // namespace hmtx::workloads

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Base class for benchmark workloads whose stage 1 chases a linked
+ * work list (the canonical DSWP sequential stage, Figure 3).
+ */
+
+#ifndef HMTX_WORKLOADS_WORKLIST_HH
+#define HMTX_WORKLOADS_WORKLIST_HH
+
+#include <vector>
+
+#include "runtime/workload.hh"
+#include "workloads/common.hh"
+
+namespace hmtx::workloads
+{
+
+/**
+ * Stage 1 walks a linked list of work descriptors (one per hot-loop
+ * iteration) and publishes each iteration's payload to stage 2 through
+ * the versioned IterSlots buffer. Subclasses implement the stage-2
+ * work on the payload. The list nodes are scattered in memory so the
+ * traversal is a pointer chase — the loop-carried dependence that
+ * makes these loops DSWP-shaped rather than DOALL.
+ */
+class ChasedListWorkload : public runtime::LoopWorkload
+{
+  public:
+    sim::Task<void> stage1(runtime::MemIf& mem,
+                           std::uint64_t iter) override;
+
+  protected:
+    /**
+     * Builds the work list with one node carrying payloads[i] for
+     * iteration i. Call from setup().
+     */
+    void initWorkList(runtime::Machine& m,
+                      const std::vector<std::uint64_t>& payloads);
+
+    /** Stage 2 entry: the payload stage 1 published for @p iter. */
+    sim::Task<std::uint64_t> fetchWork(runtime::MemIf& mem,
+                                       std::uint64_t iter);
+
+  private:
+    IterSlots slots_;
+    std::vector<Addr> order_; // host mirror for abort recovery
+    std::vector<std::uint64_t> payloads_;
+    Addr cursor_ = 0;
+    std::uint64_t nextIter_ = 0;
+};
+
+} // namespace hmtx::workloads
+
+#endif // HMTX_WORKLOADS_WORKLIST_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests of the cascaded VID comparator model (§4.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/comparator.hh"
+
+namespace hmtx
+{
+namespace
+{
+
+TEST(VidComparator, ThreeWayResultIsCorrect)
+{
+    VidComparator c(6);
+    EXPECT_LT(c.compare(1, 5), 0);
+    EXPECT_EQ(c.compare(5, 5), 0);
+    EXPECT_GT(c.compare(9, 5), 0);
+}
+
+TEST(VidComparator, NearbyVidsUseFastPath)
+{
+    VidComparator c(6);
+    // High 3 bits equal: low-bit magnitude comparison suffices.
+    c.compare(2, 5);
+    c.compare(4, 4);
+    EXPECT_EQ(c.comparisons(), 2u);
+    EXPECT_EQ(c.fastPath(), 2u);
+    EXPECT_EQ(c.cascaded(), 0u);
+}
+
+TEST(VidComparator, DistantVidsCascade)
+{
+    VidComparator c(6);
+    // 2 = 000.010, 60 = 111.100: high bits differ.
+    c.compare(2, 60);
+    EXPECT_EQ(c.cascaded(), 1u);
+}
+
+TEST(VidComparator, ConsecutiveVidStreamIsMostlyFast)
+{
+    // The design rationale (§4.5): VIDs in flight are consecutive, so
+    // the overwhelming majority of comparisons resolve in the fast
+    // path.
+    VidComparator c(6);
+    for (Vid v = 1; v < 63; ++v)
+        c.compare(v, v + 1);
+    EXPECT_GT(c.fastPath(), c.cascaded() * 5);
+}
+
+TEST(VidComparator, ClearResetsCounters)
+{
+    VidComparator c(6);
+    c.compare(1, 2);
+    c.clear();
+    EXPECT_EQ(c.comparisons(), 0u);
+    EXPECT_EQ(c.fastPath(), 0u);
+    EXPECT_EQ(c.cascaded(), 0u);
+}
+
+} // namespace
+} // namespace hmtx

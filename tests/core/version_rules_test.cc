@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Exhaustive tests of the HMTX version rules (§4.1-§4.4): the hit
+ * predicate, store classification, and the commit (Figure 6), abort
+ * (Figure 7) and VID-reset (§4.6) transitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/version_rules.hh"
+
+namespace hmtx
+{
+namespace
+{
+
+TEST(VersionHits, NonSpeculativeStatesHitAnyVid)
+{
+    for (State st : {State::Shared, State::Exclusive, State::Owned,
+                     State::Modified}) {
+        for (Vid a : {0u, 1u, 5u, 63u})
+            EXPECT_TRUE(versionHits(st, {0, 0}, a)) << stateName(st);
+    }
+    EXPECT_FALSE(versionHits(State::Invalid, {0, 0}, 0));
+}
+
+TEST(VersionHits, SpecLatestHitsAtOrAboveModVid)
+{
+    // S-M(m,h): hit iff a >= m (§4.1).
+    VersionTag t{3, 5};
+    for (State st : {State::SpecModified, State::SpecExclusive}) {
+        EXPECT_FALSE(versionHits(st, t, 0));
+        EXPECT_FALSE(versionHits(st, t, 2));
+        EXPECT_TRUE(versionHits(st, t, 3));
+        EXPECT_TRUE(versionHits(st, t, 5));
+        EXPECT_TRUE(versionHits(st, t, 63));
+    }
+}
+
+TEST(VersionHits, SpecSupersededHitsInHalfOpenRange)
+{
+    // S-O(m,h): hit iff m <= a < h (§4.1).
+    VersionTag t{2, 6};
+    for (State st : {State::SpecOwned, State::SpecShared}) {
+        EXPECT_FALSE(versionHits(st, t, 1));
+        EXPECT_TRUE(versionHits(st, t, 2));
+        EXPECT_TRUE(versionHits(st, t, 5));
+        EXPECT_FALSE(versionHits(st, t, 6));
+        EXPECT_FALSE(versionHits(st, t, 7));
+    }
+}
+
+TEST(VersionHits, PristineVersionRange)
+{
+    // S-O(0, y) retains the pre-speculation data for accesses below
+    // the superseding write's VID y (§4.2).
+    VersionTag t{0, 3};
+    EXPECT_TRUE(versionHits(State::SpecOwned, t, 0));
+    EXPECT_TRUE(versionHits(State::SpecOwned, t, 2));
+    EXPECT_FALSE(versionHits(State::SpecOwned, t, 3));
+}
+
+/**
+ * Parameterized sweep: the hit ranges of a well-formed version chain
+ * S-O(0,3), S-O(3,7), S-M(7,7) must partition [0, maxVid] with no
+ * overlaps and no gaps, which is what makes "requests only hit on one
+ * version" (§4.1) true.
+ */
+class ChainCoverage : public ::testing::TestWithParam<Vid>
+{};
+
+TEST_P(ChainCoverage, ExactlyOneVersionHits)
+{
+    Vid a = GetParam();
+    int hits = 0;
+    hits += versionHits(State::SpecOwned, {0, 3}, a) ? 1 : 0;
+    hits += versionHits(State::SpecOwned, {3, 7}, a) ? 1 : 0;
+    hits += versionHits(State::SpecModified, {7, 7}, a) ? 1 : 0;
+    EXPECT_EQ(hits, 1) << "request VID " << a;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVids, ChainCoverage,
+                         ::testing::Range<Vid>(0, 64));
+
+TEST(ClassifyStore, OwnVersionWritesInPlace)
+{
+    EXPECT_EQ(classifyStore(State::SpecModified, {4, 4}, 4),
+              StoreAction::InPlace);
+}
+
+TEST(ClassifyStore, LaterStoreCreatesNewVersion)
+{
+    EXPECT_EQ(classifyStore(State::SpecModified, {2, 2}, 5),
+              StoreAction::NewVersion);
+    EXPECT_EQ(classifyStore(State::SpecExclusive, {0, 3}, 3),
+              StoreAction::NewVersion);
+    // First write to a non-speculative line.
+    EXPECT_EQ(classifyStore(State::Modified, {0, 0}, 1),
+              StoreAction::NewVersion);
+    EXPECT_EQ(classifyStore(State::Exclusive, {0, 0}, 7),
+              StoreAction::NewVersion);
+}
+
+TEST(ClassifyStore, StoreBelowHighVidAborts)
+{
+    // A later VID already read the version: flow-dependence violation
+    // (§4.3).
+    EXPECT_EQ(classifyStore(State::SpecModified, {2, 6}, 4),
+              StoreAction::Abort);
+    EXPECT_EQ(classifyStore(State::SpecExclusive, {0, 6}, 3),
+              StoreAction::Abort);
+}
+
+TEST(ClassifyStore, StoreHittingSupersededVersionAborts)
+{
+    // The hit itself proves a later write superseded this version
+    // (§4.2: "speculative writes that hit this version trigger an
+    // abort").
+    EXPECT_EQ(classifyStore(State::SpecOwned, {0, 6}, 3),
+              StoreAction::Abort);
+    EXPECT_EQ(classifyStore(State::SpecOwned, {2, 6}, 4),
+              StoreAction::Abort);
+}
+
+TEST(ClassifyStore, SameVidStoreAfterHigherReadAborts)
+{
+    // Re-entering a version is only allowed while no higher VID has
+    // touched it.
+    EXPECT_EQ(classifyStore(State::SpecModified, {4, 9}, 4),
+              StoreAction::Abort);
+}
+
+// --- Commit transitions (Figure 6) ------------------------------------
+
+TEST(CommitLine, FullyCommittedLatestVersionRetires)
+{
+    EXPECT_EQ(commitLine(State::SpecModified, {3, 3}, 3, true),
+              (LineTransition{State::Modified, {}}));
+    EXPECT_EQ(commitLine(State::SpecExclusive, {0, 3}, 3, false),
+              (LineTransition{State::Exclusive, {}}));
+}
+
+TEST(CommitLine, SupersededVersionsInvalidateOnceAccessorsCommit)
+{
+    EXPECT_EQ(commitLine(State::SpecOwned, {0, 2}, 2, true),
+              (LineTransition{State::Invalid, {}}));
+    EXPECT_EQ(commitLine(State::SpecShared, {1, 2}, 5, false),
+              (LineTransition{State::Invalid, {}}));
+}
+
+TEST(CommitLine, CommittedModClearsWhileAccessorsOutstanding)
+{
+    // S-M(2,5) after commit of 2: modification is committed but VID 5
+    // is still live, so only modVID clears (Figure 6).
+    EXPECT_EQ(commitLine(State::SpecModified, {2, 5}, 2, true),
+              (LineTransition{State::SpecModified, {0, 5}}));
+    EXPECT_EQ(commitLine(State::SpecOwned, {2, 5}, 3, true),
+              (LineTransition{State::SpecOwned, {0, 5}}));
+}
+
+TEST(CommitLine, UncommittedLinesUnchanged)
+{
+    EXPECT_EQ(commitLine(State::SpecModified, {4, 6}, 2, true),
+              (LineTransition{State::SpecModified, {4, 6}}));
+    EXPECT_EQ(commitLine(State::SpecExclusive, {0, 6}, 2, false),
+              (LineTransition{State::SpecExclusive, {0, 6}}));
+}
+
+TEST(CommitLine, NonSpecLinesUntouched)
+{
+    EXPECT_EQ(commitLine(State::Modified, {0, 0}, 9, true),
+              (LineTransition{State::Modified, {0, 0}}));
+}
+
+// --- Abort transitions (Figure 7) --------------------------------------
+
+TEST(AbortLine, UncommittedModificationsFlush)
+{
+    EXPECT_EQ(abortLine(State::SpecModified, {4, 4}, 2, true),
+              (LineTransition{State::Invalid, {}}));
+    EXPECT_EQ(abortLine(State::SpecOwned, {4, 7}, 2, true),
+              (LineTransition{State::Invalid, {}}));
+}
+
+TEST(AbortLine, CommittedDataSurvivesWithClearedTags)
+{
+    // modVID == 0: the data is committed; only the speculative
+    // marking clears (Figure 7).
+    EXPECT_EQ(abortLine(State::SpecModified, {0, 5}, 2, true),
+              (LineTransition{State::Modified, {}}));
+    EXPECT_EQ(abortLine(State::SpecExclusive, {0, 5}, 2, false),
+              (LineTransition{State::Exclusive, {}}));
+    EXPECT_EQ(abortLine(State::SpecOwned, {0, 5}, 2, true),
+              (LineTransition{State::Owned, {}}));
+    EXPECT_EQ(abortLine(State::SpecOwned, {0, 5}, 2, false),
+              (LineTransition{State::Shared, {}}));
+    EXPECT_EQ(abortLine(State::SpecShared, {0, 5}, 2, false),
+              (LineTransition{State::Shared, {}}));
+}
+
+TEST(AbortLine, CommittedButUnreconciledModRetires)
+{
+    // S-M(2,2) after commit of 2, then an abort: the line had fully
+    // retired logically; the abort must not destroy committed data.
+    EXPECT_EQ(abortLine(State::SpecModified, {2, 2}, 2, true),
+              (LineTransition{State::Modified, {}}));
+    EXPECT_EQ(abortLine(State::SpecOwned, {0, 2}, 2, true),
+              (LineTransition{State::Invalid, {}}));
+}
+
+TEST(AbortLine, CommittedModWithLiveReaderSurvives)
+{
+    EXPECT_EQ(abortLine(State::SpecModified, {2, 5}, 2, true),
+              (LineTransition{State::Modified, {}}));
+}
+
+// --- VID reset (§4.6) ----------------------------------------------------
+
+TEST(ResetLine, LatestVersionsBecomeCommitted)
+{
+    EXPECT_EQ(resetLine(State::SpecModified, {0, 5}, true),
+              (LineTransition{State::Modified, {}}));
+    EXPECT_EQ(resetLine(State::SpecExclusive, {0, 5}, false),
+              (LineTransition{State::Exclusive, {}}));
+}
+
+TEST(ResetLine, SupersededVersionsDie)
+{
+    EXPECT_EQ(resetLine(State::SpecOwned, {0, 5}, true),
+              (LineTransition{State::Invalid, {}}));
+    EXPECT_EQ(resetLine(State::SpecShared, {0, 5}, false),
+              (LineTransition{State::Invalid, {}}));
+}
+
+/**
+ * Property: for every speculative state and tag combination, commit
+ * with c >= high always produces a non-speculative state, and abort
+ * never leaves speculative state behind.
+ */
+class TransitionSweep
+    : public ::testing::TestWithParam<std::tuple<int, Vid, Vid>>
+{
+  protected:
+    static State
+    stateOf(int i)
+    {
+        static const State states[] = {
+            State::SpecShared, State::SpecExclusive, State::SpecOwned,
+            State::SpecModified};
+        return states[i];
+    }
+};
+
+TEST_P(TransitionSweep, CommitAtHighRetires)
+{
+    auto [si, m, h] = GetParam();
+    State st = stateOf(si);
+    if (st == State::SpecExclusive && m != 0)
+        GTEST_SKIP() << "S-E always has modVID 0";
+    if (m > h)
+        GTEST_SKIP() << "modVID never exceeds highVID";
+    LineTransition t = commitLine(st, {m, h}, h, true);
+    EXPECT_FALSE(isSpec(t.state))
+        << stateName(st) << "(" << m << "," << h << ")";
+}
+
+TEST_P(TransitionSweep, AbortLeavesNoSpeculativeState)
+{
+    auto [si, m, h] = GetParam();
+    State st = stateOf(si);
+    if (st == State::SpecExclusive && m != 0)
+        GTEST_SKIP();
+    if (m > h)
+        GTEST_SKIP();
+    for (Vid c : {Vid{0}, Vid{1}, Vid{3}, Vid{7}}) {
+        LineTransition t = abortLine(st, {m, h}, c, true);
+        EXPECT_FALSE(isSpec(t.state));
+        EXPECT_EQ(t.tag, (VersionTag{0, 0}));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSpecStates, TransitionSweep,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::Values<Vid>(0, 1, 3, 7),
+                       ::testing::Values<Vid>(0, 1, 3, 7)));
+
+} // namespace
+} // namespace hmtx

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tests of the m-bit VID window allocator (§4.6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vid.hh"
+
+namespace hmtx
+{
+namespace
+{
+
+TEST(VidWindow, AllocatesConsecutivelyFromOne)
+{
+    VidWindow w(6);
+    EXPECT_EQ(w.maxVid(), 63u);
+    EXPECT_EQ(w.allocate(), 1u);
+    EXPECT_EQ(w.allocate(), 2u);
+    EXPECT_EQ(w.allocate(), 3u);
+    EXPECT_EQ(w.lastAllocated(), 3u);
+}
+
+TEST(VidWindow, ExhaustsAfterMaxVid)
+{
+    VidWindow w(3);
+    for (Vid v = 1; v <= 7; ++v) {
+        ASSERT_FALSE(w.exhausted());
+        EXPECT_EQ(w.allocate(), v);
+    }
+    EXPECT_TRUE(w.exhausted());
+}
+
+TEST(VidWindow, ResetRestartsAtOne)
+{
+    VidWindow w(3);
+    while (!w.exhausted())
+        w.allocate();
+    w.reset();
+    EXPECT_FALSE(w.exhausted());
+    EXPECT_EQ(w.allocate(), 1u);
+    EXPECT_EQ(w.resets(), 1u);
+}
+
+TEST(VidWindow, WindowSizeScalesWithBits)
+{
+    EXPECT_EQ(VidWindow(3).maxVid(), 7u);
+    EXPECT_EQ(VidWindow(4).maxVid(), 15u);
+    EXPECT_EQ(VidWindow(6).maxVid(), 63u);
+    EXPECT_EQ(VidWindow(8).maxVid(), 255u);
+}
+
+} // namespace
+} // namespace hmtx

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests of the area/power/energy model against the paper's McPAT
+ * anchor points (Table 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/model.hh"
+
+namespace hmtx::power
+{
+namespace
+{
+
+sim::MachineConfig
+table2()
+{
+    return sim::MachineConfig{}; // defaults = Table 2
+}
+
+TEST(PowerModel, BaseAreaMatchesTable3Anchor)
+{
+    PowerModel base(table2(), false);
+    // Paper: 107.1 mm^2 for the commodity 4-core machine.
+    EXPECT_NEAR(base.area().totalMm2(), 107.1, 5.0);
+}
+
+TEST(PowerModel, HmtxAreaOverheadIsAFewPercent)
+{
+    PowerModel base(table2(), false);
+    PowerModel ext(table2(), true);
+    double delta = ext.area().totalMm2() - base.area().totalMm2();
+    // Paper: +4.0 mm^2, dominated by the 12 extra bits per line.
+    EXPECT_NEAR(delta, 4.0, 1.5);
+    EXPECT_GT(ext.area().hmtxExtraMm2, 0.0);
+    EXPECT_LT(delta / base.area().totalMm2(), 0.06);
+}
+
+TEST(PowerModel, LeakageMatchesTable3Anchors)
+{
+    PowerModel base(table2(), false);
+    PowerModel ext(table2(), true);
+    EXPECT_NEAR(base.leakageW(), 5.515, 0.5);
+    EXPECT_NEAR(ext.leakageW(), 5.607, 0.5);
+    EXPECT_GT(ext.leakageW(), base.leakageW());
+    // "Total leakage increases marginally" (§6.4).
+    EXPECT_LT(ext.leakageW() / base.leakageW(), 1.05);
+}
+
+sim::SysStats
+syntheticStats(std::uint64_t accesses)
+{
+    sim::SysStats s;
+    s.l1Hits = accesses * 9 / 10;
+    s.l1Misses = accesses / 10;
+    s.snoopHits = accesses / 20;
+    s.memFetches = accesses / 40;
+    s.busTxns = accesses / 8;
+    return s;
+}
+
+TEST(PowerModel, DynamicPowerScalesWithActivity)
+{
+    PowerModel m(table2(), true);
+    Tick cycles = 1'000'000;
+    PowerResult lo =
+        m.evaluate(syntheticStats(100'000), 300'000, 50'000, 500,
+                   cycles);
+    PowerResult hi =
+        m.evaluate(syntheticStats(800'000), 2'400'000, 400'000, 4'000,
+                   cycles);
+    EXPECT_GT(hi.dynamicW, lo.dynamicW);
+    EXPECT_GT(lo.dynamicW, 0.0);
+}
+
+TEST(PowerModel, EnergyIsPowerTimesTime)
+{
+    PowerModel m(table2(), true);
+    PowerResult r = m.evaluate(syntheticStats(400'000), 1'000'000,
+                               100'000, 1'000, 2'000'000);
+    EXPECT_NEAR(r.energyJ, (r.dynamicW + r.leakageW) * r.timeSec,
+                1e-9);
+    EXPECT_NEAR(r.timeSec, 2'000'000 / 2.0e9, 1e-12);
+}
+
+TEST(PowerModel, HmtxExtensionsCostLittleOnNonHmtxCode)
+{
+    // §6.4: running SMTX/sequential code on HMTX hardware increases
+    // power only marginally (the VID columns still leak, comparators
+    // idle).
+    PowerModel base(table2(), false);
+    PowerModel ext(table2(), true);
+    auto s = syntheticStats(500'000);
+    PowerResult rb = base.evaluate(s, 1'500'000, 0, 0, 3'000'000);
+    PowerResult re = ext.evaluate(s, 1'500'000, 0, 0, 3'000'000);
+    EXPECT_GT(re.energyJ, rb.energyJ);
+    EXPECT_LT(re.energyJ / rb.energyJ, 1.03);
+}
+
+TEST(PowerModel, BiggerCachesCostMoreArea)
+{
+    sim::MachineConfig small = table2();
+    small.l2SizeKB = 8 * 1024;
+    PowerModel ms(small, false);
+    PowerModel mb(table2(), false);
+    EXPECT_LT(ms.area().totalMm2(), mb.area().totalMm2());
+}
+
+} // namespace
+} // namespace hmtx::power

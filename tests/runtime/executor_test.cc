@@ -1,0 +1,118 @@
+/**
+ * @file
+ * End-to-end executor tests on the linked-list workload: every
+ * execution model must produce the sequential checksum, and the
+ * pipeline models must actually overlap work.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/executors.hh"
+#include "workloads/linked_list.hh"
+
+namespace hmtx::runtime
+{
+namespace
+{
+
+sim::MachineConfig
+cfg()
+{
+    sim::MachineConfig c;
+    c.l2SizeKB = 512;
+    return c;
+}
+
+workloads::LinkedListWorkload::Params
+wlParams()
+{
+    workloads::LinkedListWorkload::Params p;
+    p.nodes = 120;
+    p.workRounds = 40;
+    return p;
+}
+
+TEST(Executors, SequentialIsDeterministic)
+{
+    workloads::LinkedListWorkload a(wlParams()), b(wlParams());
+    ExecResult ra = Runner::runSequential(a, cfg());
+    ExecResult rb = Runner::runSequential(b, cfg());
+    EXPECT_EQ(ra.checksum, rb.checksum);
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_NE(ra.checksum, 0u);
+}
+
+TEST(Executors, DswpMatchesSequentialAndCommitsEverything)
+{
+    workloads::LinkedListWorkload seq(wlParams()), par(wlParams());
+    ExecResult rs = Runner::runSequential(seq, cfg());
+    ExecResult rp = Runner::runPipeline(par, cfg(), 1);
+    EXPECT_EQ(rp.checksum, rs.checksum);
+    EXPECT_EQ(rp.transactions, wlParams().nodes);
+    EXPECT_EQ(rp.stats.aborts, 0u);
+}
+
+TEST(Executors, PsDswpMatchesSequentialAndBeatsOneWorker)
+{
+    workloads::LinkedListWorkload seq(wlParams()), one(wlParams()),
+        three(wlParams());
+    ExecResult rs = Runner::runSequential(seq, cfg());
+    ExecResult r1 = Runner::runPipeline(one, cfg(), 1);
+    ExecResult r3 = Runner::runPipeline(three, cfg(), 3);
+    EXPECT_EQ(r3.checksum, rs.checksum);
+    EXPECT_EQ(r3.stats.aborts, 0u);
+    // The parallel stage is replicated 3x: clearly faster than DSWP.
+    EXPECT_LT(r3.cycles, r1.cycles);
+    // And the pipeline must beat sequential execution.
+    EXPECT_LT(r3.cycles, rs.cycles);
+}
+
+TEST(Executors, DoacrossMatchesSequential)
+{
+    workloads::LinkedListWorkload seq(wlParams()), da(wlParams());
+    ExecResult rs = Runner::runSequential(seq, cfg());
+    ExecResult rd = Runner::runDoacross(da, cfg(), 4);
+    EXPECT_EQ(rd.checksum, rs.checksum);
+    EXPECT_EQ(rd.stats.aborts, 0u);
+}
+
+TEST(Executors, VidWindowResetsWhenExhausted)
+{
+    // 120 iterations through a 3-bit window (7 usable VIDs) forces
+    // many VID resets (§4.6); execution must stay correct.
+    sim::MachineConfig c = cfg();
+    c.vidBits = 3;
+    workloads::LinkedListWorkload seq(wlParams()), par(wlParams());
+    ExecResult rs = Runner::runSequential(seq, cfg());
+    ExecResult rp = Runner::runPipeline(par, c, 3);
+    EXPECT_EQ(rp.checksum, rs.checksum);
+    EXPECT_GE(rp.vidResets, 120 / 7 - 1);
+    EXPECT_GT(rp.vidStallCycles, 0u);
+}
+
+TEST(Executors, WiderVidsStallLess)
+{
+    sim::MachineConfig narrow = cfg();
+    narrow.vidBits = 3;
+    sim::MachineConfig wide = cfg();
+    wide.vidBits = 8;
+    workloads::LinkedListWorkload a(wlParams()), b(wlParams());
+    ExecResult rn = Runner::runPipeline(a, narrow, 3);
+    ExecResult rw = Runner::runPipeline(b, wide, 3);
+    EXPECT_GT(rn.vidResets, rw.vidResets);
+    EXPECT_GE(rn.vidStallCycles, rw.vidStallCycles);
+}
+
+TEST(Executors, TransactionsRecordReadWriteSets)
+{
+    workloads::LinkedListWorkload par(wlParams());
+    ExecResult r = Runner::runPipeline(par, cfg(), 3);
+    // Every committed transaction logged reads and writes (Figure 9
+    // accounting).
+    EXPECT_EQ(r.stats.committedTxs, wlParams().nodes);
+    EXPECT_GT(r.stats.readSetLines, 0u);
+    EXPECT_GT(r.stats.writeSetLines, 0u);
+}
+
+} // namespace
+} // namespace hmtx::runtime

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests of Machine, SimAllocator and Signal.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/machine.hh"
+#include "runtime/signal.hh"
+#include "runtime/thread_context.hh"
+
+namespace hmtx::runtime
+{
+namespace
+{
+
+sim::MachineConfig
+cfg()
+{
+    sim::MachineConfig c;
+    c.l2SizeKB = 256;
+    return c;
+}
+
+TEST(SimAllocator, AlignmentAndDisjointness)
+{
+    SimAllocator a(0x1000);
+    Addr x = a.alloc(10, 8);
+    Addr y = a.alloc(1, 64);
+    Addr z = a.allocLines(2);
+    EXPECT_EQ(x % 8, 0u);
+    EXPECT_EQ(y % 64, 0u);
+    EXPECT_EQ(z % 64, 0u);
+    EXPECT_GE(y, x + 10);
+    EXPECT_GE(z, y + 1);
+    EXPECT_EQ(a.allocWords(4) % 8, 0u);
+}
+
+TEST(Machine, ContextsAreBoundToCores)
+{
+    Machine m(cfg());
+    for (CoreId c = 0; c < m.config().numCores; ++c)
+        EXPECT_EQ(m.ctx(c).core(), c);
+}
+
+sim::Task<void>
+blockForever(Machine& m, Signal& s)
+{
+    (void)m;
+    co_await s.wait();
+}
+
+TEST(Machine, ReportsDeadlockedTasks)
+{
+    Machine m(cfg());
+    Signal s(m.eq());
+    m.spawn(blockForever(m, s));
+    EXPECT_THROW(m.run(), std::logic_error);
+}
+
+sim::Task<void>
+waiter(Signal& s, int& wakes)
+{
+    co_await s.wait();
+    ++wakes;
+    co_await s.wait();
+    ++wakes;
+}
+
+sim::Task<void>
+notifier(Machine& m, Signal& s)
+{
+    co_await m.ctx(0).compute(10);
+    s.notifyAll();
+    co_await m.ctx(0).compute(10);
+    s.notifyAll();
+}
+
+TEST(Signal, BroadcastWakesAllWaitersEachTime)
+{
+    Machine m(cfg());
+    Signal s(m.eq());
+    int w1 = 0, w2 = 0;
+    m.spawn(waiter(s, w1));
+    m.spawn(waiter(s, w2));
+    m.spawn(notifier(m, s));
+    m.run();
+    EXPECT_EQ(w1, 2);
+    EXPECT_EQ(w2, 2);
+}
+
+sim::Task<void>
+oneTick(Machine& m, Tick& end)
+{
+    co_await m.ctx(0).compute(25);
+    end = m.now();
+}
+
+TEST(Machine, RunDrivesSimulatedTime)
+{
+    Machine m(cfg());
+    Tick end = 0;
+    m.spawn(oneTick(m, end));
+    m.run();
+    EXPECT_EQ(end, 25u);
+    EXPECT_GE(m.now(), 25u);
+}
+
+} // namespace
+} // namespace hmtx::runtime

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests of the per-core thread context: MTX ISA semantics, timing,
+ * branch unit and wrong-path load injection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/machine.hh"
+#include "runtime/thread_context.hh"
+
+namespace hmtx::runtime
+{
+namespace
+{
+
+sim::MachineConfig
+cfg()
+{
+    sim::MachineConfig c;
+    c.l2SizeKB = 256;
+    return c;
+}
+
+sim::Task<void>
+basicTx(Machine& m, std::uint64_t& observed)
+{
+    ThreadContext& tc = m.ctx(0);
+    tc.beginMtx(1);
+    co_await tc.store(0x1000, 42);
+    observed = co_await tc.load(0x1000);
+    co_await tc.commitMtx(1);
+}
+
+TEST(ThreadContext, BeginStoreLoadCommit)
+{
+    Machine m(cfg());
+    std::uint64_t observed = 0;
+    m.spawn(basicTx(m, observed));
+    m.run();
+    EXPECT_EQ(observed, 42u);
+    EXPECT_EQ(m.sys().lcVid(), 1u);
+    EXPECT_EQ(m.sys().memory().read(0x1000, 8), 0u); // not flushed yet
+    m.sys().flushDirtyToMemory();
+    EXPECT_EQ(m.sys().memory().read(0x1000, 8), 42u);
+}
+
+sim::Task<void>
+abortedTx(Machine& m, bool& threw)
+{
+    ThreadContext& tc = m.ctx(0);
+    tc.beginMtx(1);
+    co_await tc.store(0x2000, 7);
+    // Someone else aborts everything.
+    m.sys().abortAll();
+    try {
+        co_await tc.load(0x2000);
+    } catch (const sim::TxAborted&) {
+        threw = true;
+    }
+}
+
+TEST(ThreadContext, OpsThrowAfterAbort)
+{
+    Machine m(cfg());
+    bool threw = false;
+    m.spawn(abortedTx(m, threw));
+    m.run();
+    EXPECT_TRUE(threw);
+}
+
+sim::Task<void>
+abortedCommit(Machine& m, bool& threw)
+{
+    ThreadContext& tc = m.ctx(0);
+    tc.beginMtx(1);
+    co_await tc.store(0x2100, 7);
+    m.sys().abortAll();
+    try {
+        co_await tc.commitMtx(1);
+    } catch (const sim::TxAborted&) {
+        threw = true;
+    }
+}
+
+TEST(ThreadContext, CommitOfAbortedTxThrowsInsteadOfCommitting)
+{
+    Machine m(cfg());
+    bool threw = false;
+    m.spawn(abortedCommit(m, threw));
+    m.run();
+    EXPECT_TRUE(threw);
+    EXPECT_EQ(m.sys().lcVid(), 0u);
+}
+
+sim::Task<void>
+timedOps(Machine& m, Tick& afterLoad, Tick& afterCompute)
+{
+    ThreadContext& tc = m.ctx(0);
+    co_await tc.load(0x3000); // cold miss: memory latency
+    afterLoad = m.now();
+    co_await tc.compute(50);
+    afterCompute = m.now();
+}
+
+TEST(ThreadContext, LatenciesAdvanceSimulatedTime)
+{
+    Machine m(cfg());
+    Tick afterLoad = 0, afterCompute = 0;
+    m.spawn(timedOps(m, afterLoad, afterCompute));
+    m.run();
+    EXPECT_GE(afterLoad, m.config().memLatency);
+    EXPECT_EQ(afterCompute, afterLoad + 50);
+}
+
+sim::Task<void>
+branchStorm(Machine& m, unsigned n)
+{
+    ThreadContext& tc = m.ctx(0);
+    tc.beginMtx(1);
+    // Touch some lines so wrong-path loads have a working set.
+    co_await tc.load(0x4000);
+    co_await tc.load(0x4040);
+    sim::Rng rng(99);
+    for (unsigned i = 0; i < n; ++i)
+        co_await tc.branch(0x4, rng.chance(0.5)); // unpredictable
+    co_await tc.commitMtx(1);
+}
+
+TEST(ThreadContext, MispredictionsInjectWrongPathLoads)
+{
+    Machine m(cfg());
+    m.spawn(branchStorm(m, 200));
+    m.run();
+    const ThreadContext& tc = m.ctx(0);
+    EXPECT_GT(tc.predictor().mispredicts(), 10u);
+    // Wrong-path loads reached the cache system but marked nothing
+    // (SLA enabled by default): no aborts.
+    EXPECT_GT(m.sys().stats().wrongPathLoads, 10u);
+    EXPECT_EQ(m.sys().stats().aborts, 0u);
+}
+
+sim::Task<void>
+predictableBranches(Machine& m, unsigned n)
+{
+    ThreadContext& tc = m.ctx(0);
+    for (unsigned i = 0; i < n; ++i)
+        co_await tc.branch(0x8, true); // always taken: learnable
+}
+
+TEST(ThreadContext, PredictorLearnsRegularPatterns)
+{
+    Machine m(cfg());
+    m.spawn(predictableBranches(m, 500));
+    m.run();
+    EXPECT_LT(m.ctx(0).predictor().mispredictRate(), 0.05);
+}
+
+} // namespace
+} // namespace hmtx::runtime

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests of transactional output buffering (§4.7), standalone and
+ * integrated into a speculative pipeline with a misspeculating
+ * iteration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/executors.hh"
+#include "runtime/tx_output.hh"
+#include "workloads/linked_list.hh"
+
+namespace hmtx::runtime
+{
+namespace
+{
+
+TEST(TxOutput, BuffersUntilCommit)
+{
+    TxOutput out;
+    out.emit(1, "a1");
+    out.emit(2, "b2");
+    out.emit(1, "a2");
+    EXPECT_TRUE(out.released().empty());
+    EXPECT_EQ(out.pendingCount(), 3u);
+
+    out.commit(1);
+    EXPECT_EQ(out.released(),
+              (std::vector<std::string>{"a1", "a2"}));
+    out.commit(2);
+    EXPECT_EQ(out.released(),
+              (std::vector<std::string>{"a1", "a2", "b2"}));
+}
+
+TEST(TxOutput, NonSpeculativeOutputIsImmediate)
+{
+    TxOutput out;
+    out.emit(0, "boot");
+    EXPECT_EQ(out.released().size(), 1u);
+    EXPECT_EQ(out.immediate(), 1u);
+}
+
+TEST(TxOutput, AbortDiscardsSpeculativeOutput)
+{
+    TxOutput out;
+    out.emit(1, "committed");
+    out.commit(1);
+    out.emit(2, "doomed-a");
+    out.emit(3, "doomed-b");
+    out.abortAll(/*lcVid=*/1);
+    EXPECT_EQ(out.released().size(), 1u);
+    EXPECT_EQ(out.discarded(), 2u);
+    EXPECT_EQ(out.pendingCount(), 0u);
+    // The replayed transaction re-emits and commits normally.
+    out.emit(2, "replayed");
+    out.commit(2);
+    EXPECT_EQ(out.released().back(), "replayed");
+}
+
+/**
+ * Linked-list workload whose stage 2 "prints" each node's result,
+ * with one transient misspeculation mid-run: the released stream must
+ * equal the sequential program's output exactly once per iteration,
+ * in order, despite the abort and replay.
+ */
+class PrintingWorkload : public workloads::LinkedListWorkload
+{
+  public:
+    PrintingWorkload(Params p, Machine** m, bool injectAbort)
+        : LinkedListWorkload(p), m_(m), injectAbort_(injectAbort)
+    {}
+
+    TxOutput* txOutput() override { return &out_; }
+    const TxOutput& out() const { return out_; }
+
+    void
+    setup(Machine& mach) override
+    {
+        LinkedListWorkload::setup(mach);
+        *m_ = &mach;
+        fired_ = false;
+    }
+
+    sim::Task<void>
+    stage2(MemIf& mem, std::uint64_t iter) override
+    {
+        co_await LinkedListWorkload::stage2(mem, iter);
+        // Emit under the iteration's transaction VID.
+        out_.emit(static_cast<Vid>(
+                      iter % (*m_)->config().maxVid()) +
+                      1,
+                  "iter " + std::to_string(iter));
+        if (injectAbort_ && iter == 12 && !fired_) {
+            fired_ = true;
+            (*m_)->sys().abortAll();
+            co_await mem.compute(1);
+        }
+    }
+
+  private:
+    TxOutput out_;
+    Machine** m_;
+    bool injectAbort_;
+    bool fired_ = false;
+};
+
+TEST(TxOutput, PipelineOutputMatchesProgramOrderDespiteAbort)
+{
+    workloads::LinkedListWorkload::Params p;
+    p.nodes = 30;
+    p.workRounds = 10;
+
+    Machine* mPtr = nullptr;
+    PrintingWorkload wl(p, &mPtr, true);
+
+    sim::MachineConfig cfg;
+    runtime::ExecResult r = Runner::runPipeline(wl, cfg, 2);
+    EXPECT_GE(r.stats.aborts, 1u);
+    EXPECT_EQ(r.transactions, 30u);
+
+    ASSERT_EQ(wl.out().released().size(), 30u);
+    for (unsigned i = 0; i < 30; ++i)
+        EXPECT_EQ(wl.out().released()[i],
+                  "iter " + std::to_string(i));
+    EXPECT_GT(wl.out().discarded(), 0u);
+}
+
+TEST(TxOutput, AbortFreePipelineReleasesEverythingInOrder)
+{
+    workloads::LinkedListWorkload::Params p;
+    p.nodes = 25;
+    p.workRounds = 10;
+
+    Machine* mPtr = nullptr;
+    PrintingWorkload wl(p, &mPtr, false);
+    sim::MachineConfig cfg;
+    Runner::runPipeline(wl, cfg, 3);
+
+    ASSERT_EQ(wl.out().released().size(), 25u);
+    for (unsigned i = 0; i < 25; ++i)
+        EXPECT_EQ(wl.out().released()[i],
+                  "iter " + std::to_string(i));
+    EXPECT_EQ(wl.out().discarded(), 0u);
+    EXPECT_EQ(wl.out().pendingCount(), 0u);
+}
+
+} // namespace
+} // namespace hmtx::runtime

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests of the gshare branch predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/branch_predictor.hh"
+#include "sim/rng.hh"
+
+namespace hmtx::sim
+{
+namespace
+{
+
+TEST(BranchPredictor, LearnsStronglyBiasedBranches)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 1000; ++i)
+        bp.predict(0x40, true);
+    EXPECT_LT(bp.mispredictRate(), 0.01);
+}
+
+TEST(BranchPredictor, LearnsAlternatingPattern)
+{
+    // T,N,T,N has a period the 6-bit history resolves.
+    BranchPredictor bp;
+    for (int i = 0; i < 2000; ++i)
+        bp.predict(0x80, (i & 1) != 0);
+    EXPECT_LT(bp.mispredictRate(), 0.05);
+}
+
+TEST(BranchPredictor, RandomOutcomesMispredictHeavily)
+{
+    BranchPredictor bp;
+    Rng rng(5);
+    for (int i = 0; i < 4000; ++i)
+        bp.predict(0xC0, rng.chance(0.5));
+    EXPECT_GT(bp.mispredictRate(), 0.30);
+}
+
+TEST(BranchPredictor, BiasMovesTheRate)
+{
+    // An 85%-taken data-dependent branch should land near its bias's
+    // theoretical floor (~15%), far better than a coin flip.
+    BranchPredictor bp;
+    Rng rng(6);
+    for (int i = 0; i < 6000; ++i)
+        bp.predict(0x100, rng.chance(0.85));
+    EXPECT_LT(bp.mispredictRate(), 0.25);
+    EXPECT_GT(bp.mispredictRate(), 0.05);
+}
+
+TEST(BranchPredictor, CountsAreConsistent)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 137; ++i)
+        bp.predict(0x180, i % 3 == 0);
+    EXPECT_EQ(bp.branches(), 137u);
+    EXPECT_LE(bp.mispredicts(), bp.branches());
+}
+
+TEST(BranchPredictor, DistinctPcsTrainIndependently)
+{
+    BranchPredictor bp;
+    // Two sites with opposite fixed outcomes must both train well.
+    for (int i = 0; i < 2000; ++i) {
+        bp.predict(0x200, true);
+        bp.predict(0x300, false);
+    }
+    EXPECT_LT(bp.mispredictRate(), 0.02);
+}
+
+} // namespace
+} // namespace hmtx::sim

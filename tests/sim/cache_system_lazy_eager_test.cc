@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Property tests that the lazy commit/abort scheme (§5.3) is
+ * observationally equivalent to the naive eager scheme (§4.4): same
+ * load values, same abort decisions, same final memory image — only
+ * the processing cost differs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/cache_system.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace hmtx::sim
+{
+namespace
+{
+
+MachineConfig
+config(bool lazy, bool tiny)
+{
+    MachineConfig cfg;
+    cfg.lazyCommit = lazy;
+    if (tiny) {
+        cfg.l1SizeKB = 1;
+        cfg.l1Assoc = 2;
+        cfg.l2SizeKB = 8;
+        cfg.l2Assoc = 8;
+    } else {
+        cfg.l2SizeKB = 256;
+    }
+    return cfg;
+}
+
+/** One recorded trace event for replay against both schemes. */
+struct Op
+{
+    enum Kind { Load, Store, Commit } kind;
+    CoreId core = 0;
+    Addr addr = 0;
+    std::uint64_t value = 0;
+    Vid vid = 0;
+};
+
+std::vector<Op>
+makeTrace(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Op> ops;
+    std::vector<Addr> addrs;
+    for (unsigned i = 0; i < 16; ++i)
+        addrs.push_back(0x40000 + i * 64);
+
+    std::map<Addr, Vid> maxAccessor;
+    const unsigned window = 6;
+    Vid next = 1;
+    for (unsigned round = 0; round < 5; ++round) {
+        Vid lo = round * window + 1;
+        for (unsigned i = 0; i < 120; ++i) {
+            Vid vid = lo + static_cast<Vid>(rng.range(window));
+            Addr a = addrs[rng.range(addrs.size())];
+            bool store = rng.chance(0.4) && vid >= maxAccessor[a];
+            if (store) {
+                ops.push_back({Op::Store, CoreId(vid % 4), a,
+                               rng.next() & 0xffff, vid});
+            } else {
+                ops.push_back({Op::Load, CoreId(vid % 4), a, 0, vid});
+            }
+            maxAccessor[a] = std::max(maxAccessor[a], vid);
+        }
+        for (unsigned k = 0; k < window; ++k)
+            ops.push_back({Op::Commit, 0, 0, 0, next++});
+    }
+    return ops;
+}
+
+/** Replays the trace; returns every load value plus the final image. */
+std::vector<std::uint64_t>
+replay(CacheSystem& sys, const std::vector<Op>& ops,
+       const std::vector<Addr>& addrs)
+{
+    std::vector<std::uint64_t> obs;
+    for (const Op& op : ops) {
+        switch (op.kind) {
+          case Op::Load: {
+              AccessResult r = sys.load(op.core, op.addr, 8, op.vid);
+              EXPECT_FALSE(r.aborted);
+              obs.push_back(r.value);
+              break;
+          }
+          case Op::Store: {
+              AccessResult r =
+                  sys.store(op.core, op.addr, op.value, 8, op.vid);
+              EXPECT_FALSE(r.aborted);
+              break;
+          }
+          case Op::Commit:
+            sys.commit(op.vid);
+            break;
+        }
+    }
+    sys.flushDirtyToMemory();
+    for (Addr a : addrs)
+        obs.push_back(sys.memory().read(a, 8));
+    return obs;
+}
+
+class LazyEagerEquivalence
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(LazyEagerEquivalence, SameObservationsBothSchemes)
+{
+    const std::uint64_t seed = GetParam();
+    const bool tiny = (seed % 2) == 0;
+    std::vector<Op> ops = makeTrace(seed);
+    std::vector<Addr> addrs;
+    for (unsigned i = 0; i < 16; ++i)
+        addrs.push_back(0x40000 + i * 64);
+
+    EventQueue eqL, eqE;
+    CacheSystem lazy(eqL, config(true, tiny));
+    CacheSystem eager(eqE, config(false, tiny));
+    auto a = replay(lazy, ops, addrs);
+    auto b = replay(eager, ops, addrs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << "observation " << i;
+    lazy.checkInvariants();
+    eager.checkInvariants();
+}
+
+TEST_P(LazyEagerEquivalence, AbortRollbackIdenticalBothSchemes)
+{
+    const std::uint64_t seed = GetParam() * 31 + 7;
+    Rng rng(seed);
+
+    for (bool lazyMode : {true, false}) {
+        EventQueue eq;
+        CacheSystem sys(eq, config(lazyMode, false));
+        for (unsigned i = 0; i < 8; ++i)
+            sys.memory().write(0x50000 + i * 64, 100 + i, 8);
+        // Commit one transaction, leave two live, then abort.
+        sys.store(0, 0x50000, 1, 8, 1);
+        sys.commit(1);
+        sys.store(1, 0x50040, 2, 8, 2);
+        sys.load(2, 0x50080, 8, 3);
+        sys.abortAll();
+        sys.flushDirtyToMemory();
+        EXPECT_EQ(sys.memory().read(0x50000, 8), 1u) << lazyMode;
+        EXPECT_EQ(sys.memory().read(0x50040, 8), 101u) << lazyMode;
+    }
+}
+
+TEST(LazyEager, EagerChargesPerLineCost)
+{
+    EventQueue eq;
+    CacheSystem eager(eq, config(false, false));
+    for (unsigned i = 0; i < 32; ++i)
+        eager.store(0, 0x60000 + i * 64, i, 8, 1);
+    Cycles c = eager.commit(1);
+    // 32 speculative lines at eagerPerLineCycles each, plus the bus.
+    EXPECT_GE(c, 32 * eager.config().eagerPerLineCycles);
+
+    EventQueue eq2;
+    CacheSystem lazy(eq2, config(true, false));
+    for (unsigned i = 0; i < 32; ++i)
+        lazy.store(0, 0x60000 + i * 64, i, 8, 1);
+    EXPECT_LT(lazy.commit(1), c);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LazyEagerEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+} // namespace
+} // namespace hmtx::sim

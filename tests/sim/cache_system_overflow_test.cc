@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests of speculative memory overflowing the caches (§5.4): pristine
+ * S-O versions may spill to memory and be recovered via the snoop
+ * assertion; any other speculative line falling out of the last-level
+ * cache must abort the transaction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache_system.hh"
+#include "sim/event_queue.hh"
+
+namespace hmtx::sim
+{
+namespace
+{
+
+/** A deliberately tiny hierarchy so evictions are easy to force. */
+MachineConfig
+tinyConfig()
+{
+    MachineConfig cfg;
+    cfg.l1SizeKB = 1; // 8 sets x 2 ways
+    cfg.l1Assoc = 2;
+    cfg.l2SizeKB = 2; // 16 sets x 2 ways
+    cfg.l2Assoc = 2;
+    return cfg;
+}
+
+class OverflowFixture : public ::testing::Test
+{
+  protected:
+    OverflowFixture() : sys(eq, tinyConfig()) {}
+
+    /** Addresses all mapping to L1 set 0 and L2 set 0. */
+    Addr
+    conflictAddr(unsigned i) const
+    {
+        unsigned l1Stride = sys.config().l1Sets() * kLineBytes;
+        unsigned l2Stride = sys.config().l2Sets() * kLineBytes;
+        return static_cast<Addr>(i) * std::max(l1Stride, l2Stride) *
+            2;
+    }
+
+    EventQueue eq;
+    CacheSystem sys;
+};
+
+TEST_F(OverflowFixture, PristineVersionsOverflowWithoutAborting)
+{
+    // Speculative writes create S-O + S-M pairs in one set; the
+    // pristine S-O(0,·) versions overflow to memory instead of
+    // aborting (§5.4).
+    for (unsigned i = 0; i < 4; ++i) {
+        sys.memory().write(conflictAddr(i), 100 + i, 8);
+        // Read first so a pristine version exists in the cache.
+        sys.load(0, conflictAddr(i), 8, 1);
+        ASSERT_FALSE(sys.store(0, conflictAddr(i), 200 + i, 8, 1)
+                         .aborted)
+            << "write " << i;
+    }
+    EXPECT_EQ(sys.stats().aborts, 0u);
+    EXPECT_GT(sys.stats().soOverflowWritebacks, 0u);
+
+    // The speculative versions are all still reachable.
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(sys.load(1, conflictAddr(i), 8, 1).value, 200 + i);
+}
+
+TEST_F(OverflowFixture, OverflowedPristineVersionRefetches)
+{
+    sys.memory().write(conflictAddr(0), 42, 8);
+    sys.store(0, conflictAddr(0), 77, 8, 2);
+    // Force the (cold-store, so memory-resident) pristine version to
+    // be the only source for an earlier VID.
+    AccessResult r = sys.load(1, conflictAddr(0), 8, 1);
+    EXPECT_FALSE(r.aborted);
+    EXPECT_EQ(r.value, 42u);
+    EXPECT_GT(sys.stats().soRefetches, 0u);
+    // And the speculative version is unharmed.
+    EXPECT_EQ(sys.load(1, conflictAddr(0), 8, 2).value, 77u);
+}
+
+TEST_F(OverflowFixture, SpeculativeOverflowBeyondLlcAborts)
+{
+    // More distinct speculatively *modified* lines in one set family
+    // than L1 + L2 can hold: the transaction must abort (§5.4).
+    bool aborted = false;
+    for (unsigned i = 0; i < 8 && !aborted; ++i)
+        aborted = sys.store(0, conflictAddr(i), i, 8, 1).aborted;
+    EXPECT_TRUE(aborted);
+    EXPECT_GT(sys.stats().capacityAborts, 0u);
+
+    // Rollback left committed state intact.
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(sys.load(0, conflictAddr(i), 8, 0).value, 0u);
+}
+
+TEST_F(OverflowFixture, VictimSelectionPrefersPristineVersions)
+{
+    // With both S-O(0,·) and S-M lines in a full set, the S-O lines
+    // must be chosen for eviction first (§5.4).
+    sys.memory().write(conflictAddr(0), 1, 8);
+    sys.load(0, conflictAddr(0), 8, 1);
+    sys.store(0, conflictAddr(0), 2, 8, 1); // S-O(0,1) + S-M(1,1)
+    sys.store(0, conflictAddr(1), 3, 8, 1); // S-M(1,1) another line
+    sys.store(0, conflictAddr(2), 4, 8, 1);
+    sys.store(0, conflictAddr(3), 5, 8, 1);
+    EXPECT_EQ(sys.stats().aborts, 0u);
+    EXPECT_EQ(sys.load(1, conflictAddr(0), 8, 1).value, 2u);
+    EXPECT_EQ(sys.load(1, conflictAddr(3), 8, 1).value, 5u);
+}
+
+} // namespace
+} // namespace hmtx::sim

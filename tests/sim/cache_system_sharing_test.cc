@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests of efficient read-sharing of speculative data (§4.1): S-S
+ * copies of the latest version serve later VIDs locally (no bus
+ * traffic per transaction), record reads as distributed marks that
+ * store broadcasts aggregate, and never plant wrong-path marks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache_system.hh"
+#include "sim/event_queue.hh"
+
+namespace hmtx::sim
+{
+namespace
+{
+
+MachineConfig
+smallConfig()
+{
+    MachineConfig cfg;
+    cfg.l2SizeKB = 256;
+    return cfg;
+}
+
+class SharingFixture : public ::testing::Test
+{
+  protected:
+    SharingFixture() : sys(eq, smallConfig()) {}
+
+    EventQueue eq;
+    CacheSystem sys;
+};
+
+TEST_F(SharingFixture, LatestCopyServesLaterVidsLocally)
+{
+    // Read-only shared data (a dictionary, weight matrix, ...):
+    // core 0 owns it, core 1 reads it from transaction after
+    // transaction. Only the first read may cross the bus.
+    sys.memory().write(0x100, 7, 8);
+    sys.load(0, 0x100, 8, 1); // owner marking at core 0
+
+    AccessResult first = sys.load(1, 0x100, 8, 2);
+    EXPECT_FALSE(first.l1Hit);
+    for (Vid v = 3; v <= 10; ++v) {
+        AccessResult r = sys.load(1, 0x100, 8, v);
+        EXPECT_TRUE(r.l1Hit) << "vid " << v;
+        EXPECT_EQ(r.value, 7u);
+    }
+}
+
+TEST_F(SharingFixture, DistributedReadMarksAbortConflictingStores)
+{
+    // The read of VID 5 lands on core 1's local copy, not the owner;
+    // a VID-3 store must still detect it (§4.3 via aggregation).
+    sys.memory().write(0x140, 1, 8);
+    sys.load(0, 0x140, 8, 1);
+    sys.load(1, 0x140, 8, 2); // creates the local copy at core 1
+    AccessResult r5 = sys.load(1, 0x140, 8, 5);
+    ASSERT_TRUE(r5.l1Hit); // served by the local copy
+
+    AccessResult st = sys.store(2, 0x140, 9, 8, 3);
+    EXPECT_TRUE(st.aborted);
+}
+
+TEST_F(SharingFixture, SupersededCopyStopsServingLaterVids)
+{
+    sys.memory().write(0x180, 1, 8);
+    sys.load(0, 0x180, 8, 1);
+    sys.load(1, 0x180, 8, 2); // copy at core 1
+    ASSERT_FALSE(sys.store(2, 0x180, 50, 8, 6).aborted);
+    // VID 7 must see the new version, not core 1's stale copy.
+    EXPECT_EQ(sys.load(1, 0x180, 8, 7).value, 50u);
+    // VID 3 still sees the pristine version.
+    EXPECT_EQ(sys.load(1, 0x180, 8, 3).value, 1u);
+    sys.checkInvariants();
+}
+
+TEST_F(SharingFixture, WrongPathLoadPlantsNoMarkOnCopies)
+{
+    // A squashed wrong-path load from VID 24 pulls a copy into its
+    // cache; an earlier store must not falsely abort (§5.1).
+    sys.memory().write(0x1c0, 1, 8);
+    sys.load(0, 0x1c0, 8, 1);
+    sys.load(1, 0x1c0, 8, 24, /*wrongPath=*/true);
+    AccessResult st = sys.store(2, 0x1c0, 9, 8, 3);
+    EXPECT_FALSE(st.aborted);
+    EXPECT_EQ(sys.stats().avoidedAborts, 1u);
+}
+
+TEST_F(SharingFixture, NonSpecStoreSeesDistributedMarks)
+{
+    // Committed code writing data a live transaction read through a
+    // peer copy must abort conservatively.
+    sys.memory().write(0x200, 1, 8);
+    sys.load(0, 0x200, 8, 1);
+    sys.load(1, 0x200, 8, 4); // mark lives on core 1's copy
+    AccessResult st = sys.store(2, 0x200, 9, 8, 0);
+    EXPECT_TRUE(st.aborted);
+}
+
+TEST_F(SharingFixture, CopiesDieOnAbortAndReset)
+{
+    sys.memory().write(0x240, 1, 8);
+    sys.load(0, 0x240, 8, 1);
+    sys.load(1, 0x240, 8, 2);
+    sys.abortAll();
+    sys.checkInvariants();
+    // Replay works and the copy re-forms.
+    EXPECT_EQ(sys.load(1, 0x240, 8, 1).value, 1u);
+    sys.commit(1);
+    sys.commit(2);
+    sys.vidReset();
+    sys.checkInvariants();
+    EXPECT_EQ(sys.load(1, 0x240, 8, 1).value, 1u);
+}
+
+TEST_F(SharingFixture, CopiesSurviveCommitsForLaterTransactions)
+{
+    // The whole point: a committed transaction's copy keeps serving
+    // the next transactions without bus traffic.
+    sys.memory().write(0x280, 5, 8);
+    sys.load(0, 0x280, 8, 1);
+    sys.load(1, 0x280, 8, 1);
+    sys.commit(1);
+    AccessResult r = sys.load(1, 0x280, 8, 2);
+    EXPECT_TRUE(r.l1Hit);
+    EXPECT_EQ(r.value, 5u);
+}
+
+} // namespace
+} // namespace hmtx::sim

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Tests of the speculative HMTX protocol behaviour: uncommitted value
+ * forwarding, dependence-violation detection (§4.3, both temporal
+ * orders of every dependence kind), group commit (§4.4), abort
+ * rollback, VID reset (§4.6), and the Figure 5 walkthrough.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache_system.hh"
+#include "sim/event_queue.hh"
+
+namespace hmtx::sim
+{
+namespace
+{
+
+MachineConfig
+smallConfig()
+{
+    MachineConfig cfg;
+    cfg.l2SizeKB = 256;
+    return cfg;
+}
+
+class SpecFixture : public ::testing::Test
+{
+  protected:
+    SpecFixture() : sys(eq, smallConfig()) {}
+
+    /** Initializes committed memory directly. */
+    void seed(Addr a, std::uint64_t v) { sys.memory().write(a, v, 8); }
+
+    EventQueue eq;
+    CacheSystem sys;
+};
+
+// --- Uncommitted value forwarding (§3, requirement 2) -------------------
+
+TEST_F(SpecFixture, ForwardingToSameVidOnAnotherCore)
+{
+    // Stage 1 (core 0) speculatively stores; stage 2 (core 1)
+    // continues the same transaction and must see the value even
+    // though nothing committed.
+    seed(0x100, 1);
+    ASSERT_FALSE(sys.store(0, 0x100, 42, 8, 1).aborted);
+    AccessResult r = sys.load(1, 0x100, 8, 1);
+    EXPECT_FALSE(r.aborted);
+    EXPECT_EQ(r.value, 42u);
+    EXPECT_EQ(sys.memory().read(0x100, 8), 1u); // memory untouched
+}
+
+TEST_F(SpecFixture, ForwardingToLaterVids)
+{
+    seed(0x100, 1);
+    sys.store(0, 0x100, 42, 8, 1);
+    EXPECT_EQ(sys.load(1, 0x100, 8, 2).value, 42u);
+    EXPECT_EQ(sys.load(2, 0x100, 8, 5).value, 42u);
+}
+
+TEST_F(SpecFixture, EarlierVidsSeePristineVersion)
+{
+    // A write by VID 3 must stay invisible to VID 2 (write-after-read
+    // ordering by VID, §4.2).
+    seed(0x140, 7);
+    sys.store(0, 0x140, 99, 8, 3);
+    EXPECT_EQ(sys.load(1, 0x140, 8, 2).value, 7u);
+    // And the non-speculative view is the committed one.
+    EXPECT_EQ(sys.load(2, 0x140, 8, 0).value, 7u);
+}
+
+TEST_F(SpecFixture, ChainedVersionsServeTheRightVids)
+{
+    seed(0x180, 10);
+    sys.store(0, 0x180, 11, 8, 1);
+    sys.store(1, 0x180, 12, 8, 2);
+    sys.store(2, 0x180, 13, 8, 4);
+    EXPECT_EQ(sys.load(3, 0x180, 8, 1).value, 11u);
+    EXPECT_EQ(sys.load(3, 0x180, 8, 2).value, 12u);
+    EXPECT_EQ(sys.load(3, 0x180, 8, 3).value, 12u);
+    EXPECT_EQ(sys.load(3, 0x180, 8, 4).value, 13u);
+    EXPECT_EQ(sys.load(3, 0x180, 8, 63).value, 13u);
+    sys.checkInvariants();
+}
+
+// --- Dependence violations (§4.3) ----------------------------------------
+
+TEST_F(SpecFixture, FlowDependenceStoreFirstForwards)
+{
+    // s_x then l_y with x < y: forwarding, no abort.
+    seed(0x200, 0);
+    sys.store(0, 0x200, 5, 8, 2);
+    AccessResult r = sys.load(1, 0x200, 8, 3);
+    EXPECT_FALSE(r.aborted);
+    EXPECT_EQ(r.value, 5u);
+    EXPECT_EQ(sys.stats().aborts, 0u);
+}
+
+TEST_F(SpecFixture, FlowDependenceLoadFirstAborts)
+{
+    // l_y then s_x with x < y: the load saw stale data; abort (§4.3).
+    seed(0x200, 0);
+    sys.load(1, 0x200, 8, 3);
+    AccessResult r = sys.store(0, 0x200, 5, 8, 2);
+    EXPECT_TRUE(r.aborted);
+    EXPECT_EQ(sys.stats().aborts, 1u);
+}
+
+TEST_F(SpecFixture, AntiDependenceEitherOrderSucceeds)
+{
+    // l_x and s_y with x < y never conflict (§4.3).
+    seed(0x240, 1);
+    sys.load(0, 0x240, 8, 2);
+    EXPECT_FALSE(sys.store(1, 0x240, 9, 8, 3).aborted);
+    EXPECT_EQ(sys.load(2, 0x240, 8, 2).value, 1u);
+
+    seed(0x280, 4);
+    sys.store(0, 0x280, 9, 8, 3);
+    AccessResult r = sys.load(1, 0x280, 8, 2);
+    EXPECT_FALSE(r.aborted);
+    EXPECT_EQ(r.value, 4u); // pristine version feeds the earlier VID
+    EXPECT_EQ(sys.stats().aborts, 0u);
+}
+
+TEST_F(SpecFixture, OutputDependenceInOrderSucceeds)
+{
+    seed(0x2c0, 0);
+    EXPECT_FALSE(sys.store(0, 0x2c0, 1, 8, 2).aborted);
+    EXPECT_FALSE(sys.store(1, 0x2c0, 2, 8, 3).aborted);
+    EXPECT_EQ(sys.load(2, 0x2c0, 8, 2).value, 1u);
+    EXPECT_EQ(sys.load(2, 0x2c0, 8, 3).value, 2u);
+}
+
+TEST_F(SpecFixture, OutputDependenceOutOfOrderAborts)
+{
+    seed(0x2c0, 0);
+    sys.store(0, 0x2c0, 2, 8, 3);
+    AccessResult r = sys.store(1, 0x2c0, 1, 8, 2);
+    EXPECT_TRUE(r.aborted);
+}
+
+TEST_F(SpecFixture, SameVidFromTwoCoresCollaborates)
+{
+    // Two threads of one MTX write the same line in turn: allowed,
+    // the version migrates (§3).
+    seed(0x300, 0);
+    EXPECT_FALSE(sys.store(0, 0x300, 1, 8, 1).aborted);
+    EXPECT_FALSE(sys.store(1, 0x300, 2, 8, 1).aborted);
+    EXPECT_FALSE(sys.store(0, 0x308, 3, 8, 1).aborted);
+    EXPECT_EQ(sys.load(2, 0x300, 8, 1).value, 2u);
+    EXPECT_EQ(sys.load(2, 0x308, 8, 1).value, 3u);
+    sys.checkInvariants();
+}
+
+TEST_F(SpecFixture, NonSpecStoreToLiveSpecDataAborts)
+{
+    seed(0x340, 0);
+    sys.load(0, 0x340, 8, 2);
+    AccessResult r = sys.store(1, 0x340, 9, 8, 0);
+    EXPECT_TRUE(r.aborted);
+}
+
+// --- Group commit (§4.4) ---------------------------------------------------
+
+TEST_F(SpecFixture, GroupCommitPublishesAllCoresWrites)
+{
+    // One transaction, two threads on two cores, writes in both
+    // caches; a single commitMTX must atomically publish everything.
+    seed(0x400, 0);
+    seed(0x440, 0);
+    sys.store(0, 0x400, 10, 8, 1);
+    sys.store(1, 0x440, 20, 8, 1);
+    // Invisible to the non-speculative view before commit.
+    EXPECT_EQ(sys.load(2, 0x400, 8, 0).value, 0u);
+    EXPECT_EQ(sys.load(3, 0x440, 8, 0).value, 0u);
+
+    sys.commit(1);
+    EXPECT_EQ(sys.load(2, 0x400, 8, 0).value, 10u);
+    EXPECT_EQ(sys.load(3, 0x440, 8, 0).value, 20u);
+    sys.checkInvariants();
+}
+
+TEST_F(SpecFixture, CommitsMustBeConsecutive)
+{
+    sys.store(0, 0x480, 1, 8, 1);
+    sys.store(0, 0x4c0, 2, 8, 2);
+    EXPECT_THROW(sys.commit(2), std::logic_error);
+    EXPECT_NO_THROW(sys.commit(1));
+    EXPECT_NO_THROW(sys.commit(2));
+}
+
+TEST_F(SpecFixture, CommittedDataReachesMemoryOnFlush)
+{
+    seed(0x500, 3);
+    sys.store(0, 0x500, 8, 8, 1);
+    sys.commit(1);
+    sys.flushDirtyToMemory();
+    EXPECT_EQ(sys.memory().read(0x500, 8), 8u);
+}
+
+TEST_F(SpecFixture, CommitKeepsLaterSpeculativeVersions)
+{
+    seed(0x540, 0);
+    sys.store(0, 0x540, 1, 8, 1);
+    sys.store(1, 0x540, 2, 8, 2);
+    sys.commit(1);
+    // VID 2 is still speculative: non-speculative view sees VID 1's
+    // committed value; VID 2 still sees its own.
+    EXPECT_EQ(sys.load(2, 0x540, 8, 0).value, 1u);
+    EXPECT_EQ(sys.load(3, 0x540, 8, 2).value, 2u);
+    sys.commit(2);
+    EXPECT_EQ(sys.load(2, 0x540, 8, 0).value, 2u);
+}
+
+// --- Abort rollback ----------------------------------------------------------
+
+TEST_F(SpecFixture, AbortRollsBackToCommittedState)
+{
+    seed(0x600, 100);
+    sys.store(0, 0x600, 200, 8, 1);
+    sys.store(1, 0x604, 300, 4, 1);
+    sys.abortAll();
+    EXPECT_EQ(sys.load(0, 0x600, 8, 0).value, 100u);
+    EXPECT_EQ(sys.load(1, 0x604, 4, 0).value, 0u);
+    sys.checkInvariants();
+}
+
+TEST_F(SpecFixture, AbortPreservesEarlierCommits)
+{
+    seed(0x640, 1);
+    sys.store(0, 0x640, 2, 8, 1);
+    sys.commit(1);
+    sys.store(1, 0x640, 3, 8, 2);
+    sys.abortAll();
+    EXPECT_EQ(sys.load(2, 0x640, 8, 0).value, 2u);
+}
+
+TEST_F(SpecFixture, ExecutionContinuesAfterAbort)
+{
+    seed(0x680, 5);
+    sys.store(0, 0x680, 6, 8, 1);
+    sys.abortAll();
+    // Replay with the same VID succeeds and commits.
+    EXPECT_FALSE(sys.store(0, 0x680, 7, 8, 1).aborted);
+    sys.commit(1);
+    EXPECT_EQ(sys.load(1, 0x680, 8, 0).value, 7u);
+}
+
+// --- VID reset (§4.6) ----------------------------------------------------------
+
+TEST_F(SpecFixture, VidResetAllowsWindowReuse)
+{
+    seed(0x700, 0);
+    sys.store(0, 0x700, 1, 8, 1);
+    sys.commit(1);
+    sys.store(0, 0x740, 2, 8, 2);
+    sys.commit(2);
+
+    sys.vidReset();
+    EXPECT_EQ(sys.lcVid(), 0u);
+    // VID 1 is usable again; it must see all previously committed
+    // state and commit cleanly.
+    EXPECT_EQ(sys.load(1, 0x700, 8, 1).value, 1u);
+    EXPECT_FALSE(sys.store(1, 0x700, 9, 8, 1).aborted);
+    sys.commit(1);
+    EXPECT_EQ(sys.load(2, 0x700, 8, 0).value, 9u);
+    sys.checkInvariants();
+}
+
+// --- Figure 5 walkthrough --------------------------------------------------------
+
+/**
+ * Replays the exact instruction sequence of Figure 5 (two threads of
+ * the Figure 3 linked-list pipeline touching address 0xa's line) and
+ * checks the observable behaviour at each step.
+ */
+TEST_F(SpecFixture, Figure5Trace)
+{
+    const Addr a = 0xa00; // "0xa" in the figure
+    seed(a, 0xBEEF);
+
+    // (1) Thread 1, TX 1: r1 = M[0xa]. Line becomes S-E(0,1).
+    AccessResult r1 = sys.load(0, a, 8, 1);
+    EXPECT_EQ(r1.value, 0xBEEFu);
+
+    // (2) Thread 1, TX 1: M[0xa] = ... Creates S-O(0,1) + S-M(1,1).
+    ASSERT_FALSE(sys.store(0, a, 0x1111, 8, 1).aborted);
+
+    // (3) Thread 1, TX 2: load + store with VID 2.
+    EXPECT_EQ(sys.load(0, a, 8, 2).value, 0x1111u);
+    ASSERT_FALSE(sys.store(0, a, 0x2222, 8, 2).aborted);
+    // Three conceptual versions now exist: pristine, VID 1's, VID 2's.
+
+    // (4) Thread 2, TX 1: the load broadcasts and hits the S-O(1,2)
+    // version in cache 1 — uncommitted value forwarding of VID 1's
+    // data, not VID 2's.
+    AccessResult r4 = sys.load(1, a, 8, 1);
+    EXPECT_EQ(r4.value, 0x1111u);
+
+    // An access with VID >= 2 sees VID 2's version.
+    EXPECT_EQ(sys.load(1, a, 8, 2).value, 0x2222u);
+
+    // (5) Thread 2 commits TX 1: the pristine S-O(0,1) dies, VID 1's
+    // version becomes the committed one, VID 2's stays speculative.
+    sys.commit(1);
+    EXPECT_EQ(sys.load(2, a, 8, 0).value, 0x1111u);
+    EXPECT_EQ(sys.load(3, a, 8, 2).value, 0x2222u);
+
+    sys.commit(2);
+    EXPECT_EQ(sys.load(2, a, 8, 0).value, 0x2222u);
+    sys.checkInvariants();
+}
+
+// --- R/W set accounting (Figure 9) -------------------------------------------------
+
+TEST_F(SpecFixture, ReadWriteSetsAccumulateAtCommit)
+{
+    seed(0x800, 0);
+    sys.load(0, 0x800, 8, 1);
+    sys.load(0, 0x840, 8, 1);
+    sys.load(0, 0x844, 8, 1); // same line as 0x840
+    sys.store(0, 0x880, 1, 8, 1);
+    sys.commit(1);
+    EXPECT_EQ(sys.stats().readSetLines, 2u);
+    EXPECT_EQ(sys.stats().writeSetLines, 1u);
+    EXPECT_EQ(sys.stats().combinedSetLines, 3u);
+    EXPECT_EQ(sys.stats().committedTxs, 1u);
+}
+
+} // namespace
+} // namespace hmtx::sim

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Edge-by-edge conformance tests for the Figure 4 speculative-access
+ * state diagram: for each starting state, every read/write/snooped
+ * access lands in exactly the state the protocol prescribes, observed
+ * end-to-end through the cache system.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "sim/cache_system.hh"
+#include "sim/event_queue.hh"
+
+namespace hmtx::sim
+{
+namespace
+{
+
+class Fig4 : public ::testing::Test
+{
+  protected:
+    Fig4()
+    {
+        cfg.l2SizeKB = 256;
+        sys = std::make_unique<CacheSystem>(eq, cfg);
+        sys->memory().write(kA, 7, 8);
+    }
+
+    /** States of every version of kA's line across the system. */
+    std::multiset<std::string>
+    states()
+    {
+        std::multiset<std::string> out;
+        for (CoreId c = 0; c < 5; ++c) {
+            Cache& cache = c < 4 ? sys->l1(c) : sys->l2();
+            for (auto& l : cache.set(kA))
+                if (l.state != State::Invalid && l.base == lineAddr(kA))
+                    out.insert(std::string(stateName(l.state)) + "(" +
+                               std::to_string(l.tag.mod) + "," +
+                               std::to_string(l.tag.high) + ")");
+        }
+        return out;
+    }
+
+    static constexpr Addr kA = 0xA00;
+    EventQueue eq;
+    MachineConfig cfg;
+    std::unique_ptr<CacheSystem> sys;
+};
+
+TEST_F(Fig4, EdgeE_SpecRead_ToSE)
+{
+    sys->load(0, kA, 8, 0); // E(0,0)
+    ASSERT_EQ(states(), (std::multiset<std::string>{"E(0,0)"}));
+    sys->load(0, kA, 8, 2); // E --Read--> S-E
+    EXPECT_EQ(states(), (std::multiset<std::string>{"S-E(0,2)"}));
+}
+
+TEST_F(Fig4, EdgeM_SpecRead_ToSM)
+{
+    sys->store(0, kA, 9, 8, 0); // M(0,0), dirty
+    sys->load(0, kA, 8, 2);     // M --Read--> S-M (dirty data)
+    EXPECT_EQ(states(), (std::multiset<std::string>{"S-M(0,2)"}));
+}
+
+TEST_F(Fig4, EdgeSE_SpecWrite_CreatesCopyAndSM)
+{
+    sys->load(0, kA, 8, 1);     // S-E(0,1)
+    sys->store(0, kA, 9, 8, 1); // Write >= h: unmodified copy created
+    EXPECT_EQ(states(), (std::multiset<std::string>{"S-O(0,1)",
+                                                    "S-M(1,1)"}));
+}
+
+TEST_F(Fig4, EdgeSM_ReadUpdatesHigh)
+{
+    sys->store(0, kA, 9, 8, 1);
+    sys->load(0, kA, 8, 3); // S-M --Read (>=m)--> S-M, high := 3
+    EXPECT_EQ(states(), (std::multiset<std::string>{"S-M(1,3)"}));
+}
+
+TEST_F(Fig4, EdgeSM_LaterWriteCreatesChain)
+{
+    sys->store(0, kA, 9, 8, 1);
+    sys->store(0, kA, 10, 8, 3); // Write > h: new copy created
+    EXPECT_EQ(states(), (std::multiset<std::string>{"S-O(1,3)",
+                                                    "S-M(3,3)"}));
+}
+
+TEST_F(Fig4, EdgeSM_SameVidWrite_InPlace)
+{
+    sys->store(0, kA, 9, 8, 2);
+    sys->store(0, kA, 10, 8, 2); // Write == h and m != 0: in place
+    EXPECT_EQ(states(), (std::multiset<std::string>{"S-M(2,2)"}));
+    EXPECT_EQ(sys->load(1, kA, 8, 2).value, 10u);
+}
+
+TEST_F(Fig4, EdgeSM_EarlierWrite_Abort)
+{
+    sys->store(0, kA, 9, 8, 2);
+    sys->load(0, kA, 8, 5); // high = 5
+    AccessResult r = sys->store(1, kA, 1, 8, 3); // Write < h: ABORT
+    EXPECT_TRUE(r.aborted);
+}
+
+TEST_F(Fig4, EdgeSO_Write_Abort)
+{
+    sys->load(0, kA, 8, 1);
+    sys->store(0, kA, 9, 8, 4); // chain: S-O(0,4) + S-M(4,4)
+    AccessResult r = sys->store(1, kA, 1, 8, 2); // hits S-O: ABORT
+    EXPECT_TRUE(r.aborted);
+}
+
+TEST_F(Fig4, EdgeSnoopedRead_PeerReceivesCopy)
+{
+    sys->store(0, kA, 9, 8, 2); // S-M(2,2) at core 0
+    sys->load(1, kA, 8, 3);     // snooped read from core 1
+    auto st = states();
+    // Owner stays the responder; the peer holds a silent S-S copy.
+    EXPECT_EQ(st.count("S-M(2,3)"), 1u);
+    ASSERT_EQ(st.size(), 2u);
+    EXPECT_NE(st.lower_bound("S-S")->find("S-S"), std::string::npos);
+}
+
+TEST_F(Fig4, EdgeCommit_Figure6)
+{
+    sys->load(0, kA, 8, 1);
+    sys->store(0, kA, 9, 8, 1); // S-O(0,1) + S-M(1,1)
+    sys->commit(1);
+    sys->load(0, kA, 8, 0); // touch to reconcile lazily
+    EXPECT_EQ(states(), (std::multiset<std::string>{"M(0,0)"}));
+}
+
+TEST_F(Fig4, EdgeAbort_Figure7)
+{
+    sys->load(0, kA, 8, 1);     // S-E(0,1)
+    sys->store(0, kA, 9, 8, 1); // + S-O(0,1), S-M(1,1)
+    sys->abortAll();
+    auto st = states();
+    // The uncommitted S-M flushed; the pristine data survives
+    // non-speculatively (S-E had taken it clean).
+    for (const auto& s : st)
+        EXPECT_EQ(s.find("S-"), std::string::npos) << s;
+    EXPECT_EQ(sys->load(1, kA, 8, 0).value, 7u);
+}
+
+} // namespace
+} // namespace hmtx::sim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests of the functional main-memory model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/memory.hh"
+
+namespace hmtx::sim
+{
+namespace
+{
+
+TEST(MainMemory, ZeroFilledOnFirstTouch)
+{
+    MainMemory m;
+    EXPECT_EQ(m.read(0x123450, 8), 0u);
+    EXPECT_EQ(m.read(0xFFFFFFFF00, 4), 0u);
+}
+
+TEST(MainMemory, LittleEndianSubWordAccess)
+{
+    MainMemory m;
+    m.write(0x1000, 0x1122334455667788ull, 8);
+    EXPECT_EQ(m.read(0x1000, 1), 0x88u);
+    EXPECT_EQ(m.read(0x1001, 1), 0x77u);
+    EXPECT_EQ(m.read(0x1000, 2), 0x7788u);
+    EXPECT_EQ(m.read(0x1000, 4), 0x55667788u);
+    EXPECT_EQ(m.read(0x1004, 4), 0x11223344u);
+}
+
+TEST(MainMemory, PartialWritesLeaveNeighboursIntact)
+{
+    MainMemory m;
+    m.write(0x2000, 0xAAAAAAAAAAAAAAAAull, 8);
+    m.write(0x2002, 0xBB, 1);
+    EXPECT_EQ(m.read(0x2000, 8), 0xAAAAAAAAAABBAAAAull);
+}
+
+TEST(MainMemory, LineGranularReadWrite)
+{
+    MainMemory m;
+    LineData d{};
+    for (unsigned i = 0; i < kLineBytes; ++i)
+        d[i] = static_cast<std::uint8_t>(i);
+    m.writeLine(0x3007, d); // any address within the line
+    EXPECT_EQ(m.read(0x3000, 1), 0u);
+    EXPECT_EQ(m.read(0x3010, 1), 0x10u);
+    const LineData& rd = m.readLine(0x303F);
+    EXPECT_EQ(rd[63], 63u);
+}
+
+TEST(MainMemory, SparseTracking)
+{
+    MainMemory m;
+    m.write(0x0, 1, 8);
+    m.write(0x40, 1, 8);
+    m.write(0x7F, 1, 1); // same line as 0x40
+    EXPECT_EQ(m.touchedLines(), 2u);
+}
+
+TEST(LineHelpers, AlignmentMath)
+{
+    EXPECT_EQ(lineAddr(0x1234), 0x1200u);
+    EXPECT_EQ(lineOffset(0x1234), 0x34u);
+    EXPECT_EQ(lineAddr(0x1240), 0x1240u);
+    EXPECT_EQ(lineOffset(0x1240), 0u);
+}
+
+} // namespace
+} // namespace hmtx::sim

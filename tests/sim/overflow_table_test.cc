@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests of the OverflowTable container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/overflow_table.hh"
+
+namespace hmtx::sim
+{
+namespace
+{
+
+Line
+mkLine(Addr base, State st, Vid m, Vid h)
+{
+    Line l;
+    l.base = base;
+    l.state = st;
+    l.tag = {m, h};
+    return l;
+}
+
+TEST(OverflowTable, SpillAndLookup)
+{
+    OverflowTable t;
+    t.spill(mkLine(0x100, State::SpecModified, 3, 3));
+    t.spill(mkLine(0x100, State::SpecOwned, 1, 3));
+    t.spill(mkLine(0x200, State::SpecModified, 2, 2));
+
+    ASSERT_NE(t.versionsOf(0x100), nullptr);
+    EXPECT_EQ(t.versionsOf(0x100)->size(), 2u);
+    EXPECT_EQ(t.versionsOf(0x200)->size(), 1u);
+    EXPECT_EQ(t.versionsOf(0x300), nullptr);
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_EQ(t.spills(), 3u);
+}
+
+TEST(OverflowTable, RemoveErasesEmptyBuckets)
+{
+    OverflowTable t;
+    t.spill(mkLine(0x100, State::SpecModified, 3, 3));
+    t.remove(0x100, 0);
+    EXPECT_EQ(t.versionsOf(0x100), nullptr);
+    EXPECT_EQ(t.refills(), 1u);
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(OverflowTable, ForEachDropsInvalidatedEntries)
+{
+    OverflowTable t;
+    t.spill(mkLine(0x100, State::SpecModified, 3, 3));
+    t.spill(mkLine(0x100, State::SpecOwned, 1, 3));
+    t.spill(mkLine(0x200, State::SpecModified, 2, 2));
+    t.forEach([](Line& l) {
+        if (l.state == State::SpecOwned)
+            l.state = State::Invalid;
+    });
+    EXPECT_EQ(t.size(), 2u);
+    t.forEach([](Line& l) { l.state = State::Invalid; });
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.versionsOf(0x100), nullptr);
+}
+
+TEST(OverflowTable, DataSurvivesRoundTrip)
+{
+    OverflowTable t;
+    Line l = mkLine(0x140, State::SpecModified, 5, 5);
+    l.dirty = true;
+    l.data[7] = 0xAB;
+    t.spill(l);
+    auto* vs = t.versionsOf(0x140);
+    ASSERT_NE(vs, nullptr);
+    EXPECT_EQ((*vs)[0].data[7], 0xAB);
+    EXPECT_TRUE((*vs)[0].dirty);
+    EXPECT_EQ((*vs)[0].tag, (VersionTag{5, 5}));
+}
+
+} // namespace
+} // namespace hmtx::sim

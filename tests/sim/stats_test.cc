@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests of the derived metrics in SysStats and the StatsReport
+ * formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sim/stats.hh"
+#include "sim/stats_report.hh"
+
+namespace hmtx::sim
+{
+namespace
+{
+
+TEST(SysStats, DerivedMetricsHandleZeroTransactions)
+{
+    SysStats s;
+    EXPECT_EQ(s.avgReadSetKB(), 0.0);
+    EXPECT_EQ(s.avgWriteSetKB(), 0.0);
+    EXPECT_EQ(s.avgCombinedSetKB(), 0.0);
+    EXPECT_EQ(s.avgSpecAccessesPerTx(), 0.0);
+    EXPECT_EQ(s.slaNeededRate(), 0.0);
+}
+
+TEST(SysStats, SetSizesConvertLinesToKilobytes)
+{
+    SysStats s;
+    s.committedTxs = 4;
+    s.readSetLines = 64;  // 64 lines * 64 B = 4 kB over 4 TXs
+    s.writeSetLines = 32;
+    s.combinedSetLines = 80;
+    EXPECT_DOUBLE_EQ(s.avgReadSetKB(), 1.0);
+    EXPECT_DOUBLE_EQ(s.avgWriteSetKB(), 0.5);
+    EXPECT_DOUBLE_EQ(s.avgCombinedSetKB(), 1.25);
+}
+
+TEST(SysStats, AccessAndSlaRates)
+{
+    SysStats s;
+    s.committedTxs = 10;
+    s.specLoads = 900;
+    s.specStores = 100;
+    s.slaNeeded = 90;
+    EXPECT_DOUBLE_EQ(s.avgSpecAccessesPerTx(), 100.0);
+    EXPECT_DOUBLE_EQ(s.slaNeededRate(), 0.1);
+}
+
+TEST(StatsReport, PrintsEveryStatGroup)
+{
+    SysStats s;
+    s.loads = 123;
+    s.commits = 7;
+    s.slaNeeded = 3;
+    s.specSpills = 2;
+    s.committedTxs = 7;
+
+    char buf[16384];
+    std::memset(buf, 0, sizeof(buf));
+    std::FILE* f = fmemopen(buf, sizeof(buf) - 1, "w");
+    ASSERT_NE(f, nullptr);
+    StatsReport(s).print(f);
+    std::fclose(f);
+
+    std::string out(buf);
+    for (const char* key :
+         {"mem.loads", "cache.l1MissRate", "fabric.busTxns",
+          "hmtx.commits", "sla.needed", "overflow.specSpills",
+          "tx.avgSpecAccesses"}) {
+        EXPECT_NE(out.find(key), std::string::npos) << key;
+    }
+    EXPECT_NE(out.find("123"), std::string::npos);
+}
+
+} // namespace
+} // namespace hmtx::sim

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests of the coroutine Task type and its interaction with the event
+ * queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/task.hh"
+
+namespace hmtx::sim
+{
+namespace
+{
+
+/** Awaitable that resumes after a delay on the event queue. */
+struct Delay
+{
+    EventQueue& eq;
+    Cycles cycles;
+
+    bool await_ready() const noexcept { return cycles == 0; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        eq.scheduleIn(cycles, [h] { h.resume(); });
+    }
+
+    void await_resume() const noexcept {}
+};
+
+Task<int>
+addAfterDelay(EventQueue& eq, int a, int b)
+{
+    co_await Delay{eq, 10};
+    co_return a + b;
+}
+
+Task<void>
+outer(EventQueue& eq, int& result)
+{
+    int x = co_await addAfterDelay(eq, 2, 3);
+    int y = co_await addAfterDelay(eq, x, 10);
+    result = y;
+}
+
+TEST(Task, NestedAwaitPropagatesValues)
+{
+    EventQueue eq;
+    int result = 0;
+    Task<void> t = outer(eq, result);
+    t.start();
+    eq.run();
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(result, 15);
+    EXPECT_EQ(eq.curTick(), 20u);
+}
+
+Task<void>
+thrower(EventQueue& eq)
+{
+    co_await Delay{eq, 5};
+    throw TxAborted{7};
+}
+
+Task<void>
+catcher(EventQueue& eq, unsigned& caughtVid)
+{
+    try {
+        co_await thrower(eq);
+    } catch (const TxAborted& e) {
+        caughtVid = e.vid;
+    }
+}
+
+TEST(Task, ExceptionsUnwindThroughAwaits)
+{
+    EventQueue eq;
+    unsigned vid = 0;
+    Task<void> t = catcher(eq, vid);
+    t.start();
+    eq.run();
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(vid, 7u);
+}
+
+TEST(Task, RootExceptionIsStoredAndRethrown)
+{
+    EventQueue eq;
+    Task<void> t = thrower(eq);
+    t.start();
+    eq.run();
+    EXPECT_TRUE(t.done());
+    EXPECT_THROW(t.rethrow(), TxAborted);
+}
+
+Task<void>
+interleaved(EventQueue& eq, std::vector<int>& log, int id, Cycles step)
+{
+    for (int i = 0; i < 3; ++i) {
+        co_await Delay{eq, step};
+        log.push_back(id);
+    }
+}
+
+TEST(Task, TasksInterleaveDeterministically)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    Task<void> a = interleaved(eq, log, 1, 10);
+    Task<void> b = interleaved(eq, log, 2, 15);
+    a.start();
+    b.start();
+    eq.run();
+    // a wakes at 10,20,30; b at 15,30,45. The tie at t=30 resolves in
+    // schedule order: b scheduled its wake-up at t=15, before a did at
+    // t=20, so b fires first.
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
+Task<int>
+immediate()
+{
+    co_return 42;
+}
+
+Task<void>
+awaitImmediate(int& out)
+{
+    out = co_await immediate();
+}
+
+TEST(Task, ImmediateCompletionWorks)
+{
+    int out = 0;
+    Task<void> t = awaitImmediate(out);
+    t.start();
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(out, 42);
+}
+
+} // namespace
+} // namespace hmtx::sim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests of the trace facility and its protocol hook points.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache_system.hh"
+#include "sim/event_queue.hh"
+#include "sim/trace.hh"
+
+namespace hmtx::sim
+{
+namespace
+{
+
+TEST(Trace, DisabledByDefaultAndCheap)
+{
+    Trace tr;
+    tr.event(TraceProtocol, 0, "should not record %d", 1);
+    EXPECT_EQ(tr.recorded(), 0u);
+    EXPECT_TRUE(tr.entries().empty());
+}
+
+TEST(Trace, RecordsEnabledCategoriesOnly)
+{
+    Trace tr(TraceCommit);
+    tr.event(TraceCommit, 10, "commit %u", 3);
+    tr.event(TraceProtocol, 11, "ignored");
+    ASSERT_EQ(tr.entries().size(), 1u);
+    EXPECT_EQ(tr.entries().front().text, "commit 3");
+    EXPECT_EQ(tr.entries().front().when, 10u);
+}
+
+TEST(Trace, RingDropsOldestBeyondCapacity)
+{
+    Trace tr(TraceAll, 4);
+    for (int i = 0; i < 10; ++i)
+        tr.event(TraceRuntime, i, "e%d", i);
+    EXPECT_EQ(tr.entries().size(), 4u);
+    EXPECT_EQ(tr.entries().front().text, "e6");
+    EXPECT_EQ(tr.dropped(), 6u);
+    EXPECT_EQ(tr.recorded(), 10u);
+}
+
+TEST(Trace, CacheSystemEmitsProtocolEvents)
+{
+    EventQueue eq;
+    MachineConfig cfg;
+    cfg.l2SizeKB = 256;
+    cfg.traceFlags = TraceAll;
+    CacheSystem sys(eq, cfg);
+
+    sys.store(0, 0x100, 1, 8, 1);
+    sys.commit(1);
+    EXPECT_GE(sys.trace().recorded(), 2u); // new version + commit
+
+    bool sawVersion = false, sawCommit = false;
+    for (const auto& e : sys.trace().entries()) {
+        if (e.text.find("new version") != std::string::npos)
+            sawVersion = true;
+        if (e.text.find("commit VID 1") != std::string::npos)
+            sawCommit = true;
+    }
+    EXPECT_TRUE(sawVersion);
+    EXPECT_TRUE(sawCommit);
+}
+
+TEST(Trace, AbortsAreTraced)
+{
+    EventQueue eq;
+    MachineConfig cfg;
+    cfg.l2SizeKB = 256;
+    cfg.traceFlags = TraceCommit;
+    CacheSystem sys(eq, cfg);
+
+    sys.load(0, 0x200, 8, 3);
+    sys.store(1, 0x200, 1, 8, 2); // flow violation
+    bool sawAbort = false;
+    for (const auto& e : sys.trace().entries())
+        if (e.text.find("ABORT") != std::string::npos)
+            sawAbort = true;
+    EXPECT_TRUE(sawAbort);
+}
+
+} // namespace
+} // namespace hmtx::sim

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests of the unbounded-speculative-sets extension (§8 future work /
+ * [27]): speculative versions spill to a memory-resident overflow
+ * table instead of aborting, refill on demand, and preserve every
+ * protocol property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/executors.hh"
+#include "sim/cache_system.hh"
+#include "sim/event_queue.hh"
+#include "workloads/bzip2.hh"
+
+namespace hmtx::sim
+{
+namespace
+{
+
+/** Tiny hierarchy so speculative state overflows immediately. */
+MachineConfig
+tinyConfig(bool unbounded)
+{
+    MachineConfig cfg;
+    cfg.l1SizeKB = 1;
+    cfg.l1Assoc = 2;
+    cfg.l2SizeKB = 2;
+    cfg.l2Assoc = 2;
+    cfg.unboundedSpecSets = unbounded;
+    return cfg;
+}
+
+/** Addresses that all land in L1/L2 set 0. */
+Addr
+conflictAddr(const CacheSystem& sys, unsigned i)
+{
+    unsigned stride = std::max(sys.config().l1Sets(),
+                               sys.config().l2Sets()) *
+        kLineBytes;
+    return 0x100000 + static_cast<Addr>(i) * stride * 2;
+}
+
+TEST(UnboundedSets, BoundedAbortsWhereUnboundedSpills)
+{
+    EventQueue eqB, eqU;
+    CacheSystem bounded(eqB, tinyConfig(false));
+    CacheSystem unbounded(eqU, tinyConfig(true));
+
+    bool abortedB = false;
+    for (unsigned i = 0; i < 10; ++i) {
+        abortedB |= bounded
+                        .store(0, conflictAddr(bounded, i), i + 1, 8, 1)
+                        .aborted;
+        ASSERT_FALSE(unbounded
+                         .store(0, conflictAddr(unbounded, i), i + 1,
+                                8, 1)
+                         .aborted)
+            << "write " << i;
+    }
+    EXPECT_TRUE(abortedB);
+    EXPECT_GT(bounded.stats().capacityAborts, 0u);
+    EXPECT_EQ(unbounded.stats().capacityAborts, 0u);
+    EXPECT_GT(unbounded.stats().specSpills, 0u);
+}
+
+TEST(UnboundedSets, SpilledVersionsRefillWithTheirData)
+{
+    EventQueue eq;
+    CacheSystem sys(eq, tinyConfig(true));
+    for (unsigned i = 0; i < 10; ++i)
+        sys.store(0, conflictAddr(sys, i), 100 + i, 8, 1);
+    ASSERT_GT(sys.stats().specSpills, 0u);
+    // Every version is still reachable — spilled ones refill.
+    for (unsigned i = 0; i < 10; ++i) {
+        AccessResult r = sys.load(1, conflictAddr(sys, i), 8, 1);
+        EXPECT_FALSE(r.aborted);
+        EXPECT_EQ(r.value, 100 + i) << i;
+    }
+    EXPECT_GT(sys.stats().specRefills, 0u);
+}
+
+TEST(UnboundedSets, RefillChargesTableWalkLatency)
+{
+    EventQueue eq;
+    CacheSystem sys(eq, tinyConfig(true));
+    for (unsigned i = 0; i < 10; ++i)
+        sys.store(0, conflictAddr(sys, i), i, 8, 1);
+    std::uint64_t before = sys.stats().specRefills;
+    AccessResult r = sys.load(1, conflictAddr(sys, 0), 8, 1);
+    if (sys.stats().specRefills > before) {
+        EXPECT_GE(r.latency, OverflowTable::kWalkCycles +
+                      sys.config().memLatency);
+    }
+}
+
+TEST(UnboundedSets, DependenceViolationsStillDetectedWhileSpilled)
+{
+    EventQueue eq;
+    CacheSystem sys(eq, tinyConfig(true));
+    // Reads by VID 5 spill out of the caches...
+    for (unsigned i = 0; i < 10; ++i)
+        sys.store(0, conflictAddr(sys, i), i, 8, 5);
+    ASSERT_GT(sys.stats().specSpills, 0u);
+    // ...yet a VID-2 store to a spilled line must still abort.
+    AccessResult r = sys.store(1, conflictAddr(sys, 0), 9, 8, 2);
+    EXPECT_TRUE(r.aborted);
+}
+
+TEST(UnboundedSets, GroupCommitCoversSpilledLines)
+{
+    EventQueue eq;
+    CacheSystem sys(eq, tinyConfig(true));
+    for (unsigned i = 0; i < 10; ++i)
+        sys.store(0, conflictAddr(sys, i), 100 + i, 8, 1);
+    sys.commit(1);
+    sys.flushDirtyToMemory();
+    for (unsigned i = 0; i < 10; ++i)
+        EXPECT_EQ(sys.memory().read(conflictAddr(sys, i), 8),
+                  100 + i);
+    EXPECT_EQ(sys.overflowTable().size(), 0u);
+}
+
+TEST(UnboundedSets, AbortDiscardsSpilledUncommittedState)
+{
+    EventQueue eq;
+    CacheSystem sys(eq, tinyConfig(true));
+    for (unsigned i = 0; i < 10; ++i)
+        sys.memory().write(conflictAddr(sys, i), 7, 8);
+    for (unsigned i = 0; i < 10; ++i)
+        sys.store(0, conflictAddr(sys, i), 100 + i, 8, 1);
+    sys.abortAll();
+    EXPECT_EQ(sys.overflowTable().size(), 0u);
+    for (unsigned i = 0; i < 10; ++i)
+        EXPECT_EQ(sys.load(0, conflictAddr(sys, i), 8, 0).value, 7u);
+}
+
+TEST(UnboundedSets, LargeFootprintBenchmarkCompletesOnTinyCaches)
+{
+    // bzip2 (the largest R/W sets of Figure 9) on a toy hierarchy:
+    // bounded mode cannot run it; unbounded mode completes with the
+    // sequential result.
+    workloads::Bzip2Workload::Params p;
+    p.blocks = 4;
+    p.wordsPerBlock = 512;
+
+    sim::MachineConfig big; // reference result on the real machine
+    workloads::Bzip2Workload seqWl(p);
+    runtime::ExecResult seq =
+        runtime::Runner::runSequential(seqWl, big);
+
+    sim::MachineConfig tiny;
+    tiny.l1SizeKB = 4;
+    tiny.l1Assoc = 2;
+    tiny.l2SizeKB = 16;
+    tiny.l2Assoc = 4;
+    tiny.unboundedSpecSets = true;
+    tiny.maxRecoveries = 100;
+    workloads::Bzip2Workload par(p);
+    runtime::ExecResult r = runtime::Runner::runHmtx(par, tiny);
+    EXPECT_EQ(r.checksum, seq.checksum);
+    EXPECT_EQ(r.stats.capacityAborts, 0u);
+    EXPECT_GT(r.stats.specSpills, 0u);
+}
+
+} // namespace
+} // namespace hmtx::sim

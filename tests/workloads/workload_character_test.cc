@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Checks that the benchmark proxies reproduce the *character* the
+ * paper reports for each program (Table 1 and Figure 9): relative
+ * per-TX access counts, read/write set orderings, branch behaviour
+ * and paradigms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "runtime/executors.hh"
+#include "workloads/all.hh"
+
+namespace hmtx::workloads
+{
+namespace
+{
+
+std::map<std::string, runtime::ExecResult>&
+results()
+{
+    // Run each benchmark once under HMTX and cache the results for
+    // all character checks.
+    static std::map<std::string, runtime::ExecResult> r = [] {
+        std::map<std::string, runtime::ExecResult> m;
+        sim::MachineConfig cfg;
+        for (auto& wl : makeSuite())
+            m[wl->name()] = runtime::Runner::runHmtx(*wl, cfg);
+        return m;
+    }();
+    return r;
+}
+
+double
+accessesPerTx(const runtime::ExecResult& r)
+{
+    return r.transactions == 0 ? 0.0
+        : static_cast<double>(r.stats.specLoads +
+                              r.stats.specStores) /
+            static_cast<double>(r.transactions);
+}
+
+TEST(Character, PerTxAccessCountOrderingMatchesTable1)
+{
+    auto& r = results();
+    // Table 1 ordering (scaled ~1000x down): ispell < hmmer < alvinn
+    // < crafty < gzip < parser < bzip2, with li also far above
+    // parser (li and bzip2 are the two giants, 182M and 131M).
+    EXPECT_LT(accessesPerTx(r["ispell"]),
+              accessesPerTx(r["456.hmmer"]));
+    EXPECT_LT(accessesPerTx(r["456.hmmer"]),
+              accessesPerTx(r["052.alvinn"]));
+    EXPECT_LT(accessesPerTx(r["052.alvinn"]),
+              accessesPerTx(r["186.crafty"]));
+    EXPECT_LT(accessesPerTx(r["186.crafty"]),
+              accessesPerTx(r["164.gzip"]));
+    EXPECT_LT(accessesPerTx(r["164.gzip"]),
+              accessesPerTx(r["197.parser"]));
+    EXPECT_LT(accessesPerTx(r["197.parser"]),
+              accessesPerTx(r["256.bzip2"]));
+    EXPECT_LT(accessesPerTx(r["197.parser"]),
+              accessesPerTx(r["130.li"]));
+}
+
+TEST(Character, Bzip2HasTheLargestCombinedSets)
+{
+    // Figure 9: 256.bzip2 has by far the largest average combined
+    // read/write set; ispell the smallest.
+    auto& r = results();
+    double bz = r["256.bzip2"].stats.avgCombinedSetKB();
+    for (auto& [name, res] : r) {
+        if (name == "256.bzip2")
+            continue;
+        EXPECT_LE(res.stats.avgCombinedSetKB(), bz) << name;
+    }
+    for (auto& [name, res] : r) {
+        if (name == "ispell")
+            continue;
+        EXPECT_GE(res.stats.avgCombinedSetKB(),
+                  r["ispell"].stats.avgCombinedSetKB())
+            << name;
+    }
+}
+
+TEST(Character, CraftyHasTheWorstBranchPrediction)
+{
+    // Table 1: 186.crafty's hot loop mispredicts most (5.59%);
+    // 052.alvinn's regular loops mispredict least (0.245%).
+    auto& r = results();
+    for (auto& [name, res] : r) {
+        if (name == "186.crafty")
+            continue;
+        EXPECT_LE(res.mispredictRate(),
+                  r["186.crafty"].mispredictRate() + 1e-9)
+            << name;
+    }
+    EXPECT_LT(r["052.alvinn"].mispredictRate(), 0.05);
+}
+
+TEST(Character, ParadigmsMatchTable1)
+{
+    for (auto& wl : makeSuite()) {
+        if (wl->name() == "052.alvinn")
+            EXPECT_EQ(wl->paradigm(), runtime::Paradigm::Doall);
+        else
+            EXPECT_EQ(wl->paradigm(), runtime::Paradigm::PsDswp)
+                << wl->name();
+    }
+}
+
+TEST(Character, HotLoopFractionsMatchTable1)
+{
+    std::map<std::string, double> expected = {
+        {"052.alvinn", 0.855}, {"130.li", 1.0},
+        {"164.gzip", 0.984},   {"186.crafty", 0.995},
+        {"197.parser", 1.0},   {"256.bzip2", 0.985},
+        {"456.hmmer", 1.0},    {"ispell", 0.865},
+    };
+    for (auto& wl : makeSuite())
+        EXPECT_DOUBLE_EQ(wl->hotLoopFraction(),
+                         expected[wl->name()])
+            << wl->name();
+}
+
+TEST(Character, SmtxComparisonSetMatchesSection61)
+{
+    EXPECT_TRUE(hasSmtxComparison("130.li"));
+    EXPECT_TRUE(hasSmtxComparison("052.alvinn"));
+    EXPECT_FALSE(hasSmtxComparison("186.crafty"));
+    EXPECT_FALSE(hasSmtxComparison("ispell"));
+}
+
+} // namespace
+} // namespace hmtx::workloads
