@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lazy_commit.dir/ablation_lazy_commit.cc.o"
+  "CMakeFiles/ablation_lazy_commit.dir/ablation_lazy_commit.cc.o.d"
+  "ablation_lazy_commit"
+  "ablation_lazy_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lazy_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

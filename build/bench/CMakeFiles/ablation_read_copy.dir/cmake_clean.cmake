@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_read_copy.dir/ablation_read_copy.cc.o"
+  "CMakeFiles/ablation_read_copy.dir/ablation_read_copy.cc.o.d"
+  "ablation_read_copy"
+  "ablation_read_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_read_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

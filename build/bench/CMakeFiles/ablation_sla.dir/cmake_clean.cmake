@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sla.dir/ablation_sla.cc.o"
+  "CMakeFiles/ablation_sla.dir/ablation_sla.cc.o.d"
+  "ablation_sla"
+  "ablation_sla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

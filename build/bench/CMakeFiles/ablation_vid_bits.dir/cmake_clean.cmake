@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vid_bits.dir/ablation_vid_bits.cc.o"
+  "CMakeFiles/ablation_vid_bits.dir/ablation_vid_bits.cc.o.d"
+  "ablation_vid_bits"
+  "ablation_vid_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vid_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

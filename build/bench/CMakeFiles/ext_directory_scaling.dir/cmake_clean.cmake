@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_directory_scaling.dir/ext_directory_scaling.cc.o"
+  "CMakeFiles/ext_directory_scaling.dir/ext_directory_scaling.cc.o.d"
+  "ext_directory_scaling"
+  "ext_directory_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_directory_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_paradigm_comparison.dir/ext_paradigm_comparison.cc.o"
+  "CMakeFiles/ext_paradigm_comparison.dir/ext_paradigm_comparison.cc.o.d"
+  "ext_paradigm_comparison"
+  "ext_paradigm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_paradigm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

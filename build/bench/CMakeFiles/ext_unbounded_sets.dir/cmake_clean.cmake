@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_unbounded_sets.dir/ext_unbounded_sets.cc.o"
+  "CMakeFiles/ext_unbounded_sets.dir/ext_unbounded_sets.cc.o.d"
+  "ext_unbounded_sets"
+  "ext_unbounded_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_unbounded_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_schedules.dir/fig1_schedules.cc.o"
+  "CMakeFiles/fig1_schedules.dir/fig1_schedules.cc.o.d"
+  "fig1_schedules"
+  "fig1_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_smtx_rwset.dir/fig2_smtx_rwset.cc.o"
+  "CMakeFiles/fig2_smtx_rwset.dir/fig2_smtx_rwset.cc.o.d"
+  "fig2_smtx_rwset"
+  "fig2_smtx_rwset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_smtx_rwset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

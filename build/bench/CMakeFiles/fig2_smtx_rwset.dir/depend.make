@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_smtx_rwset.
+# This may be replaced when dependencies are built.

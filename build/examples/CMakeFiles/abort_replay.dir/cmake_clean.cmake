@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abort_replay.dir/abort_replay.cpp.o"
+  "CMakeFiles/abort_replay.dir/abort_replay.cpp.o.d"
+  "abort_replay"
+  "abort_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abort_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_driver.dir/benchmark_driver.cpp.o"
+  "CMakeFiles/benchmark_driver.dir/benchmark_driver.cpp.o.d"
+  "benchmark_driver"
+  "benchmark_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

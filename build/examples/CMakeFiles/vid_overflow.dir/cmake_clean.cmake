@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vid_overflow.dir/vid_overflow.cpp.o"
+  "CMakeFiles/vid_overflow.dir/vid_overflow.cpp.o.d"
+  "vid_overflow"
+  "vid_overflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vid_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

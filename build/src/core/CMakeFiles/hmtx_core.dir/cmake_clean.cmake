@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmtx_core.dir/version_rules.cc.o"
+  "CMakeFiles/hmtx_core.dir/version_rules.cc.o.d"
+  "libhmtx_core.a"
+  "libhmtx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmtx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmtx_power.dir/model.cc.o"
+  "CMakeFiles/hmtx_power.dir/model.cc.o.d"
+  "libhmtx_power.a"
+  "libhmtx_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmtx_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

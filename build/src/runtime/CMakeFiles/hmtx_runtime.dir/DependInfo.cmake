@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/executors.cc" "src/runtime/CMakeFiles/hmtx_runtime.dir/executors.cc.o" "gcc" "src/runtime/CMakeFiles/hmtx_runtime.dir/executors.cc.o.d"
+  "/root/repo/src/runtime/machine.cc" "src/runtime/CMakeFiles/hmtx_runtime.dir/machine.cc.o" "gcc" "src/runtime/CMakeFiles/hmtx_runtime.dir/machine.cc.o.d"
+  "/root/repo/src/runtime/queue.cc" "src/runtime/CMakeFiles/hmtx_runtime.dir/queue.cc.o" "gcc" "src/runtime/CMakeFiles/hmtx_runtime.dir/queue.cc.o.d"
+  "/root/repo/src/runtime/thread_context.cc" "src/runtime/CMakeFiles/hmtx_runtime.dir/thread_context.cc.o" "gcc" "src/runtime/CMakeFiles/hmtx_runtime.dir/thread_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hmtx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hmtx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

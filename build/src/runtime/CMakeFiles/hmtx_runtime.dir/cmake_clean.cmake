@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmtx_runtime.dir/executors.cc.o"
+  "CMakeFiles/hmtx_runtime.dir/executors.cc.o.d"
+  "CMakeFiles/hmtx_runtime.dir/machine.cc.o"
+  "CMakeFiles/hmtx_runtime.dir/machine.cc.o.d"
+  "CMakeFiles/hmtx_runtime.dir/queue.cc.o"
+  "CMakeFiles/hmtx_runtime.dir/queue.cc.o.d"
+  "CMakeFiles/hmtx_runtime.dir/thread_context.cc.o"
+  "CMakeFiles/hmtx_runtime.dir/thread_context.cc.o.d"
+  "libhmtx_runtime.a"
+  "libhmtx_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmtx_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmtx_sim.dir/cache_system.cc.o"
+  "CMakeFiles/hmtx_sim.dir/cache_system.cc.o.d"
+  "libhmtx_sim.a"
+  "libhmtx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmtx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmtx_smtx.dir/smtx.cc.o"
+  "CMakeFiles/hmtx_smtx.dir/smtx.cc.o.d"
+  "libhmtx_smtx.a"
+  "libhmtx_smtx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmtx_smtx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/all.cc" "src/workloads/CMakeFiles/hmtx_workloads.dir/all.cc.o" "gcc" "src/workloads/CMakeFiles/hmtx_workloads.dir/all.cc.o.d"
+  "/root/repo/src/workloads/alvinn.cc" "src/workloads/CMakeFiles/hmtx_workloads.dir/alvinn.cc.o" "gcc" "src/workloads/CMakeFiles/hmtx_workloads.dir/alvinn.cc.o.d"
+  "/root/repo/src/workloads/bzip2.cc" "src/workloads/CMakeFiles/hmtx_workloads.dir/bzip2.cc.o" "gcc" "src/workloads/CMakeFiles/hmtx_workloads.dir/bzip2.cc.o.d"
+  "/root/repo/src/workloads/crafty.cc" "src/workloads/CMakeFiles/hmtx_workloads.dir/crafty.cc.o" "gcc" "src/workloads/CMakeFiles/hmtx_workloads.dir/crafty.cc.o.d"
+  "/root/repo/src/workloads/gzip.cc" "src/workloads/CMakeFiles/hmtx_workloads.dir/gzip.cc.o" "gcc" "src/workloads/CMakeFiles/hmtx_workloads.dir/gzip.cc.o.d"
+  "/root/repo/src/workloads/hmmer.cc" "src/workloads/CMakeFiles/hmtx_workloads.dir/hmmer.cc.o" "gcc" "src/workloads/CMakeFiles/hmtx_workloads.dir/hmmer.cc.o.d"
+  "/root/repo/src/workloads/ispell.cc" "src/workloads/CMakeFiles/hmtx_workloads.dir/ispell.cc.o" "gcc" "src/workloads/CMakeFiles/hmtx_workloads.dir/ispell.cc.o.d"
+  "/root/repo/src/workloads/li.cc" "src/workloads/CMakeFiles/hmtx_workloads.dir/li.cc.o" "gcc" "src/workloads/CMakeFiles/hmtx_workloads.dir/li.cc.o.d"
+  "/root/repo/src/workloads/linked_list.cc" "src/workloads/CMakeFiles/hmtx_workloads.dir/linked_list.cc.o" "gcc" "src/workloads/CMakeFiles/hmtx_workloads.dir/linked_list.cc.o.d"
+  "/root/repo/src/workloads/parser.cc" "src/workloads/CMakeFiles/hmtx_workloads.dir/parser.cc.o" "gcc" "src/workloads/CMakeFiles/hmtx_workloads.dir/parser.cc.o.d"
+  "/root/repo/src/workloads/stress.cc" "src/workloads/CMakeFiles/hmtx_workloads.dir/stress.cc.o" "gcc" "src/workloads/CMakeFiles/hmtx_workloads.dir/stress.cc.o.d"
+  "/root/repo/src/workloads/worklist.cc" "src/workloads/CMakeFiles/hmtx_workloads.dir/worklist.cc.o" "gcc" "src/workloads/CMakeFiles/hmtx_workloads.dir/worklist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/hmtx_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hmtx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hmtx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

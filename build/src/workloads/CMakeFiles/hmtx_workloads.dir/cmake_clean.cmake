@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmtx_workloads.dir/all.cc.o"
+  "CMakeFiles/hmtx_workloads.dir/all.cc.o.d"
+  "CMakeFiles/hmtx_workloads.dir/alvinn.cc.o"
+  "CMakeFiles/hmtx_workloads.dir/alvinn.cc.o.d"
+  "CMakeFiles/hmtx_workloads.dir/bzip2.cc.o"
+  "CMakeFiles/hmtx_workloads.dir/bzip2.cc.o.d"
+  "CMakeFiles/hmtx_workloads.dir/crafty.cc.o"
+  "CMakeFiles/hmtx_workloads.dir/crafty.cc.o.d"
+  "CMakeFiles/hmtx_workloads.dir/gzip.cc.o"
+  "CMakeFiles/hmtx_workloads.dir/gzip.cc.o.d"
+  "CMakeFiles/hmtx_workloads.dir/hmmer.cc.o"
+  "CMakeFiles/hmtx_workloads.dir/hmmer.cc.o.d"
+  "CMakeFiles/hmtx_workloads.dir/ispell.cc.o"
+  "CMakeFiles/hmtx_workloads.dir/ispell.cc.o.d"
+  "CMakeFiles/hmtx_workloads.dir/li.cc.o"
+  "CMakeFiles/hmtx_workloads.dir/li.cc.o.d"
+  "CMakeFiles/hmtx_workloads.dir/linked_list.cc.o"
+  "CMakeFiles/hmtx_workloads.dir/linked_list.cc.o.d"
+  "CMakeFiles/hmtx_workloads.dir/parser.cc.o"
+  "CMakeFiles/hmtx_workloads.dir/parser.cc.o.d"
+  "CMakeFiles/hmtx_workloads.dir/stress.cc.o"
+  "CMakeFiles/hmtx_workloads.dir/stress.cc.o.d"
+  "CMakeFiles/hmtx_workloads.dir/worklist.cc.o"
+  "CMakeFiles/hmtx_workloads.dir/worklist.cc.o.d"
+  "libhmtx_workloads.a"
+  "libhmtx_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmtx_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_unit_test.dir/sla_unit_test.cc.o"
+  "CMakeFiles/sla_unit_test.dir/sla_unit_test.cc.o.d"
+  "sla_unit_test"
+  "sla_unit_test.pdb"
+  "sla_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_rules_test.dir/version_rules_test.cc.o"
+  "CMakeFiles/version_rules_test.dir/version_rules_test.cc.o.d"
+  "version_rules_test"
+  "version_rules_test.pdb"
+  "version_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vid_window_test.dir/vid_window_test.cc.o"
+  "CMakeFiles/vid_window_test.dir/vid_window_test.cc.o.d"
+  "vid_window_test"
+  "vid_window_test.pdb"
+  "vid_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vid_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

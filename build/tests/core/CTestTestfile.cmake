@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/version_rules_test[1]_include.cmake")
+include("/root/repo/build/tests/core/vid_window_test[1]_include.cmake")
+include("/root/repo/build/tests/core/comparator_test[1]_include.cmake")
+include("/root/repo/build/tests/core/sla_unit_test[1]_include.cmake")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/machine_test.cc" "tests/runtime/CMakeFiles/machine_test.dir/machine_test.cc.o" "gcc" "tests/runtime/CMakeFiles/machine_test.dir/machine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/hmtx_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/smtx/CMakeFiles/hmtx_smtx.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hmtx_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/hmtx_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hmtx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hmtx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_context_test.dir/thread_context_test.cc.o"
+  "CMakeFiles/thread_context_test.dir/thread_context_test.cc.o.d"
+  "thread_context_test"
+  "thread_context_test.pdb"
+  "thread_context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

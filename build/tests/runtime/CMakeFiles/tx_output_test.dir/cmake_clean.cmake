@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tx_output_test.dir/tx_output_test.cc.o"
+  "CMakeFiles/tx_output_test.dir/tx_output_test.cc.o.d"
+  "tx_output_test"
+  "tx_output_test.pdb"
+  "tx_output_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tx_output_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

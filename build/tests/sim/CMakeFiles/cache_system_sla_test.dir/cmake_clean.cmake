@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_system_sla_test.dir/cache_system_sla_test.cc.o"
+  "CMakeFiles/cache_system_sla_test.dir/cache_system_sla_test.cc.o.d"
+  "cache_system_sla_test"
+  "cache_system_sla_test.pdb"
+  "cache_system_sla_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_system_sla_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directory_fabric_test.dir/directory_fabric_test.cc.o"
+  "CMakeFiles/directory_fabric_test.dir/directory_fabric_test.cc.o.d"
+  "directory_fabric_test"
+  "directory_fabric_test.pdb"
+  "directory_fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directory_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_conformance_test.dir/figure4_conformance_test.cc.o"
+  "CMakeFiles/figure4_conformance_test.dir/figure4_conformance_test.cc.o.d"
+  "figure4_conformance_test"
+  "figure4_conformance_test.pdb"
+  "figure4_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

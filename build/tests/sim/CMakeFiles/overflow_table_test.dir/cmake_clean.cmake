@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overflow_table_test.dir/overflow_table_test.cc.o"
+  "CMakeFiles/overflow_table_test.dir/overflow_table_test.cc.o.d"
+  "overflow_table_test"
+  "overflow_table_test.pdb"
+  "overflow_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overflow_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unbounded_sets_test.dir/unbounded_sets_test.cc.o"
+  "CMakeFiles/unbounded_sets_test.dir/unbounded_sets_test.cc.o.d"
+  "unbounded_sets_test"
+  "unbounded_sets_test.pdb"
+  "unbounded_sets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unbounded_sets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

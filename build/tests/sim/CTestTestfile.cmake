@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim/event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/task_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/cache_system_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/cache_system_spec_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/cache_system_sla_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/cache_system_overflow_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/cache_system_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/cache_system_sharing_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/cache_system_lazy_eager_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/branch_predictor_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/memory_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/directory_fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/unbounded_sets_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/figure4_conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/overflow_table_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/stats_test[1]_include.cmake")

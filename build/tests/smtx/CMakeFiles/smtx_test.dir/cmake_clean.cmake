@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtx_test.dir/smtx_test.cc.o"
+  "CMakeFiles/smtx_test.dir/smtx_test.cc.o.d"
+  "smtx_test"
+  "smtx_test.pdb"
+  "smtx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_equivalence_test.dir/workload_equivalence_test.cc.o"
+  "CMakeFiles/workload_equivalence_test.dir/workload_equivalence_test.cc.o.d"
+  "workload_equivalence_test"
+  "workload_equivalence_test.pdb"
+  "workload_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

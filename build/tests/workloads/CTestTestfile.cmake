@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/workloads
+# Build directory: /root/repo/build/tests/workloads
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/workloads/workload_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads/workload_character_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads/framework_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads/config_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads/stress_chaos_test[1]_include.cmake")
