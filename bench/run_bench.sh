@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Builds the benchmarks in Release mode and produces BENCH_hotpath.json:
+# the micro_hotpath google-benchmark results (indexed vs forced full
+# scan, seed and Table 2 geometries) plus end-to-end fig8_speedup
+# timings. Run from the repository root:
+#
+#   bench/run_bench.sh [build-dir] [output.json]
+#
+# A smoke ctest (bench_hotpath_smoke) asserting indexed/full-scan
+# behavioural identity runs as part of the normal test suite; this
+# script is the measurement companion.
+
+set -euo pipefail
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build-release"}
+OUT=${2:-"$ROOT/BENCH_hotpath.json"}
+RUNS=${FIG8_RUNS:-3}
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j --target micro_hotpath fig8_speedup
+
+echo "== micro_hotpath smoke (behavioural identity + speedup bound) =="
+"$BUILD/bench/micro_hotpath" --smoke
+
+echo "== micro_hotpath =="
+MICRO_JSON=$(mktemp)
+"$BUILD/bench/micro_hotpath" \
+    --benchmark_out="$MICRO_JSON" --benchmark_out_format=json \
+    --benchmark_min_time=0.2
+
+echo "== fig8_speedup (best of $RUNS, user CPU seconds) =="
+FIG8_TIMES=()
+for _ in $(seq "$RUNS"); do
+    t0=$(date +%s%N)
+    "$BUILD/bench/fig8_speedup" > /dev/null
+    t1=$(date +%s%N)
+    FIG8_TIMES+=($(((t1 - t0) / 1000000)))
+done
+printf 'fig8_speedup wall ms: %s\n' "${FIG8_TIMES[*]}"
+
+python3 - "$MICRO_JSON" "$OUT" "${FIG8_TIMES[@]}" <<'EOF'
+import json
+import sys
+
+micro_path, out_path, *times = sys.argv[1:]
+with open(micro_path) as f:
+    micro = json.load(f)
+
+# Summarize the indexed vs full-scan ratios at Table 2 geometry
+# (benchmark args are /<table2>/<fullscan>).
+by_name = {b["name"]: b["real_time"]
+           for b in micro.get("benchmarks", [])
+           if b.get("run_type", "iteration") == "iteration"}
+ratios = {}
+for op in ("BM_AbortAll", "BM_VidReset", "BM_EagerCommit"):
+    idx = by_name.get(f"{op}/1/0")
+    full = by_name.get(f"{op}/1/1")
+    if idx and full:
+        ratios[op] = round(full / idx, 1)
+
+out = {
+    "fig8_wall_ms": [int(t) for t in times],
+    "fig8_best_ms": min(int(t) for t in times),
+    "table2_index_speedups": ratios,
+    "micro_hotpath": micro,
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=1)
+print(f"wrote {out_path}")
+print(f"Table 2 indexed-vs-fullscan speedups: {ratios}")
+EOF

@@ -320,6 +320,7 @@ collect(Machine& m, LoopWorkload& wl, Shared* sh, std::string model)
     m.sys().flushDirtyToMemory();
     r.checksum = wl.checksum(m);
     r.stats = m.sys().stats();
+    r.indexStats = m.sys().indexStats();
     r.transactions = r.stats.committedTxs;
     for (CoreId c = 0; c < m.config().numCores; ++c) {
         r.instructions += m.ctx(c).instructions();

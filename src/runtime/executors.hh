@@ -42,6 +42,8 @@ struct ExecResult
     std::uint64_t mispredicts = 0;
     /** Memory-system statistics snapshot. */
     sim::SysStats stats;
+    /** Simulator-side index diagnostics (not architectural). */
+    sim::IndexStats indexStats;
     /** SMTX runs only: value-validation failures detected by the
      *  commit process (0 for every abort-free run). */
     std::uint64_t smtxMisspeculations = 0;

@@ -51,7 +51,7 @@ class Signal
     {
         auto ws = std::exchange(waiters_, {});
         for (auto h : ws)
-            eq_.scheduleIn(1, [h] { h.resume(); });
+            eq_.resumeIn(1, h);
     }
 
     /** Number of tasks currently blocked. */

@@ -37,7 +37,7 @@ struct OpAwait
     void
     await_suspend(std::coroutine_handle<> h) const
     {
-        eq->schedule(wake, [h] { h.resume(); });
+        eq->scheduleResume(wake, h);
     }
 
     std::uint64_t

@@ -18,11 +18,37 @@
 namespace hmtx::sim
 {
 
+/** Cache id of a Line slot not owned by any Cache (e.g. a local copy). */
+constexpr std::uint32_t kNoCacheId = 0xffffffffu;
+
+/**
+ * Simulator-internal bookkeeping attached to each cache slot so the
+ * index structures (CacheSystem's presence filter and the per-cache
+ * spec/dirty registry) can be maintained incrementally. This is not
+ * architectural state: it never influences simulated behaviour, only
+ * how fast the simulator finds lines. It is deliberately *not* copied
+ * by Line's copy operations — a slot's identity stays with the slot.
+ */
+struct LineBookkeeping
+{
+    /** Index of the owning Cache in CacheSystem::caches_. */
+    std::uint32_t cacheId = kNoCacheId;
+    /** True while this slot is counted in the presence filter. */
+    bool present = false;
+    /** True while this slot sits on the owning cache's registry. */
+    bool onRegistry = false;
+    /** Address under which `present` was counted (may lag `base`). */
+    Addr presentAddr = 0;
+};
+
 /**
  * One physical cache line slot. Multiple versions of the same address
  * may occupy slots of the same set, distinguished by their VersionTag
  * (§4.1). Invalid slots are reused rather than erased so references
  * into a set stay valid across protocol actions.
+ *
+ * Copying a Line copies only the architectural payload; the `bk`
+ * bookkeeping stays with the destination slot (see LineBookkeeping).
  */
 struct Line
 {
@@ -59,6 +85,43 @@ struct Line
     Tick lastUse = 0;
     /** Line contents. */
     LineData data{};
+    /** Index bookkeeping; slot identity, excluded from copies. */
+    LineBookkeeping bk{};
+
+    Line() = default;
+    Line(const Line& o) { assignPayload(o); }
+    Line(Line&& o) noexcept { assignPayload(o); }
+
+    Line&
+    operator=(const Line& o)
+    {
+        if (this != &o)
+            assignPayload(o);
+        return *this;
+    }
+
+    Line&
+    operator=(Line&& o) noexcept
+    {
+        if (this != &o)
+            assignPayload(o);
+        return *this;
+    }
+
+  private:
+    void
+    assignPayload(const Line& o)
+    {
+        base = o.base;
+        state = o.state;
+        tag = o.tag;
+        dirty = o.dirty;
+        mayHaveSharers = o.mayHaveSharers;
+        latestCopy = o.latestCopy;
+        highFromWrongPath = o.highFromWrongPath;
+        lastUse = o.lastUse;
+        data = o.data;
+    }
 };
 
 /**
@@ -73,15 +136,83 @@ class Cache
      * @param name  for debugging/stat output (e.g. "L1.0", "L2")
      * @param sets  number of sets
      * @param assoc associativity (max versions+addresses per set)
+     * @param id    index of this cache in its CacheSystem (stamped on
+     *              every slot so index maintenance can find the owner)
      */
-    Cache(std::string name, unsigned sets, unsigned assoc)
-        : name_(std::move(name)), setCount_(sets), assoc_(assoc),
-          sets_(sets)
+    Cache(std::string name, unsigned sets, unsigned assoc,
+          std::uint32_t id = kNoCacheId)
+        : name_(std::move(name)), id_(id), setCount_(sets),
+          assoc_(assoc), sets_(sets)
     {}
 
     const std::string& name() const { return name_; }
+    std::uint32_t id() const { return id_; }
     unsigned assoc() const { return assoc_; }
     unsigned setCount() const { return setCount_; }
+
+    /**
+     * True when @p l needs to be visited by the bulk protocol walks
+     * (commit/abort/VID-reset/flush): it is speculative in some way or
+     * holds data memory does not. Clean non-speculative lines are
+     * no-ops for all of those walks.
+     */
+    static bool
+    interesting(const Line& l)
+    {
+        return l.state != State::Invalid && (isSpec(l.state) || l.dirty);
+    }
+
+    /**
+     * Puts @p l on this cache's registry of interesting lines (the ORB
+     * analog, §4.4) if it is not already there. Slots are never
+     * removed eagerly; forEachInteresting() purges stale entries
+     * lazily. @p l must be a slot of this cache.
+     */
+    void
+    noteInteresting(Line& l)
+    {
+        if (!l.bk.onRegistry) {
+            l.bk.onRegistry = true;
+            registry_.push_back(&l);
+        }
+    }
+
+    /**
+     * Applies @p fn to every interesting (spec or dirty) line in this
+     * cache, dropping registry entries that went stale since they were
+     * added. Entries whose line @p fn itself retires (e.g. a commit
+     * walk reconciling a line to non-spec clean) are also dropped, so
+     * repeated walks stay proportional to live speculative state.
+     */
+    template <typename Fn>
+    void
+    forEachInteresting(Fn&& fn)
+    {
+        std::size_t i = 0;
+        while (i < registry_.size()) {
+            Line& l = *registry_[i];
+            if (!interesting(l)) {
+                l.bk.onRegistry = false;
+                registry_[i] = registry_.back();
+                registry_.pop_back();
+                continue;
+            }
+            fn(l);
+            if (!interesting(l)) {
+                l.bk.onRegistry = false;
+                registry_[i] = registry_.back();
+                registry_.pop_back();
+                continue;
+            }
+            ++i;
+        }
+    }
+
+    /** Current registry length, stale entries included (diagnostics). */
+    std::size_t registrySize() const { return registry_.size(); }
+
+    /** Raw registry entries, for the index cross-check. */
+    const std::vector<Line*>& registry() const { return registry_; }
 
     /** Set index for an address. */
     std::size_t
@@ -134,6 +265,7 @@ class Cache
                 return &l;
         if (s.size() < assoc_) {
             s.emplace_back();
+            s.back().bk.cacheId = id_;
             return &s.back();
         }
         return nullptr;
@@ -141,9 +273,12 @@ class Cache
 
   private:
     std::string name_;
+    std::uint32_t id_;
     unsigned setCount_;
     unsigned assoc_;
     std::vector<std::vector<Line>> sets_;
+    /** Slots that were interesting when last touched (lazily purged). */
+    std::vector<Line*> registry_;
 };
 
 } // namespace hmtx::sim

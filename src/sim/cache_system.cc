@@ -1,6 +1,7 @@
 #include "sim/cache_system.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 #include <string>
@@ -14,16 +15,130 @@ CacheSystem::CacheSystem(EventQueue& eq, const MachineConfig& cfg)
     caches_.reserve(cfg.numCores + 1);
     for (CoreId c = 0; c < cfg.numCores; ++c) {
         caches_.emplace_back("L1." + std::to_string(c), cfg.l1Sets(),
-                             cfg.l1Assoc);
+                             cfg.l1Assoc, c);
     }
-    caches_.emplace_back("L2", cfg.l2Sets(), cfg.l2Assoc);
+    caches_.emplace_back("L2", cfg.l2Sets(), cfg.l2Assoc,
+                         cfg.numCores);
+    // The presence mask is one bit per cache; fall back to full snoops
+    // beyond 64 caches (far above any modeled configuration).
+    filterEnabled_ = caches_.size() <= 64;
+    if (filterEnabled_) {
+        // Pre-size for the L1 working sets so steady-state traffic
+        // does not rehash; larger footprints grow amortized.
+        const std::size_t l1Slots = std::size_t{cfg.numCores} *
+            cfg.l1Sets() * cfg.l1Assoc;
+        presence_.reserve(std::min<std::size_t>(
+            std::max<std::size_t>(l1Slots, 1024), 1u << 16));
+    }
     bankFree_.resize(cfg.dirBanks == 0 ? 1 : cfg.dirBanks, 0);
+}
+
+// --- index maintenance --------------------------------------------------
+
+void
+CacheSystem::presenceAdd(std::uint32_t ci, Addr la)
+{
+    Presence& p = presence_[la];
+    if (p.count.empty())
+        p.count.resize(caches_.size(), 0);
+    if (p.count[ci]++ == 0)
+        p.mask |= std::uint64_t{1} << ci;
+}
+
+void
+CacheSystem::presenceRemove(std::uint32_t ci, Addr la)
+{
+    auto it = presence_.find(la);
+    if (it == presence_.end())
+        return; // unreachable while bookkeeping is sound
+    Presence& p = it->second;
+    if (--p.count[ci] == 0) {
+        p.mask &= ~(std::uint64_t{1} << ci);
+        // count > 0 iff the bit is set, so a zero mask means no cache
+        // holds the address at all.
+        if (p.mask == 0)
+            presence_.erase(it);
+    }
+}
+
+void
+CacheSystem::syncLine(Line& l)
+{
+    const std::uint32_t ci = l.bk.cacheId;
+    if (ci == kNoCacheId)
+        return; // overflow-table entries and snapshots are unindexed
+    const bool valid = l.state != State::Invalid;
+    if (filterEnabled_) {
+        if (l.bk.present && (!valid || l.bk.presentAddr != l.base)) {
+            presenceRemove(ci, l.bk.presentAddr);
+            l.bk.present = false;
+        }
+        if (valid && !l.bk.present) {
+            presenceAdd(ci, l.base);
+            l.bk.present = true;
+            l.bk.presentAddr = l.base;
+        }
+    }
+    if (valid && (isSpec(l.state) || l.dirty))
+        caches_[ci].noteInteresting(l);
+}
+
+template <typename Fn>
+void
+CacheSystem::forEachSnoopTarget(Addr la, Fn&& fn)
+{
+    if (!filterEnabled_ || cfg_.forceFullScan) {
+        for (std::size_t ci = 0; ci < caches_.size(); ++ci)
+            fn(ci);
+        return;
+    }
+    auto it = presence_.find(la);
+    // Snapshot the holder mask: fn may invalidate lines and thereby
+    // shrink (or erase) the filter entry while we iterate.
+    const std::uint64_t mask =
+        it == presence_.end() ? 0 : it->second.mask;
+    const auto holders =
+        static_cast<std::uint64_t>(std::popcount(mask));
+    idxStats_.snoopsVisited += holders;
+    idxStats_.snoopsFiltered += caches_.size() - holders;
+    for (std::uint64_t m = mask; m != 0; m &= m - 1)
+        fn(static_cast<std::size_t>(std::countr_zero(m)));
+}
+
+template <typename Fn>
+void
+CacheSystem::forEachCandidateLine(Fn&& fn)
+{
+    if (cfg_.forceFullScan) {
+        ++idxStats_.fullScanWalks;
+        for (auto& c : caches_) {
+            c.forEachLine([&](Line& l) {
+                if (Cache::interesting(l))
+                    fn(l);
+            });
+        }
+        return;
+    }
+    ++idxStats_.registryWalks;
+    for (auto& c : caches_) {
+        c.forEachInteresting([&](Line& l) {
+            ++idxStats_.registryWalkLines;
+            fn(l);
+        });
+    }
+}
+
+void
+CacheSystem::maybeCrossCheck()
+{
+    if (cfg_.indexCrossCheck)
+        verifyIndexes();
 }
 
 // --- lookup -----------------------------------------------------------
 
 void
-CacheSystem::reconcile(Line& l)
+CacheSystem::applyReconcile(Line& l) const
 {
     if (l.state == State::Invalid || !isSpec(l.state))
         return;
@@ -63,6 +178,16 @@ CacheSystem::reconcile(Line& l)
 }
 
 void
+CacheSystem::reconcile(Line& l)
+{
+    const State olds = l.state;
+    const bool oldDirty = l.dirty;
+    applyReconcile(l);
+    if (l.state != olds || l.dirty != oldDirty)
+        syncLine(l);
+}
+
+void
 CacheSystem::reconcileAddr(Cache& c, Addr la)
 {
     for (auto& l : c.set(la))
@@ -89,14 +214,22 @@ CacheSystem::hits(const Line& l, Addr la, Vid a)
 Line*
 CacheSystem::findLocal(Cache& c, Addr la, Vid a, bool forStore)
 {
-    reconcileAddr(c, la);
+    // Reconcile and probe in one pass over the set: lazy-commit
+    // transitions are strictly per-line, so interleaving them with the
+    // probes is equivalent to reconcileAddr() followed by a second
+    // scan, at roughly half the cost.
+    Line* hit = nullptr;
     for (auto& l : c.set(la)) {
+        if (l.state != State::Invalid && l.base == la)
+            reconcile(l);
+        if (hit)
+            continue;
         if (forStore && l.state == State::SpecShared)
             continue;
         if (hits(l, la, a))
-            return &l;
+            hit = &l;
     }
-    return nullptr;
+    return hit;
 }
 
 CacheSystem::RemoteHit
@@ -104,12 +237,14 @@ CacheSystem::findRemote(CoreId self, Addr la, Vid a, bool forStore)
 {
     (void)forStore;
     RemoteHit rh;
-    for (std::size_t ci = 0; ci < caches_.size(); ++ci) {
+    forEachSnoopTarget(la, [&](std::size_t ci) {
         Cache& c = caches_[ci];
-        bool isSelf = (ci == self);
-        reconcileAddr(c, la);
+        const bool isSelf = (ci == self);
         for (auto& l : c.set(la)) {
             if (l.state == State::Invalid || l.base != la)
+                continue;
+            reconcile(l);
+            if (l.state == State::Invalid)
                 continue;
             // §5.4: speculative versions that miss on VID comparison
             // assert that the line was speculatively modified.
@@ -125,8 +260,8 @@ CacheSystem::findRemote(CoreId self, Addr la, Vid a, bool forStore)
                 rh.cache = &c;
             }
         }
-    }
-    if (cfg_.unboundedSpecSets) {
+    });
+    if (cfg_.unboundedSpecSets && !overflow_.empty()) {
         // A miss (or assert) may be resolved by a spilled version:
         // the hardware walk engine searches the overflow table
         // (§8 / [27]).
@@ -152,6 +287,7 @@ CacheSystem::findRemote(CoreId self, Addr la, Vid a, bool forStore)
                     if (!slot)
                         return rh; // capacity abort during refill
                     *slot = copy;
+                    syncLine(*slot);
                     rh.line = slot;
                     rh.cache = &caches_[self];
                     break;
@@ -203,7 +339,10 @@ CacheSystem::evict(Cache& c, Line& victim)
     const bool isL2 = (&c == &caches_.back());
     const Addr la = victim.base;
 
-    auto drop = [&victim] { victim.state = State::Invalid; };
+    auto drop = [&victim, this] {
+        victim.state = State::Invalid;
+        syncLine(victim);
+    };
 
     switch (victim.state) {
       case State::SpecShared:
@@ -287,6 +426,7 @@ CacheSystem::evict(Cache& c, Line& victim)
     if (!slot)
         return false;
     *slot = copy;
+    syncLine(*slot);
     return true;
 }
 
@@ -385,14 +525,15 @@ CacheSystem::applyReadMark(CoreId core, Line& l, Vid vid, AccessResult& r)
     }
     l.state = l.dirty ? State::SpecModified : State::SpecExclusive;
     l.tag = {kNonSpecVid, vid};
+    syncLine(l);
     r.needSla = true;
 }
 
 void
 CacheSystem::fixPeersForNewVersion(Addr la, const Line* owner, Vid y)
 {
-    for (auto& c : caches_) {
-        for (auto& l : c.set(la)) {
+    forEachSnoopTarget(la, [&](std::size_t ci) {
+        for (auto& l : caches_[ci].set(la)) {
             if (&l == owner || l.state == State::Invalid || l.base != la)
                 continue;
             reconcile(l);
@@ -405,6 +546,7 @@ CacheSystem::fixPeersForNewVersion(Addr la, const Line* owner, Vid y)
                 l.state = State::SpecShared;
                 l.tag = {kNonSpecVid, y};
                 l.dirty = false;
+                syncLine(l);
             } else if (l.state == State::SpecShared && l.latestCopy) {
                 // The version this copy mirrors is now superseded at
                 // VID y: the copy keeps serving VIDs below y only.
@@ -413,66 +555,77 @@ CacheSystem::fixPeersForNewVersion(Addr la, const Line* owner, Vid y)
                     l.state = State::Invalid;
                 else
                     l.tag.high = y;
+                syncLine(l);
             } else if (l.state == State::SpecShared &&
                        !l.latestCopy && l.tag.high > y) {
                 if (y <= l.tag.mod)
                     l.state = State::Invalid;
                 else
                     l.tag.high = y;
+                syncLine(l);
             }
         }
-    }
+    });
 }
 
 void
 CacheSystem::invalidatePeerSpecShared(Addr la, const Line* keep, Vid mod)
 {
-    for (auto& c : caches_) {
-        for (auto& l : c.set(la)) {
+    forEachSnoopTarget(la, [&](std::size_t ci) {
+        for (auto& l : caches_[ci].set(la)) {
             if (&l == keep || l.state != State::SpecShared ||
                 l.base != la) {
                 continue;
             }
-            if (l.tag.mod == mod || l.tag.high > mod)
+            if (l.tag.mod == mod || l.tag.high > mod) {
                 l.state = State::Invalid;
+                syncLine(l);
+            }
         }
-    }
+    });
 }
 
 bool
 CacheSystem::anyNonSpecDirty(Addr la, const Line* except)
 {
-    for (auto& c : caches_) {
-        for (auto& l : c.set(la)) {
+    bool dirty = false;
+    forEachSnoopTarget(la, [&](std::size_t ci) {
+        if (dirty)
+            return;
+        for (auto& l : caches_[ci].set(la)) {
             if (&l == except || l.state == State::Invalid ||
                 l.base != la) {
                 continue;
             }
-            if (!isSpec(l.state) && l.dirty)
-                return true;
+            if (!isSpec(l.state) && l.dirty) {
+                dirty = true;
+                return;
+            }
         }
-    }
-    return false;
+    });
+    return dirty;
 }
 
 void
 CacheSystem::invalidateNonSpecPeers(Addr la, const Line* keep)
 {
-    for (auto& c : caches_) {
-        for (auto& l : c.set(la)) {
+    forEachSnoopTarget(la, [&](std::size_t ci) {
+        for (auto& l : caches_[ci].set(la)) {
             if (&l == keep || l.state == State::Invalid || l.base != la)
                 continue;
             if (!isSpec(l.state)) {
                 l.state = State::Invalid;
+                syncLine(l);
             } else if (l.state == State::SpecShared) {
                 // Copies are always refetchable from the owner (or
                 // memory); a stale one must not keep serving reads
                 // after this write.
                 l.state = State::Invalid;
                 l.latestCopy = false;
+                syncLine(l);
             }
         }
-    }
+    });
 }
 
 void
@@ -573,16 +726,29 @@ CacheSystem::remoteLatency() const
 
 // --- bookkeeping ----------------------------------------------------------
 
+CacheSystem::RwSets&
+CacheSystem::rwFor(Vid vid)
+{
+    // Accesses cluster heavily by VID (each core works through one
+    // transaction at a time), so cache the last node instead of
+    // re-hashing per access. Node pointers are stable across inserts.
+    if (rwCached_ && rwCachedVid_ == vid)
+        return *rwCached_;
+    rwCached_ = &rw_[vid];
+    rwCachedVid_ = vid;
+    return *rwCached_;
+}
+
 void
 CacheSystem::recordRead(Vid vid, Addr la)
 {
-    rw_[vid].reads.insert(la);
+    rwFor(vid).reads.insert(la);
 }
 
 void
 CacheSystem::recordWrite(Vid vid, Addr la)
 {
-    rw_[vid].writes.insert(la);
+    rwFor(vid).writes.insert(la);
 }
 
 void
@@ -595,6 +761,10 @@ CacheSystem::noteShadowWrongPath(Addr la, Vid vid)
 void
 CacheSystem::checkShadowAvoided(Addr la, Vid storeVid)
 {
+    // Only wrong-path loads under SLAs populate the shadow map; skip
+    // the hash probe entirely on the (typical) run without any.
+    if (shadow_.empty())
+        return;
     auto it = shadow_.find(la);
     if (it == shadow_.end())
         return;
@@ -693,6 +863,7 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
                     nl->tag = t;
                     nl->latestCopy = latest;
                     nl->data = d;
+                    syncLine(*nl);
                 }
             } else if (mark) {
                 // First speculative access: gain writable access and
@@ -711,6 +882,7 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
                 nl->dirty = dirty;
                 nl->highFromWrongPath = wrongPath;
                 nl->data = d;
+                syncLine(*nl);
                 r.needSla = true;
             } else {
                 // Plain MOESI read miss served cache-to-cache.
@@ -718,6 +890,7 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
                     o.state = State::Owned;
                 else if (o.state == State::Exclusive)
                     o.state = State::Shared;
+                syncLine(o);
                 LineData d = o.data;
                 Line* nl = allocate(l1, la);
                 if (!nl) {
@@ -726,6 +899,7 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
                 }
                 nl->state = State::Shared;
                 nl->data = d;
+                syncLine(*nl);
                 if (wrongPath && spec && cfg_.slaEnabled)
                     noteShadowWrongPath(la, vid);
             }
@@ -761,6 +935,7 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
                     nl->state = State::SpecOwned;
                     nl->tag = {kNonSpecVid, reqVid + 1};
                     nl->data = d;
+                    syncLine(*nl);
                 }
                 if (mark)
                     r.needSla = true;
@@ -781,6 +956,7 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
                     if (wrongPath && spec && cfg_.slaEnabled)
                         noteShadowWrongPath(la, vid);
                 }
+                syncLine(*nl);
             }
             r.value = 0;
             unsigned off = lineOffset(a);
@@ -815,6 +991,7 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
             // serving (or corrupting) a request.
             dup->state = State::SpecOwned;
             dup->tag = {1, 1};
+            syncLine(*dup);
             ++stats_.corDuplicates;
         }
     }
@@ -845,6 +1022,7 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
         // We own this version exclusively: silent in-place write.
         writeData(*v, a, value, size);
         v->dirty = true;
+        syncLine(*v);
         v->lastUse = eq_.curTick();
         r.l1Hit = true;
         ++stats_.l1Hits;
@@ -888,6 +1066,7 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
         nl->dirty = true;
         nl->data = d;
         writeData(*nl, a, value, size);
+        syncLine(*nl);
         ++stats_.newVersions;
         trace_.event(TraceProtocol, eq_.curTick(),
                      "new version S-M(%u,%u) of %#llx at core %u "
@@ -905,8 +1084,8 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
     // non-speculative owners whose retired readers left copies.
     VersionTag eff = owner->tag;
     if (!isSpecSuperseded(owner->state)) {
-        for (auto& c : caches_) {
-            for (auto& l : c.set(la)) {
+        forEachSnoopTarget(la, [&](std::size_t ci) {
+            for (auto& l : caches_[ci].set(la)) {
                 if (l.state == State::SpecShared && l.base == la &&
                     l.latestCopy) {
                     eff.high = std::max(eff.high, l.tag.high);
@@ -916,7 +1095,7 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
                     }
                 }
             }
-        }
+        });
     }
     StoreAction act;
     if (vid < eff.high) {
@@ -939,6 +1118,7 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
         if (ownerCache != &l1) {
             Line copy = *owner;
             owner->state = State::Invalid;
+            syncLine(*owner);
             Line* nl = allocate(l1, la);
             if (!nl) {
                 r.aborted = true;
@@ -950,6 +1130,7 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
         owner->mayHaveSharers = false;
         writeData(*owner, a, value, size);
         owner->dirty = true;
+        syncLine(*owner);
         owner->lastUse = eq_.curTick();
         recordWrite(vid, la);
         checkShadowAvoided(la, vid);
@@ -971,6 +1152,7 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
         owner->tag = {kNonSpecVid, vid};
     }
     owner->mayHaveSharers = false;
+    syncLine(*owner);
     fixPeersForNewVersion(la, owner, vid);
     Line* nl = allocate(l1, la);
     if (!nl) {
@@ -982,6 +1164,7 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
     nl->dirty = true;
     nl->data = base;
     writeData(*nl, a, value, size);
+    syncLine(*nl);
     ++stats_.newVersions;
     trace_.event(TraceProtocol, eq_.curTick(),
                  "new version S-M(%u,%u) of %#llx at core %u", vid,
@@ -1006,6 +1189,7 @@ CacheSystem::nonSpecStore(CoreId core, Addr a, std::uint64_t value,
         writeData(*v, a, value, size);
         v->state = State::Modified;
         v->dirty = true;
+        syncLine(*v);
         v->lastUse = eq_.curTick();
         r.l1Hit = true;
         ++stats_.l1Hits;
@@ -1031,15 +1215,24 @@ CacheSystem::nonSpecStore(CoreId core, Addr a, std::uint64_t value,
     }
     // Distributed read marks: a live transaction may have recorded
     // its read on a latest-version S-S copy instead of the owner.
-    for (auto& c : caches_) {
-        for (auto& l : c.set(la)) {
+    // Find the offender first, then abort: triggerAbort rewrites the
+    // whole cache system and must not run mid-snoop.
+    Line* offender = nullptr;
+    forEachSnoopTarget(la, [&](std::size_t ci) {
+        if (offender)
+            return;
+        for (auto& l : caches_[ci].set(la)) {
             if (l.state == State::SpecShared && l.base == la &&
                 l.latestCopy && l.tag.high > lcVid_) {
-                triggerAbort(&l);
-                r.aborted = true;
-                return r;
+                offender = &l;
+                return;
             }
         }
+    });
+    if (offender) {
+        triggerAbort(offender);
+        r.aborted = true;
+        return r;
     }
 
     LineData d;
@@ -1066,6 +1259,7 @@ CacheSystem::nonSpecStore(CoreId core, Addr a, std::uint64_t value,
     nl->dirty = true;
     nl->data = d;
     writeData(*nl, a, value, size);
+    syncLine(*nl);
     return r;
 }
 
@@ -1133,6 +1327,7 @@ CacheSystem::commit(Vid vid)
         stats_.combinedSetLines += comb;
         stats_.maxCombinedSetLines =
             std::max<std::uint64_t>(stats_.maxCombinedSetLines, comb);
+        rwCached_ = nullptr;
         rw_.erase(it);
     }
 
@@ -1140,24 +1335,23 @@ CacheSystem::commit(Vid vid)
     busAsync();
     if (!cfg_.lazyCommit) {
         // Naive §4.4 scheme: walk and transition every speculative
-        // line now (this already assumes an ORB-like structure that
-        // locates them [34]; a full cache walk would cost one cycle
-        // per cache line — >500k cycles per commit with Table 2's
-        // 32 MB L2). The walk occupies the memory system, stalling
-        // every core's misses.
+        // line now. The per-cache registry is exactly the ORB-like
+        // structure the paper assumes locates them [34] — without it
+        // a full cache walk would cost one cycle per cache line,
+        // >500k cycles per commit with Table 2's 32 MB L2. The walk
+        // occupies the memory system, stalling every core's misses.
         std::uint64_t touched = 0;
-        for (auto& c : caches_) {
-            c.forEachLine([&](Line& l) {
-                if (l.state != State::Invalid && isSpec(l.state)) {
-                    ++touched;
-                    reconcile(l);
-                }
-            });
-        }
+        forEachCandidateLine([&](Line& l) {
+            if (isSpec(l.state)) {
+                ++touched;
+                reconcile(l);
+            }
+        });
         cost += touched * cfg_.eagerPerLineCycles;
         busFree_ = std::max(busFree_, eq_.curTick()) + cost;
     }
     stats_.commitProcessingCycles += cost;
+    maybeCrossCheck();
     return cost;
 }
 
@@ -1167,35 +1361,34 @@ CacheSystem::abortAll()
     ++abortGen_;
     ++stats_.aborts;
     std::uint64_t touched = 0;
-    for (auto& c : caches_) {
-        c.forEachLine([&](Line& l) {
-            if (l.state == State::Invalid || !isSpec(l.state))
-                return;
-            ++touched;
-            if (l.state == State::SpecShared && l.latestCopy) {
-                // Copies are refetchable; dropping them keeps every
-                // version with exactly one apparent owner.
-                l.state = State::Invalid;
-                l.tag = {};
-            } else {
-                bool sharers = l.mayHaveSharers;
-                LineTransition t = commitLine(l.state, l.tag, lcVid_,
-                                              l.dirty);
-                t = abortLine(t.state, t.tag, lcVid_, l.dirty);
-                if (sharers) {
-                    if (t.state == State::Modified)
-                        t.state = State::Owned;
-                    else if (t.state == State::Exclusive)
-                        t.state = State::Shared;
-                }
-                l.state = t.state;
-                l.tag = t.tag;
+    forEachCandidateLine([&](Line& l) {
+        if (!isSpec(l.state))
+            return; // dirty committed lines are untouched by aborts
+        ++touched;
+        if (l.state == State::SpecShared && l.latestCopy) {
+            // Copies are refetchable; dropping them keeps every
+            // version with exactly one apparent owner.
+            l.state = State::Invalid;
+            l.tag = {};
+        } else {
+            bool sharers = l.mayHaveSharers;
+            LineTransition t = commitLine(l.state, l.tag, lcVid_,
+                                          l.dirty);
+            t = abortLine(t.state, t.tag, lcVid_, l.dirty);
+            if (sharers) {
+                if (t.state == State::Modified)
+                    t.state = State::Owned;
+                else if (t.state == State::Exclusive)
+                    t.state = State::Shared;
             }
-            l.latestCopy = false;
-            l.mayHaveSharers = false;
-            l.highFromWrongPath = false;
-        });
-    }
+            l.state = t.state;
+            l.tag = t.tag;
+        }
+        l.latestCopy = false;
+        l.mayHaveSharers = false;
+        l.highFromWrongPath = false;
+        syncLine(l);
+    });
     overflow_.forEach([&](Line& l) {
         LineTransition tr =
             commitLine(l.state, l.tag, lcVid_, l.dirty);
@@ -1209,6 +1402,7 @@ CacheSystem::abortAll()
         l.state = State::Invalid;
         l.tag = {};
     });
+    rwCached_ = nullptr;
     rw_.clear();
     shadow_.clear();
     Cycles cost = cfg_.busCycles;
@@ -1218,6 +1412,7 @@ CacheSystem::abortAll()
     }
     stats_.commitProcessingCycles += cost;
     busAsync();
+    maybeCrossCheck();
     return cost;
 }
 
@@ -1237,34 +1432,31 @@ CacheSystem::vidReset()
         }
         l.state = State::Invalid;
     });
-    for (auto& c : caches_) {
-        c.forEachLine([&](Line& l) {
-            if (l.state == State::Invalid)
-                return;
-            reconcile(l);
-            if (isSpec(l.state)) {
-                if (l.state == State::SpecShared && l.latestCopy) {
-                    l.state = State::Invalid;
-                    l.tag = {};
-                } else {
-                    bool sharers = l.mayHaveSharers;
-                    LineTransition t =
-                        resetLine(l.state, l.tag, l.dirty);
-                    if (sharers) {
-                        if (t.state == State::Modified)
-                            t.state = State::Owned;
-                        else if (t.state == State::Exclusive)
-                            t.state = State::Shared;
-                    }
-                    l.state = t.state;
-                    l.tag = t.tag;
+    forEachCandidateLine([&](Line& l) {
+        reconcile(l);
+        if (isSpec(l.state)) {
+            if (l.state == State::SpecShared && l.latestCopy) {
+                l.state = State::Invalid;
+                l.tag = {};
+            } else {
+                bool sharers = l.mayHaveSharers;
+                LineTransition t =
+                    resetLine(l.state, l.tag, l.dirty);
+                if (sharers) {
+                    if (t.state == State::Modified)
+                        t.state = State::Owned;
+                    else if (t.state == State::Exclusive)
+                        t.state = State::Shared;
                 }
-                l.latestCopy = false;
-                l.mayHaveSharers = false;
-                ++specLeft;
+                l.state = t.state;
+                l.tag = t.tag;
             }
-        });
-    }
+            l.latestCopy = false;
+            l.mayHaveSharers = false;
+            syncLine(l);
+            ++specLeft;
+        }
+    });
     if (!rw_.empty()) {
         throw std::logic_error(
             "vidReset with outstanding uncommitted transactions");
@@ -1275,6 +1467,7 @@ CacheSystem::vidReset()
     ++stats_.vidResets;
     trace_.event(TraceCommit, eq_.curTick(), "VID reset");
     busAsync();
+    maybeCrossCheck();
     return cfg_.busCycles;
 }
 
@@ -1294,85 +1487,184 @@ CacheSystem::flushDirtyToMemory()
             l.state = State::Invalid;
         }
     });
-    for (auto& c : caches_) {
-        c.forEachLine([&](Line& l) {
-            if (l.state == State::Invalid)
-                return;
-            reconcile(l);
-            // Reconciliation may retire a superseded version to
-            // Invalid; its stale data must not reach memory.
-            if (l.state == State::Invalid)
-                return;
-            if (!isSpec(l.state) && l.dirty) {
-                mem_.writeLine(l.base, l.data);
-                l.dirty = false;
-                ++stats_.writebacks;
-                l.state = l.state == State::Modified ? State::Exclusive
-                                                     : State::Shared;
-            }
-        });
-    }
+    forEachCandidateLine([&](Line& l) {
+        reconcile(l);
+        // Reconciliation may retire a superseded version to
+        // Invalid; its stale data must not reach memory.
+        if (l.state == State::Invalid)
+            return;
+        if (!isSpec(l.state) && l.dirty) {
+            mem_.writeLine(l.base, l.data);
+            l.dirty = false;
+            ++stats_.writebacks;
+            l.state = l.state == State::Modified ? State::Exclusive
+                                                 : State::Shared;
+            syncLine(l);
+        }
+    });
+    maybeCrossCheck();
 }
 
 void
 CacheSystem::checkInvariants()
 {
-    // Collect every cached address.
+    // Police the index structures first: every existing call site of
+    // this self-check also cross-checks the presence filter and the
+    // registries against a full scan, for free.
+    verifyIndexes();
+
+    // Collect every cached address. The presence filter already keys
+    // on exactly the live addresses; fall back to a full scan when it
+    // is disabled.
     std::unordered_set<Addr> addrs;
-    for (auto& c : caches_) {
-        c.forEachLine([&](Line& l) {
-            if (l.state != State::Invalid)
-                addrs.insert(l.base);
-        });
+    if (filterEnabled_) {
+        addrs.reserve(presence_.size());
+        for (const auto& [la, p] : presence_)
+            addrs.insert(la);
+    } else {
+        for (auto& c : caches_) {
+            c.forEachLine([&](Line& l) {
+                if (l.state != State::Invalid)
+                    addrs.insert(l.base);
+            });
+        }
     }
+    const Vid maxV = cfg_.maxVid();
     for (Addr la : addrs) {
-        bool anySpec = false, anyNonSpec = false;
+        // The check judges lines as of the current LC VID, so fold the
+        // lazy-commit transitions into *snapshots* — the cached state
+        // itself stays untouched (this check is read-only).
+        std::vector<Line> live;
         for (auto& c : caches_) {
             for (auto& l : c.set(la)) {
                 if (l.state == State::Invalid || l.base != la)
                     continue;
-                reconcile(l);
-                if (l.state == State::Invalid)
-                    continue;
-                (isSpec(l.state) ? anySpec : anyNonSpec) = true;
+                Line s = l;
+                applyReconcile(s);
+                if (s.state != State::Invalid)
+                    live.push_back(s);
             }
         }
-        if (anySpec && anyNonSpec) {
-            // Only responder-class speculative versions conflict with
-            // non-speculative copies; S-S copies of committed data
-            // legally linger until their readers commit.
-            bool responder = false;
-            for (auto& c : caches_)
-                for (auto& l : c.set(la))
-                    if (l.base == la && isSpecResponder(l.state))
-                        responder = true;
-            if (responder) {
-                throw std::logic_error(
-                    "protocol invariant violated: speculative and "
-                    "non-speculative versions coexist");
-            }
+        bool anySpec = false, anyNonSpec = false, responder = false;
+        for (const Line& s : live) {
+            (isSpec(s.state) ? anySpec : anyNonSpec) = true;
+            responder = responder || isSpecResponder(s.state);
         }
-        const Vid maxV = cfg_.maxVid();
+        // Only responder-class speculative versions conflict with
+        // non-speculative copies; S-S copies of committed data
+        // legally linger until their readers commit.
+        if (anySpec && anyNonSpec && responder) {
+            throw std::logic_error(
+                "protocol invariant violated: speculative and "
+                "non-speculative versions coexist");
+        }
         for (Vid a = 0; a <= maxV; ++a) {
             Vid mods[2];
             int n = 0;
-            for (auto& c : caches_) {
-                for (auto& l : c.set(la)) {
-                    if (l.state == State::Invalid || l.base != la)
-                        continue;
-                    if (!isSpecResponder(l.state))
-                        continue;
-                    if (versionHits(l.state, l.tag, a)) {
-                        if (n < 2)
-                            mods[n] = l.tag.mod;
-                        ++n;
-                    }
+            for (const Line& s : live) {
+                if (!isSpecResponder(s.state))
+                    continue;
+                if (versionHits(s.state, s.tag, a)) {
+                    if (n < 2)
+                        mods[n] = s.tag.mod;
+                    ++n;
                 }
             }
             if (n > 1 && mods[0] != mods[1]) {
                 throw std::logic_error(
                     "protocol invariant violated: multiple distinct "
                     "responder versions hit one VID");
+            }
+        }
+    }
+}
+
+void
+CacheSystem::verifyIndexes()
+{
+    ++idxStats_.crossChecks;
+    // Rebuild the expected presence counts from a full scan and check
+    // the per-slot bookkeeping along the way.
+    std::unordered_map<Addr, std::vector<std::uint16_t>> want;
+    for (std::size_t ci = 0; ci < caches_.size(); ++ci) {
+        caches_[ci].forEachLine([&](Line& l) {
+            if (l.bk.cacheId != ci) {
+                throw std::logic_error(
+                    "index check: slot carries wrong cache id in " +
+                    caches_[ci].name());
+            }
+            if (l.state == State::Invalid) {
+                if (filterEnabled_ && l.bk.present) {
+                    throw std::logic_error(
+                        "index check: invalid line still counted "
+                        "present in " + caches_[ci].name());
+                }
+                return;
+            }
+            if (filterEnabled_ &&
+                (!l.bk.present || l.bk.presentAddr != l.base)) {
+                throw std::logic_error(
+                    "index check: valid line not counted under its "
+                    "address in " + caches_[ci].name());
+            }
+            if (Cache::interesting(l) && !l.bk.onRegistry) {
+                throw std::logic_error(
+                    "index check: spec/dirty line missing from the "
+                    "registry of " + caches_[ci].name());
+            }
+            if (filterEnabled_) {
+                auto& v = want[l.base];
+                if (v.empty())
+                    v.resize(caches_.size(), 0);
+                ++v[ci];
+            }
+        });
+    }
+    if (filterEnabled_) {
+        if (want.size() != presence_.size()) {
+            throw std::logic_error(
+                "index check: presence filter tracks " +
+                std::to_string(presence_.size()) + " addresses, scan "
+                "found " + std::to_string(want.size()));
+        }
+        for (const auto& [la, counts] : want) {
+            auto it = presence_.find(la);
+            if (it == presence_.end()) {
+                throw std::logic_error(
+                    "index check: cached address missing from the "
+                    "presence filter");
+            }
+            std::uint64_t mask = 0;
+            for (std::size_t ci = 0; ci < counts.size(); ++ci)
+                if (counts[ci] != 0)
+                    mask |= std::uint64_t{1} << ci;
+            if (it->second.mask != mask) {
+                throw std::logic_error(
+                    "index check: presence mask mismatch");
+            }
+            for (std::size_t ci = 0; ci < counts.size(); ++ci) {
+                if (it->second.count[ci] != counts[ci]) {
+                    throw std::logic_error(
+                        "index check: presence count mismatch");
+                }
+            }
+        }
+    }
+    // Registries may hold stale (no longer interesting) entries, but
+    // every entry must be flagged and unique so lazy purging stays
+    // linear.
+    for (auto& c : caches_) {
+        std::unordered_set<const Line*> seen;
+        for (const Line* l : c.registry()) {
+            if (!l->bk.onRegistry) {
+                throw std::logic_error(
+                    "index check: unflagged registry entry in " +
+                    c.name());
+            }
+            if (!seen.insert(l).second) {
+                throw std::logic_error(
+                    "index check: duplicate registry entry in " +
+                    c.name());
             }
         }
     }

@@ -146,11 +146,33 @@ class CacheSystem
      * Protocol self-check: verifies that for every cached address and
      * every VID in [0, maxVid], at most one responder-class version
      * hits. Throws std::logic_error on violation. Used by tests.
+     *
+     * Read-only: reconciliation against the current LC VID is applied
+     * to line *snapshots*, never to the cached state, so tests may
+     * interleave this check anywhere without perturbing the run.
      */
     void checkInvariants();
 
+    /**
+     * Rebuilds the presence filter and registry invariants from a full
+     * scan of every cache and compares them with the incrementally
+     * maintained structures; throws std::logic_error on any mismatch.
+     * Runs automatically after bulk protocol actions when
+     * MachineConfig::indexCrossCheck is set.
+     */
+    void verifyIndexes();
+
+    /** Index diagnostics (simulator-side, not architectural). */
+    const IndexStats& indexStats() const { return idxStats_; }
+
   private:
     // --- lookup -------------------------------------------------------
+    /**
+     * Pure lazy-commit transition: folds everything at or below the
+     * current LC VID into @p l (§4.4) without touching the index
+     * structures. checkInvariants() runs this on snapshots.
+     */
+    void applyReconcile(Line& l) const;
     /** Reconciles a line against the current LC VID (lazy commit). */
     void reconcile(Line& l);
     /** Reconciles every version of @p la in @p c. */
@@ -230,6 +252,38 @@ class CacheSystem
     /** Bus occupancy per snoop transaction (grows with core count). */
     Cycles busOccupancy() const;
 
+    // --- index maintenance ----------------------------------------------
+    /**
+     * Single mutation funnel for the index structures: after any
+     * change to a line's state/base/dirty, re-syncs its entry in the
+     * presence filter and (if it became spec or dirty) enlists it on
+     * its cache's registry. O(1); safe to call redundantly.
+     */
+    void syncLine(Line& l);
+    /** Counts one copy of @p la appearing in cache @p ci. */
+    void presenceAdd(std::uint32_t ci, Addr la);
+    /** Uncounts one copy of @p la from cache @p ci. */
+    void presenceRemove(std::uint32_t ci, Addr la);
+    /**
+     * Applies @p fn(cacheIndex) in ascending cache order to every
+     * cache that may hold a version of @p la — every cache under
+     * forceFullScan (or with >64 caches), only presence-filter hits
+     * otherwise. The holder mask is snapshotted first, so @p fn may
+     * invalidate lines (and thereby shrink the filter) safely.
+     */
+    template <typename Fn>
+    void forEachSnoopTarget(Addr la, Fn&& fn);
+    /**
+     * Applies @p fn to every line that can need bulk processing —
+     * speculative or dirty — via the per-cache registries (or a full
+     * scan under forceFullScan). Caches are visited in ascending
+     * order, exactly like the historical full scans.
+     */
+    template <typename Fn>
+    void forEachCandidateLine(Fn&& fn);
+    /** Runs verifyIndexes() when MachineConfig::indexCrossCheck. */
+    void maybeCrossCheck();
+
     // --- bookkeeping ----------------------------------------------------
     void recordRead(Vid vid, Addr la);
     void recordWrite(Vid vid, Addr la);
@@ -256,6 +310,23 @@ class CacheSystem
     /** Spilled speculative versions (unbounded-sets extension). */
     OverflowTable overflow_;
 
+    /**
+     * Address presence filter: for each cached line address, a bitmask
+     * and per-cache copy counts of the caches holding a version of it.
+     * Purely a performance cache over Line state (the snoop-filter /
+     * sharer-vector analog); maintained by syncLine() and consulted by
+     * forEachSnoopTarget(). Empty-masked entries are erased eagerly.
+     */
+    struct Presence
+    {
+        std::uint64_t mask = 0;
+        std::vector<std::uint16_t> count;
+    };
+    std::unordered_map<Addr, Presence> presence_;
+    /** False when caches_.size() > 64 bits of mask; filter disabled. */
+    bool filterEnabled_ = true;
+    IndexStats idxStats_;
+
     /** Wrong-path shadow marks: line -> highest wrong-path VID (§5.1
      *  "aborts avoided via SLA" accounting). */
     std::unordered_map<Addr, Vid> shadow_;
@@ -267,6 +338,11 @@ class CacheSystem
         std::unordered_set<Addr> writes;
     };
     std::unordered_map<Vid, RwSets> rw_;
+    /** Returns rw_[vid] through a one-entry cache. */
+    RwSets& rwFor(Vid vid);
+    /** Last VID whose sets were looked up (see rwFor). */
+    Vid rwCachedVid_ = 0;
+    RwSets* rwCached_ = nullptr;
 };
 
 } // namespace hmtx::sim

@@ -128,6 +128,24 @@ struct MachineConfig
      */
     std::uint64_t maxRecoveries = 1u << 20;
 
+    /**
+     * Reference mode for differential tests and benchmarks: bypass the
+     * address presence filter and the per-cache spec-line registry and
+     * run every snoop/bulk walk as a full scan, exactly like the
+     * pre-index simulator. Simulated behaviour (timings, stats, memory
+     * images) is identical either way; only the simulator's own
+     * wall-clock cost changes.
+     */
+    bool forceFullScan = false;
+
+    /**
+     * Debug aid: after every commit/abortAll/vidReset/flush, rebuild
+     * the index structures from a full scan and throw std::logic_error
+     * on any mismatch (see CacheSystem::verifyIndexes()). Expensive;
+     * meant for tests.
+     */
+    bool indexCrossCheck = false;
+
     /** Largest usable VID for this configuration. */
     Vid maxVid() const { return (Vid{1} << vidBits) - 1; }
 

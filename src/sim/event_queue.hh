@@ -6,9 +6,12 @@
 #ifndef HMTX_SIM_EVENT_QUEUE_HH
 #define HMTX_SIM_EVENT_QUEUE_HH
 
+#include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "core/types.hh"
@@ -48,7 +51,9 @@ class EventQueue
     void
     schedule(Tick when, Callback cb)
     {
-        events_.push(Event{when, seq_++, std::move(cb)});
+        events_.push(
+            Event{when, seq_++, {},
+                  std::make_unique<Callback>(std::move(cb))});
     }
 
     /** Schedules @p cb to run @p delay cycles from now. */
@@ -56,6 +61,25 @@ class EventQueue
     scheduleIn(Cycles delay, Callback cb)
     {
         schedule(now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Schedules a coroutine resumption at absolute tick @p when.
+     * Equivalent to `schedule(when, [h] { h.resume(); })` but stores
+     * the handle directly — the dominant event kind (every memory
+     * operation wake-up) skips std::function construction entirely.
+     */
+    void
+    scheduleResume(Tick when, std::coroutine_handle<> h)
+    {
+        events_.push(Event{when, seq_++, h, {}});
+    }
+
+    /** Schedules a coroutine resumption @p delay cycles from now. */
+    void
+    resumeIn(Cycles delay, std::coroutine_handle<> h)
+    {
+        scheduleResume(now_ + delay, h);
     }
 
     /**
@@ -68,12 +92,18 @@ class EventQueue
         if (events_.empty())
             return false;
         // Move the callback out before popping so that callbacks may
-        // schedule new events (and thus reallocate) safely.
-        Event ev = events_.top();
+        // schedule new events (and thus reallocate) safely. Moving
+        // (rather than copying) the top element is fine: the ordering
+        // keys (when, seq) are trivially copyable and stay valid in
+        // the moved-from element for the sift-down done by pop().
+        Event ev = std::move(const_cast<Event&>(events_.top()));
         events_.pop();
         now_ = ev.when;
         ++executed_;
-        ev.fn();
+        if (ev.h)
+            ev.h.resume();
+        else
+            (*ev.fn)();
         return true;
     }
 
@@ -95,11 +125,16 @@ class EventQueue
     }
 
   private:
+    // Coroutine wake-ups are the dominant event kind by orders of
+    // magnitude, so the Event is kept small and trivially movable:
+    // the handle is stored inline and the occasional general callback
+    // is boxed (heap sifts move Events O(log n) times per operation).
     struct Event
     {
         Tick when;
         std::uint64_t seq;
-        Callback fn;
+        std::coroutine_handle<> h;    // set → resume directly
+        std::unique_ptr<Callback> fn; // otherwise the boxed callback
 
         bool
         operator>(const Event& o) const

@@ -70,6 +70,18 @@ class MainMemory
     /** Number of lines ever touched. */
     std::size_t touchedLines() const { return lines_.size(); }
 
+    /**
+     * Pre-sizes the backing table for at least @p n lines. While the
+     * table holds capacity for every key, inserts will not rehash, so
+     * references and iterators stay valid — bulk writers use this to
+     * insert while a forEachLine() walk is in flight.
+     */
+    void
+    reserveLines(std::size_t n)
+    {
+        lines_.reserve(n);
+    }
+
     /** Applies @p fn(lineAddr, data) to every touched line. */
     template <typename Fn>
     void

@@ -88,6 +88,13 @@ class OverflowTable
         }
     }
 
+    /**
+     * True when no versions are spilled. The snoop path checks this
+     * before probing versionsOf() so runs that never overflow pay no
+     * hash lookup at all.
+     */
+    bool empty() const { return entries_.empty(); }
+
     /** Entries currently held. */
     std::size_t
     size() const

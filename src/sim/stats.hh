@@ -117,6 +117,46 @@ struct SysStats
             : static_cast<double>(slaNeeded) /
                 static_cast<double>(specLoads);
     }
+
+    /**
+     * Field-wise equality; the differential tests use this to prove
+     * the indexed hot paths are observation-equivalent to the
+     * full-scan reference.
+     */
+    bool operator==(const SysStats&) const = default;
+};
+
+/**
+ * Diagnostics for the simulator-internal index structures (address
+ * presence filter + per-cache spec-line registry). Kept separate from
+ * SysStats on purpose: these counters describe how the *simulator*
+ * found lines, not what the simulated machine did, and they differ
+ * between indexed and full-scan runs that are otherwise bit-identical.
+ */
+struct IndexStats
+{
+    /** Caches actually visited by a filtered snoop. */
+    std::uint64_t snoopsVisited = 0;
+    /** Caches skipped because the filter proved them empty. */
+    std::uint64_t snoopsFiltered = 0;
+    /** Bulk walks served from the spec-line registries. */
+    std::uint64_t registryWalks = 0;
+    /** Lines visited by those registry walks. */
+    std::uint64_t registryWalkLines = 0;
+    /** Bulk walks that fell back to a full cache scan. */
+    std::uint64_t fullScanWalks = 0;
+    /** Times verifyIndexes() rebuilt and compared the indexes. */
+    std::uint64_t crossChecks = 0;
+
+    /** Fraction of snoop targets the filter eliminated. */
+    double
+    snoopFilterRate() const
+    {
+        const std::uint64_t total = snoopsVisited + snoopsFiltered;
+        return total == 0 ? 0.0
+            : static_cast<double>(snoopsFiltered) /
+                static_cast<double>(total);
+    }
 };
 
 } // namespace hmtx::sim

@@ -22,7 +22,15 @@ namespace hmtx::sim
 class StatsReport
 {
   public:
-    explicit StatsReport(const SysStats& s) : s_(s) {}
+    /**
+     * @param s   architectural run statistics
+     * @param idx optional simulator-side index diagnostics (snoop
+     *            filter / registry effectiveness); printed when given
+     */
+    explicit StatsReport(const SysStats& s,
+                         const IndexStats* idx = nullptr)
+        : s_(s), idx_(idx)
+    {}
 
     /** Writes the report to @p out. */
     void
@@ -95,10 +103,29 @@ class StatsReport
              "avg write set per transaction, kB (Fig. 9)");
         rate("tx.avgSpecAccesses", s_.avgSpecAccessesPerTx(),
              "avg speculative accesses per transaction (Table 1)");
+
+        if (idx_) {
+            row("sim.snoopsVisited", double(idx_->snoopsVisited),
+                "caches visited by filtered snoops");
+            row("sim.snoopsFiltered", double(idx_->snoopsFiltered),
+                "cache snoops skipped by the presence filter");
+            rate("sim.snoopFilterRate", idx_->snoopFilterRate(),
+                 "fraction of snoop targets filtered out");
+            row("sim.registryWalks", double(idx_->registryWalks),
+                "bulk walks served from spec-line registries");
+            row("sim.registryWalkLines",
+                double(idx_->registryWalkLines),
+                "lines visited by those registry walks");
+            row("sim.fullScanWalks", double(idx_->fullScanWalks),
+                "bulk walks that scanned every cache slot");
+            row("sim.indexCrossChecks", double(idx_->crossChecks),
+                "full-scan index verifications performed");
+        }
     }
 
   private:
     const SysStats& s_;
+    const IndexStats* idx_;
 };
 
 } // namespace hmtx::sim

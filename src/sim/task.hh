@@ -15,8 +15,11 @@
 
 #include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <exception>
+#include <new>
 #include <utility>
+#include <vector>
 
 namespace hmtx::sim
 {
@@ -37,6 +40,63 @@ class Task;
 
 namespace detail
 {
+
+/**
+ * Size-bucketed recycler for coroutine frames. Every simulated memory
+ * operation is a short-lived Task whose frame would otherwise hit the
+ * global heap twice (allocate + free) — millions of times per run.
+ * Freed frames are kept in per-size free lists and handed back to the
+ * next coroutine of the same size. The pool is per-thread and only
+ * ever as large as the peak number of simultaneously live frames.
+ */
+class FramePool
+{
+  public:
+    static void*
+    allocate(std::size_t n)
+    {
+        const std::size_t b = bucket(n);
+        if (b < kBuckets) {
+            auto& fl = lists()[b];
+            if (!fl.empty()) {
+                void* p = fl.back();
+                fl.pop_back();
+                return p;
+            }
+            return ::operator new((b + 1) * kGrain);
+        }
+        return ::operator new(n);
+    }
+
+    static void
+    release(void* p, std::size_t n) noexcept
+    {
+        const std::size_t b = bucket(n);
+        if (b < kBuckets) {
+            // vector growth can throw; a frame is dropped to the heap
+            // rather than propagating from a noexcept delete.
+            try {
+                lists()[b].push_back(p);
+                return;
+            } catch (...) {
+            }
+        }
+        ::operator delete(p);
+    }
+
+  private:
+    static constexpr std::size_t kGrain = 64;
+    static constexpr std::size_t kBuckets = 64; // frames up to 4 KiB
+
+    static std::size_t bucket(std::size_t n) { return (n - 1) / kGrain; }
+
+    static std::vector<void*>*
+    lists()
+    {
+        thread_local std::vector<void*> fl[kBuckets];
+        return fl;
+    }
+};
 
 struct FinalAwaiter
 {
@@ -61,6 +121,17 @@ struct PromiseBase
     std::suspend_always initial_suspend() noexcept { return {}; }
     FinalAwaiter final_suspend() noexcept { return {}; }
     void unhandled_exception() { exception = std::current_exception(); }
+
+    // Route coroutine frames through the recycler.
+    static void* operator new(std::size_t n)
+    {
+        return FramePool::allocate(n);
+    }
+
+    static void operator delete(void* p, std::size_t n) noexcept
+    {
+        FramePool::release(p, n);
+    }
 };
 
 } // namespace detail

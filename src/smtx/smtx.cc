@@ -108,15 +108,17 @@ void
 SmtxRuntime::snapshotCommitImage()
 {
     // The commit process forked from the main process: its image
-    // starts as an exact copy of the committed state.
+    // starts as an exact copy of the committed state. Reserving room
+    // for the copy up front pins the table (no rehash), so the image
+    // can be written during the walk itself instead of staging every
+    // line through a temporary vector; lines the walk may then visit
+    // at >= kCommitImageOffset are skipped by the filter.
     auto& mem = m_.sys().memory();
-    std::vector<std::pair<Addr, sim::LineData>> snap;
+    mem.reserveLines(2 * mem.touchedLines());
     mem.forEachLine([&](Addr a, const sim::LineData& d) {
         if (a < kCommitImageOffset)
-            snap.emplace_back(a, d);
+            mem.writeLine(a + kCommitImageOffset, d);
     });
-    for (auto& [a, d] : snap)
-        mem.writeLine(a + kCommitImageOffset, d);
 }
 
 sim::Task<void>
@@ -347,6 +349,7 @@ SmtxRunner::run(runtime::LoopWorkload& wl,
     m.sys().flushDirtyToMemory();
     r.checksum = wl.checksum(m);
     r.stats = m.sys().stats();
+    r.indexStats = m.sys().indexStats();
     r.transactions = wl.iterations();
     r.smtxMisspeculations = sh.rt.misspeculations();
     for (CoreId i = 0; i < c.numCores; ++i) {

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests of the simulator-side acceleration indexes: the address
+ * presence filter and the per-cache speculative/dirty line registry.
+ * The indexes are pure caches over the authoritative Line state, so
+ * the tests drive the protocol through representative flows and then
+ * ask verifyIndexes() to rebuild both from a full scan and compare —
+ * plus corruption tests proving the cross-check actually detects
+ * drift, and a test that checkInvariants() is observation-only.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/cache_system.hh"
+#include "sim/event_queue.hh"
+
+namespace hmtx::sim
+{
+namespace
+{
+
+MachineConfig
+smallConfig()
+{
+    MachineConfig cfg;
+    cfg.l2SizeKB = 256; // keep walks cheap in tests
+    return cfg;
+}
+
+class IndexFixture : public ::testing::Test
+{
+  protected:
+    IndexFixture() : sys(eq, smallConfig()) {}
+
+    /** Loads, spec stores, forwarding, commits — a protocol workout. */
+    void
+    workout()
+    {
+        for (unsigned i = 0; i < 64; ++i)
+            sys.load(i % 4, 0x8000 + Addr{i} * 64, 8, 0);
+        for (unsigned i = 0; i < 16; ++i)
+            sys.store(i % 4, 0x1000 + Addr{i} * 64, i + 1, 8,
+                      1 + (i % 4));
+        sys.load(2, 0x1000, 8, 2); // uncommitted forwarding
+        for (Vid v = 1; v <= 4; ++v)
+            sys.commit(v);
+    }
+
+    EventQueue eq;
+    CacheSystem sys;
+};
+
+TEST_F(IndexFixture, IndexesConsistentAcrossProtocolFlows)
+{
+    workout();
+    EXPECT_NO_THROW(sys.verifyIndexes());
+
+    sys.vidReset();
+    EXPECT_NO_THROW(sys.verifyIndexes());
+
+    for (unsigned i = 0; i < 8; ++i)
+        sys.store(i % 4, 0x2000 + Addr{i} * 64, i, 8, 1);
+    sys.abortAll();
+    EXPECT_NO_THROW(sys.verifyIndexes());
+
+    sys.flushDirtyToMemory();
+    EXPECT_NO_THROW(sys.verifyIndexes());
+}
+
+TEST_F(IndexFixture, IndexesConsistentAfterCapacityEvictions)
+{
+    // More lines than the 256 KB L2 holds: fills, evictions and
+    // writebacks all funnel through syncLine.
+    for (unsigned i = 0; i < 8192; ++i)
+        sys.store(i % 4, 0x100000 + Addr{i} * 64, i, 8, 0);
+    EXPECT_NO_THROW(sys.verifyIndexes());
+    EXPECT_GT(sys.stats().writebacks, 0u);
+}
+
+TEST_F(IndexFixture, RegistryDrainsOncePurged)
+{
+    workout();
+    sys.vidReset();
+    sys.flushDirtyToMemory();
+    // After reset + flush no line is speculative or dirty; the lazy
+    // purge in the flush walk leaves every registry empty.
+    for (CoreId c = 0; c < 4; ++c)
+        EXPECT_EQ(sys.l1(c).registrySize(), 0u) << "core " << c;
+    EXPECT_EQ(sys.l2().registrySize(), 0u);
+}
+
+TEST_F(IndexFixture, SnoopFilterActuallyFilters)
+{
+    workout();
+    sys.vidReset(); // lazy commit defers the walk to the reset
+    const IndexStats& idx = sys.indexStats();
+    EXPECT_GT(idx.snoopsFiltered, 0u);
+    EXPECT_GT(idx.snoopFilterRate(), 0.0);
+    EXPECT_GT(idx.registryWalks, 0u);
+    EXPECT_EQ(idx.fullScanWalks, 0u);
+}
+
+TEST_F(IndexFixture, CheckInvariantsIsReadOnly)
+{
+    workout();
+
+    std::vector<Line> before;
+    auto snapshot = [&](std::vector<Line>& out) {
+        out.clear();
+        for (CoreId c = 0; c < 4; ++c)
+            sys.l1(c).forEachLine([&](Line& l) { out.push_back(l); });
+        sys.l2().forEachLine([&](Line& l) { out.push_back(l); });
+    };
+    snapshot(before);
+    SysStats statsBefore = sys.stats();
+
+    sys.checkInvariants();
+
+    std::vector<Line> after;
+    snapshot(after);
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+        const Line& a = before[i];
+        const Line& b = after[i];
+        EXPECT_EQ(a.state, b.state) << "line " << i;
+        EXPECT_EQ(a.tag.mod, b.tag.mod) << "line " << i;
+        EXPECT_EQ(a.tag.high, b.tag.high) << "line " << i;
+        EXPECT_EQ(a.dirty, b.dirty) << "line " << i;
+        EXPECT_EQ(a.base, b.base) << "line " << i;
+        EXPECT_EQ(a.data, b.data) << "line " << i;
+    }
+    EXPECT_TRUE(statsBefore == sys.stats());
+}
+
+TEST_F(IndexFixture, DetectsRegistryDrift)
+{
+    sys.load(0, 0x3000, 8, 0);
+    EXPECT_NO_THROW(sys.verifyIndexes());
+    // Dirty the line behind syncLine's back: it is now "interesting"
+    // but on no registry.
+    bool poked = false;
+    sys.l1(0).forEachLine([&](Line& l) {
+        if (!poked && l.state != State::Invalid && !l.dirty) {
+            l.dirty = true;
+            poked = true;
+        }
+    });
+    ASSERT_TRUE(poked);
+    EXPECT_THROW(sys.verifyIndexes(), std::logic_error);
+}
+
+TEST_F(IndexFixture, DetectsPresenceDrift)
+{
+    sys.load(0, 0x4000, 8, 0);
+    EXPECT_NO_THROW(sys.verifyIndexes());
+    // Invalidate behind syncLine's back: the presence filter still
+    // lists the cache for this address.
+    bool poked = false;
+    sys.l1(0).forEachLine([&](Line& l) {
+        if (!poked && l.state != State::Invalid) {
+            l.state = State::Invalid;
+            poked = true;
+        }
+    });
+    ASSERT_TRUE(poked);
+    EXPECT_THROW(sys.verifyIndexes(), std::logic_error);
+}
+
+TEST(IndexModesTest, FullScanModeKeepsIndexesConsistent)
+{
+    // forceFullScan bypasses the indexes for lookups but still
+    // maintains them, so flipping the flag mid-run stays legal.
+    MachineConfig cfg = smallConfig();
+    cfg.forceFullScan = true;
+    EventQueue eq;
+    CacheSystem sys(eq, cfg);
+    for (unsigned i = 0; i < 16; ++i)
+        sys.store(i % 4, 0x1000 + Addr{i} * 64, i, 8, 1 + (i % 4));
+    for (Vid v = 1; v <= 4; ++v)
+        sys.commit(v);
+    sys.vidReset();
+    EXPECT_NO_THROW(sys.verifyIndexes());
+    EXPECT_GT(sys.indexStats().fullScanWalks, 0u);
+    EXPECT_EQ(sys.indexStats().registryWalks, 0u);
+}
+
+TEST(IndexModesTest, CrossCheckRunsWhenEnabled)
+{
+    MachineConfig cfg = smallConfig();
+    cfg.indexCrossCheck = true;
+    EventQueue eq;
+    CacheSystem sys(eq, cfg);
+    sys.store(0, 0x1000, 5, 8, 1);
+    sys.commit(1);
+    sys.abortAll();
+    EXPECT_GT(sys.indexStats().crossChecks, 0u);
+}
+
+} // namespace
+} // namespace hmtx::sim
