@@ -1,10 +1,18 @@
 #!/usr/bin/env bash
-# Builds the benchmarks in Release mode and produces BENCH_hotpath.json:
-# the micro_hotpath google-benchmark results (indexed vs forced full
-# scan, seed and Table 2 geometries) plus end-to-end fig8_speedup
-# timings. Run from the repository root:
+# Builds the benchmarks in Release mode and produces two JSON reports:
 #
-#   bench/run_bench.sh [build-dir] [output.json]
+#   BENCH_hotpath.json  micro_hotpath google-benchmark results
+#                       (indexed vs forced full scan, seed and Table 2
+#                       geometries) plus end-to-end fig8_speedup
+#                       timings.
+#   BENCH_scaling.json  ext_directory_scaling cores x fabric sweep
+#                       (snoop bus vs directory, 2-32 cores); the run
+#                       fails if the directory fabric is not at least
+#                       as fast as the bus from 8 cores up.
+#
+# Run from the repository root:
+#
+#   bench/run_bench.sh [build-dir] [hotpath.json] [scaling.json]
 #
 # A smoke ctest (bench_hotpath_smoke) asserting indexed/full-scan
 # behavioural identity runs as part of the normal test suite; this
@@ -15,10 +23,15 @@ set -euo pipefail
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 BUILD=${1:-"$ROOT/build-release"}
 OUT=${2:-"$ROOT/BENCH_hotpath.json"}
+SCALING_OUT=${3:-"$ROOT/BENCH_scaling.json"}
 RUNS=${FIG8_RUNS:-3}
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD" -j --target micro_hotpath fig8_speedup
+cmake --build "$BUILD" -j \
+    --target micro_hotpath fig8_speedup ext_directory_scaling
+
+echo "== ext_directory_scaling (cores x fabric sweep) =="
+"$BUILD/bench/ext_directory_scaling" "$SCALING_OUT"
 
 echo "== micro_hotpath smoke (behavioural identity + speedup bound) =="
 "$BUILD/bench/micro_hotpath" --smoke

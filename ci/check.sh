@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 gate: builds and runs the full test suite in the Release
+# configuration and again under ASan+UBSan (see CMakePresets.json).
+# Run from anywhere:
+#
+#   ci/check.sh [preset ...]
+#
+# With no arguments both presets run; pass a subset (e.g. `ci/check.sh
+# release`) to iterate faster. Any test failure or sanitizer report
+# fails the script.
+
+set -euo pipefail
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+PRESETS=("$@")
+if [ ${#PRESETS[@]} -eq 0 ]; then
+    PRESETS=(release asan-ubsan)
+fi
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+cd "$ROOT"
+
+for preset in "${PRESETS[@]}"; do
+    echo "==== preset: $preset ===="
+    cmake --preset "$preset"
+    cmake --build --preset "$preset" -j "$JOBS"
+    # Halt on the first error inside the sanitizer runtime rather
+    # than limping on with corrupted state.
+    UBSAN_OPTIONS=halt_on_error=1 \
+    ASAN_OPTIONS=detect_leaks=1 \
+        ctest --preset "$preset" -j "$JOBS"
+done
+
+echo "All presets green."

@@ -1,0 +1,168 @@
+#include "core/protocol.hh"
+
+namespace hmtx
+{
+
+namespace
+{
+
+/**
+ * A retiring owner may have handed out S-S copies; it must land in a
+ * shareable state or a later silent write to an M/E line would leave
+ * those copies stale.
+ */
+LineTransition
+shareIfSharers(LineTransition t, bool mayHaveSharers)
+{
+    if (mayHaveSharers) {
+        if (t.state == State::Modified)
+            t.state = State::Owned;
+        else if (t.state == State::Exclusive)
+            t.state = State::Shared;
+    }
+    return t;
+}
+
+} // namespace
+
+VersionView
+reconcileVersion(VersionView v, Vid lc)
+{
+    if (v.state == State::Invalid || !isSpec(v.state))
+        return v;
+    if (v.state == State::SpecShared && v.latestCopy) {
+        // Latest-version copy: highVID is a local read mark, not a
+        // coverage bound. The copy must never turn into a plain
+        // non-speculative line (that would create a second apparent
+        // owner of the version); it lives until superseded,
+        // invalidated by a write, evicted, aborted or VID-reset.
+        if (v.tag.mod != kNonSpecVid && v.tag.mod <= lc)
+            v.tag.mod = kNonSpecVid;
+        if (v.tag.high <= lc)
+            v.highFromWrongPath = false;
+        return v;
+    }
+    LineTransition t = commitLine(v.state, v.tag, lc, v.dirty);
+    if (t.state != v.state || !(t.tag == v.tag)) {
+        t = shareIfSharers(t, v.mayHaveSharers);
+        v.state = t.state;
+        v.tag = t.tag;
+        if (!isSpec(v.state)) {
+            v.mayHaveSharers = false;
+            v.highFromWrongPath = false;
+            v.latestCopy = false;
+            if (v.state == State::Invalid)
+                v.dirty = false;
+        }
+    }
+    return v;
+}
+
+VersionView
+abortVersion(VersionView v, Vid lc)
+{
+    if (!isSpec(v.state))
+        return v;
+    if (v.state == State::SpecShared && v.latestCopy) {
+        // Copies are refetchable; dropping them keeps every version
+        // with exactly one apparent owner.
+        v.state = State::Invalid;
+        v.tag = {};
+    } else {
+        LineTransition t = commitLine(v.state, v.tag, lc, v.dirty);
+        t = abortLine(t.state, t.tag, lc, v.dirty);
+        t = shareIfSharers(t, v.mayHaveSharers);
+        v.state = t.state;
+        v.tag = t.tag;
+    }
+    v.latestCopy = false;
+    v.mayHaveSharers = false;
+    v.highFromWrongPath = false;
+    return v;
+}
+
+VersionView
+resetVersion(VersionView v)
+{
+    if (!isSpec(v.state))
+        return v;
+    if (v.state == State::SpecShared && v.latestCopy) {
+        v.state = State::Invalid;
+        v.tag = {};
+    } else {
+        LineTransition t = resetLine(v.state, v.tag, v.dirty);
+        t = shareIfSharers(t, v.mayHaveSharers);
+        v.state = t.state;
+        v.tag = t.tag;
+    }
+    v.latestCopy = false;
+    v.mayHaveSharers = false;
+    return v;
+}
+
+bool
+versionServes(const VersionView& v, Vid a)
+{
+    if (v.state == State::Invalid)
+        return false;
+    if (v.state == State::SpecShared && v.latestCopy)
+        return a >= v.tag.mod; // serves all later VIDs (§4.1)
+    return versionHits(v.state, v.tag, a);
+}
+
+int
+victimClass(const VersionView& v)
+{
+    switch (v.state) {
+      case State::Invalid:
+        return 0;
+      case State::SpecShared:
+        // Superseded copies are nearly dead; latest-version copies
+        // are live working set (shared read-only data) and compete
+        // via LRU like any other resident line.
+        return v.latestCopy ? 2 : 1;
+      case State::Shared:
+      case State::Exclusive:
+      case State::Modified:
+      case State::Owned:
+        // Plain LRU among non-speculative lines: preferring clean
+        // victims would evict the current (still-clean) working set
+        // in favour of stale dirty data.
+        return 2;
+      case State::SpecOwned:
+        // §5.4: prefer overflowing non-speculative S-O versions.
+        return v.tag.mod == kNonSpecVid ? 3 : 4;
+      case State::SpecExclusive:
+      case State::SpecModified:
+        return 4;
+    }
+    return 5;
+}
+
+StoreAction
+classifyStoreWithMarks(State st, VersionTag eff, Vid y)
+{
+    if (y < eff.high) {
+        // A later VID already read this version — possibly recorded
+        // on a peer copy rather than the owner (§4.3).
+        return StoreAction::Abort;
+    }
+    return classifyStore(st, eff, y);
+}
+
+ReadMarkAction
+classifyReadMark(State st, VersionTag t, Vid vid)
+{
+    if (isSpecResponder(st))
+        return vid > t.high ? ReadMarkAction::RaiseHigh
+                            : ReadMarkAction::None;
+    if (st == State::SpecShared)
+        return ReadMarkAction::None; // owner already logged >= this
+    // First speculative access to a non-speculative line: gain
+    // writable access if shared (§4.2), then go speculative.
+    if (st == State::Shared || st == State::Owned)
+        return ReadMarkAction::UpgradeWithBus;
+    return ReadMarkAction::Upgrade;
+}
+
+} // namespace hmtx

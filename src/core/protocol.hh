@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The HMTX protocol engine: the complete per-version decision surface
+ * of §4.1-§4.4, §4.6 and §5.3/§5.4 as side-effect-free functions.
+ *
+ * version_rules.hh holds the normative primitive transitions straight
+ * from the paper's figures (hit rule, Figure 4 store classification,
+ * Figure 6/7 commit/abort, §4.6 reset). This layer composes them with
+ * the implementation flags a real line carries — sharer copies,
+ * latest-version S-S semantics, wrong-path marks — so that every
+ * protocol decision the cache system makes is expressible on a plain
+ * value (`VersionView`) with no machine attached. The simulator's
+ * CacheSystem is thereby reduced to orchestration: it converts lines
+ * to views, asks this engine, and applies the returned image.
+ */
+
+#ifndef HMTX_CORE_PROTOCOL_HH
+#define HMTX_CORE_PROTOCOL_HH
+
+#include "core/spec_state.hh"
+#include "core/types.hh"
+#include "core/version_rules.hh"
+
+namespace hmtx
+{
+
+/**
+ * Architectural payload of one cache line version as the protocol
+ * engine sees it: coherence state, version tags, and the sharing /
+ * provenance flags that refine the paper's base transitions. No
+ * simulator bookkeeping, no data bytes — decisions never depend on
+ * either.
+ */
+struct VersionView
+{
+    State state = State::Invalid;
+    VersionTag tag{};
+    /** True when the data differs from main memory. */
+    bool dirty = false;
+    /** True when peer caches may hold S-S copies of this version. */
+    bool mayHaveSharers = false;
+    /** True for S-S copies of the *latest* version (distributed read
+     *  marks; see DESIGN.md §2). */
+    bool latestCopy = false;
+    /** True when highVID was last raised by a wrong-path load. */
+    bool highFromWrongPath = false;
+
+    bool operator==(const VersionView&) const = default;
+};
+
+/**
+ * Lazy-commit reconciliation (§5.3): folds every commit at or below
+ * the LC VID watermark @p lc into the version. Latest-version S-S
+ * copies only shed committed marks (they must never turn into a
+ * second apparent owner); everything else follows Figure 6, with
+ * retiring owners that handed out S-S copies landing in a shareable
+ * state (M->O, E->S). Idempotent for a fixed @p lc.
+ */
+VersionView reconcileVersion(VersionView v, Vid lc);
+
+/**
+ * Global-abort transition for one version (§4.4, Figure 7): commits
+ * up to @p lc are folded first, then all uncommitted speculative
+ * state is flushed. Latest-version S-S copies are dropped (they are
+ * refetchable and keeping them could orphan a version's ownership).
+ */
+VersionView abortVersion(VersionView v, Vid lc);
+
+/**
+ * VID-reset transition (§4.6). Only legal once every outstanding
+ * transaction has committed; the caller must reconcile first. Latest
+ * versions retire to committed non-speculative states, superseded
+ * versions and copies die.
+ */
+VersionView resetVersion(VersionView v);
+
+/**
+ * Hit predicate for a request with VID @p a (§4.1), extended with the
+ * latest-copy S-S semantics: a copy of the latest version serves any
+ * VID >= its modVID locally. Non-speculative versions serve every
+ * request (tag match is the cache's job; callers pass the LC VID for
+ * non-speculative requests).
+ */
+bool versionServes(const VersionView& v, Vid a);
+
+/**
+ * Eviction preference class (§5.4); lower evicts first.
+ *
+ *  0 invalid, 1 superseded S-S copies (nearly dead), 2 plain LRU
+ *  residents (non-speculative lines and latest-version copies),
+ *  3 pristine S-O versions (may overflow to memory), 4 responder-class
+ *  speculative state (loss aborts).
+ */
+int victimClass(const VersionView& v);
+
+/**
+ * Store classification against the *effective* tag of the hitting
+ * version — the owner's tag with the distributed read marks from
+ * latest-version S-S copies aggregated into highVID (§4.2/§4.3). Any
+ * store below the aggregated highVID violates a flow dependence and
+ * aborts, even when the owner itself never logged that reader.
+ */
+StoreAction classifyStoreWithMarks(State st, VersionTag eff, Vid y);
+
+/** What a speculative read must do to mark the version it hit. */
+enum class ReadMarkAction : std::uint8_t
+{
+    /** Version already logged an equal-or-higher VID: nothing to do. */
+    None,
+    /** Speculative responder: raise highVID to the request, SLA due. */
+    RaiseHigh,
+    /**
+     * Non-speculative exclusive-class line (M/E): transition in place
+     * to S-M/S-E per dirtiness, SLA due.
+     */
+    Upgrade,
+    /**
+     * Non-speculative shared-class line (S/O): a fabric transaction
+     * must first gain writable access and invalidate peer copies, then
+     * as Upgrade.
+     */
+    UpgradeWithBus,
+};
+
+/**
+ * Classifies the read marking for VID @p vid on a version it hit
+ * (§4.2, §5.1). S-S copies are never marked through this path: the
+ * owner (or the copy's own local mark, for latest copies) carries the
+ * log.
+ */
+ReadMarkAction classifyReadMark(State st, VersionTag t, Vid vid);
+
+/** Speculative state a non-speculative line upgrades into (§4.2). */
+constexpr State
+specUpgradeState(bool dirty)
+{
+    return dirty ? State::SpecModified : State::SpecExclusive;
+}
+
+} // namespace hmtx
+
+#endif // HMTX_CORE_PROTOCOL_HH

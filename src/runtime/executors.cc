@@ -1,5 +1,6 @@
 #include "runtime/executors.hh"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -341,6 +342,25 @@ sequentialRoot(Machine& m, LoopWorkload& wl)
     co_await wl.runSequential(mem);
 }
 
+/**
+ * Clamps a requested worker count to the cores the machine actually
+ * has (minus @p reserved cores the schedule occupies otherwise) and
+ * records how many cores the resulting schedule leaves idle. Without
+ * the clamp a caller asking for more workers than cores would index
+ * past the machine's thread contexts; without the stat a schedule
+ * narrower than the machine would waste cores silently.
+ */
+unsigned
+clampWorkers(Machine& m, unsigned workers, unsigned reserved)
+{
+    const unsigned cores = m.config().numCores;
+    const unsigned avail = cores > reserved ? cores - reserved : 1;
+    workers = std::clamp(workers, 1u, avail);
+    const unsigned used = reserved + workers;
+    m.sys().stats().idleCores = cores > used ? cores - used : 0;
+    return workers;
+}
+
 } // namespace
 
 // --- Runner ------------------------------------------------------------------
@@ -350,6 +370,7 @@ Runner::runSequential(LoopWorkload& wl, const sim::MachineConfig& cfg)
 {
     Machine m(cfg);
     wl.setup(m);
+    m.sys().stats().idleCores = cfg.numCores - 1;
     m.spawn(sequentialRoot(m, wl));
     m.run();
     return collect(m, wl, nullptr, "sequential");
@@ -361,6 +382,8 @@ Runner::runPipeline(LoopWorkload& wl, const sim::MachineConfig& cfg,
 {
     Machine m(cfg);
     wl.setup(m);
+    // Stage 1 owns core 0; replicated stage-2 workers fill the rest.
+    workers = clampWorkers(m, workers, 1);
     Shared sh(wl, m, workers + 1);
     for (unsigned w = 0; w < workers; ++w)
         sh.queues.push_back(std::make_unique<SimQueue>(m, 8));
@@ -380,6 +403,7 @@ Runner::runDoall(LoopWorkload& wl, const sim::MachineConfig& cfg,
 {
     Machine m(cfg);
     wl.setup(m);
+    workers = clampWorkers(m, workers, 0);
     Shared sh(wl, m, workers);
     for (unsigned w = 0; w < workers; ++w)
         m.spawn(doallTask(sh, w, workers));
@@ -394,6 +418,7 @@ Runner::runDoacross(LoopWorkload& wl, const sim::MachineConfig& cfg,
 {
     Machine m(cfg);
     wl.setup(m);
+    workers = clampWorkers(m, workers, 0);
     Shared sh(wl, m, workers);
     for (unsigned w = 0; w < workers; ++w)
         sh.queues.push_back(std::make_unique<SimQueue>(m, 8));

@@ -1,8 +1,12 @@
+/**
+ * @file
+ * CacheSystem construction, index maintenance, and self-checks. The
+ * lookup, access, and bulk-operation halves live in the sibling
+ * cache_system_*.cc translation units.
+ */
+
 #include "sim/cache_system.hh"
 
-#include <algorithm>
-#include <bit>
-#include <cassert>
 #include <stdexcept>
 #include <string>
 
@@ -30,7 +34,7 @@ CacheSystem::CacheSystem(EventQueue& eq, const MachineConfig& cfg)
         presence_.reserve(std::min<std::size_t>(
             std::max<std::size_t>(l1Slots, 1024), 1u << 16));
     }
-    bankFree_.resize(cfg.dirBanks == 0 ? 1 : cfg.dirBanks, 0);
+    net_ = makeInterconnect(cfg_, stats_);
 }
 
 // --- index maintenance --------------------------------------------------
@@ -83,51 +87,6 @@ CacheSystem::syncLine(Line& l)
         caches_[ci].noteInteresting(l);
 }
 
-template <typename Fn>
-void
-CacheSystem::forEachSnoopTarget(Addr la, Fn&& fn)
-{
-    if (!filterEnabled_ || cfg_.forceFullScan) {
-        for (std::size_t ci = 0; ci < caches_.size(); ++ci)
-            fn(ci);
-        return;
-    }
-    auto it = presence_.find(la);
-    // Snapshot the holder mask: fn may invalidate lines and thereby
-    // shrink (or erase) the filter entry while we iterate.
-    const std::uint64_t mask =
-        it == presence_.end() ? 0 : it->second.mask;
-    const auto holders =
-        static_cast<std::uint64_t>(std::popcount(mask));
-    idxStats_.snoopsVisited += holders;
-    idxStats_.snoopsFiltered += caches_.size() - holders;
-    for (std::uint64_t m = mask; m != 0; m &= m - 1)
-        fn(static_cast<std::size_t>(std::countr_zero(m)));
-}
-
-template <typename Fn>
-void
-CacheSystem::forEachCandidateLine(Fn&& fn)
-{
-    if (cfg_.forceFullScan) {
-        ++idxStats_.fullScanWalks;
-        for (auto& c : caches_) {
-            c.forEachLine([&](Line& l) {
-                if (Cache::interesting(l))
-                    fn(l);
-            });
-        }
-        return;
-    }
-    ++idxStats_.registryWalks;
-    for (auto& c : caches_) {
-        c.forEachInteresting([&](Line& l) {
-            ++idxStats_.registryWalkLines;
-            fn(l);
-        });
-    }
-}
-
 void
 CacheSystem::maybeCrossCheck()
 {
@@ -135,1375 +94,7 @@ CacheSystem::maybeCrossCheck()
         verifyIndexes();
 }
 
-// --- lookup -----------------------------------------------------------
-
-void
-CacheSystem::applyReconcile(Line& l) const
-{
-    if (l.state == State::Invalid || !isSpec(l.state))
-        return;
-    if (l.state == State::SpecShared && l.latestCopy) {
-        // Latest-version copy: highVID is a local read mark, not a
-        // coverage bound. The copy must never turn into a plain
-        // non-speculative line (that would create a second apparent
-        // owner of the version); it lives until superseded,
-        // invalidated by a write, evicted, aborted or VID-reset.
-        if (l.tag.mod != kNonSpecVid && l.tag.mod <= lcVid_)
-            l.tag.mod = kNonSpecVid;
-        if (l.tag.high <= lcVid_)
-            l.highFromWrongPath = false;
-        return;
-    }
-    LineTransition t = commitLine(l.state, l.tag, lcVid_, l.dirty);
-    if (t.state != l.state || !(t.tag == l.tag)) {
-        // A retiring owner may have handed out S-S copies; it must
-        // land in a shareable state or a later silent write to an
-        // M/E line would leave those copies stale.
-        if (l.mayHaveSharers) {
-            if (t.state == State::Modified)
-                t.state = State::Owned;
-            else if (t.state == State::Exclusive)
-                t.state = State::Shared;
-        }
-        l.state = t.state;
-        l.tag = t.tag;
-        if (!isSpec(l.state)) {
-            l.mayHaveSharers = false;
-            l.highFromWrongPath = false;
-            l.latestCopy = false;
-            if (l.state == State::Invalid)
-                l.dirty = false;
-        }
-    }
-}
-
-void
-CacheSystem::reconcile(Line& l)
-{
-    const State olds = l.state;
-    const bool oldDirty = l.dirty;
-    applyReconcile(l);
-    if (l.state != olds || l.dirty != oldDirty)
-        syncLine(l);
-}
-
-void
-CacheSystem::reconcileAddr(Cache& c, Addr la)
-{
-    for (auto& l : c.set(la))
-        if (l.state != State::Invalid && l.base == la)
-            reconcile(l);
-}
-
-bool
-CacheSystem::hits(const Line& l, Addr la, Vid a)
-{
-    if (l.state == State::Invalid || l.base != la)
-        return false;
-    // Count the VID comparisons the hardware would perform (§4.5).
-    if (isSpec(l.state)) {
-        cmp_.compare(a, l.tag.mod);
-        if (isSpecSuperseded(l.state))
-            cmp_.compare(a, l.tag.high);
-    }
-    if (l.state == State::SpecShared && l.latestCopy)
-        return a >= l.tag.mod; // serves all later VIDs (§4.1)
-    return versionHits(l.state, l.tag, a);
-}
-
-Line*
-CacheSystem::findLocal(Cache& c, Addr la, Vid a, bool forStore)
-{
-    // Reconcile and probe in one pass over the set: lazy-commit
-    // transitions are strictly per-line, so interleaving them with the
-    // probes is equivalent to reconcileAddr() followed by a second
-    // scan, at roughly half the cost.
-    Line* hit = nullptr;
-    for (auto& l : c.set(la)) {
-        if (l.state != State::Invalid && l.base == la)
-            reconcile(l);
-        if (hit)
-            continue;
-        if (forStore && l.state == State::SpecShared)
-            continue;
-        if (hits(l, la, a))
-            hit = &l;
-    }
-    return hit;
-}
-
-CacheSystem::RemoteHit
-CacheSystem::findRemote(CoreId self, Addr la, Vid a, bool forStore)
-{
-    (void)forStore;
-    RemoteHit rh;
-    forEachSnoopTarget(la, [&](std::size_t ci) {
-        Cache& c = caches_[ci];
-        const bool isSelf = (ci == self);
-        for (auto& l : c.set(la)) {
-            if (l.state == State::Invalid || l.base != la)
-                continue;
-            reconcile(l);
-            if (l.state == State::Invalid)
-                continue;
-            // §5.4: speculative versions that miss on VID comparison
-            // assert that the line was speculatively modified.
-            if (isSpecResponder(l.state) && l.tag.mod > a)
-                rh.assertModified = true;
-            if (isSelf)
-                continue; // the local L1 was already searched
-            // S-S copies never respond to snoops (§4.1).
-            if (l.state == State::SpecShared)
-                continue;
-            if (!rh.line && hits(l, la, a)) {
-                rh.line = &l;
-                rh.cache = &c;
-            }
-        }
-    });
-    if (cfg_.unboundedSpecSets && !overflow_.empty()) {
-        // A miss (or assert) may be resolved by a spilled version:
-        // the hardware walk engine searches the overflow table
-        // (§8 / [27]).
-        if (auto* vs = overflow_.versionsOf(la)) {
-            for (auto& l : *vs)
-                reconcile(l);
-            std::erase_if(*vs, [](const Line& l) {
-                return l.state == State::Invalid;
-            });
-            for (std::size_t i = 0; i < vs->size(); ++i) {
-                Line& l = (*vs)[i];
-                if (isSpecResponder(l.state) && l.tag.mod > a)
-                    rh.assertModified = true;
-                if (!rh.line && hits(l, la, a)) {
-                    // Refill the version into the requester's L1 and
-                    // continue as a normal remote hit.
-                    Line copy = l;
-                    overflow_.remove(la, i);
-                    rh.extraLatency = OverflowTable::kWalkCycles +
-                        cfg_.memLatency;
-                    ++stats_.specRefills;
-                    Line* slot = allocate(caches_[self], la);
-                    if (!slot)
-                        return rh; // capacity abort during refill
-                    *slot = copy;
-                    syncLine(*slot);
-                    rh.line = slot;
-                    rh.cache = &caches_[self];
-                    break;
-                }
-            }
-        }
-    }
-    return rh;
-}
-
-// --- allocation & eviction --------------------------------------------
-
-int
-CacheSystem::victimClass(const Line& l) const
-{
-    switch (l.state) {
-      case State::Invalid:
-        return 0;
-      case State::SpecShared:
-        // Superseded copies are nearly dead; latest-version copies
-        // are live working set (shared read-only data) and compete
-        // via LRU like any other resident line.
-        return l.latestCopy ? 2 : 1;
-      case State::Shared:
-      case State::Exclusive:
-      case State::Modified:
-      case State::Owned:
-        // Plain LRU among non-speculative lines: preferring clean
-        // victims would evict the current (still-clean) working set
-        // in favour of stale dirty data.
-        return 2;
-      case State::SpecOwned:
-        // §5.4: prefer overflowing non-speculative S-O versions.
-        return l.tag.mod == kNonSpecVid ? 3 : 4;
-      case State::SpecExclusive:
-      case State::SpecModified:
-        return 4;
-    }
-    return 5;
-}
-
-bool
-CacheSystem::evict(Cache& c, Line& victim)
-{
-    reconcile(victim);
-    if (victim.state == State::Invalid)
-        return true;
-
-    const bool isL2 = (&c == &caches_.back());
-    const Addr la = victim.base;
-
-    auto drop = [&victim, this] {
-        victim.state = State::Invalid;
-        syncLine(victim);
-    };
-
-    switch (victim.state) {
-      case State::SpecShared:
-        // Droppable copies: the owner version still responds.
-        drop();
-        return true;
-      case State::Shared:
-      case State::Exclusive:
-        if (isL2) {
-            drop(); // clean: memory already has the data
-            return true;
-        }
-        break; // L1 victims spill into the shared L2
-      case State::Modified:
-      case State::Owned:
-        if (isL2) {
-            mem_.writeLine(la, victim.data);
-            ++stats_.writebacks;
-            drop();
-            return true;
-        }
-        break; // move to L2
-      case State::SpecOwned:
-        if (victim.tag.mod == kNonSpecVid) {
-            // §5.4: the pristine pre-speculation data is committed
-            // state and may overflow to memory (from any level — it
-            // must not displace S-M/S-E lines, whose loss aborts); an
-            // S-M line's snoop assertion recovers it later.
-            if (victim.dirty) {
-                mem_.writeLine(la, victim.data);
-                ++stats_.writebacks;
-            }
-            ++stats_.soOverflowWritebacks;
-            drop();
-            return true;
-        }
-        if (isL2) {
-            if (cfg_.unboundedSpecSets) {
-                overflow_.spill(victim);
-                ++stats_.specSpills;
-                drop();
-                return true;
-            }
-            ++stats_.capacityAborts;
-            triggerAbort(&victim);
-            return false;
-        }
-        break; // move to L2
-      case State::SpecExclusive:
-      case State::SpecModified:
-        if (isL2) {
-            if (cfg_.unboundedSpecSets) {
-                // §8 / [27]: spill the version into the
-                // memory-resident overflow table instead of aborting.
-                trace_.event(TraceEvict, eq_.curTick(),
-                             "spill %s(%u,%u) %#llx",
-                             std::string(stateName(victim.state))
-                                 .c_str(),
-                             victim.tag.mod, victim.tag.high,
-                             static_cast<unsigned long long>(la));
-                overflow_.spill(victim);
-                ++stats_.specSpills;
-                drop();
-                return true;
-            }
-            // Speculative state fell out of the last-level cache: the
-            // transaction cannot be tracked any more (§5.4).
-            ++stats_.capacityAborts;
-            triggerAbort(&victim);
-            return false;
-        }
-        break; // move to L2
-      case State::Invalid:
-        return true;
-    }
-
-    // Move the line from an L1 into the shared L2.
-    Line copy = victim;
-    drop();
-    Line* slot = allocate(caches_.back(), la);
-    if (!slot)
-        return false;
-    *slot = copy;
-    syncLine(*slot);
-    return true;
-}
-
-Line*
-CacheSystem::allocateOpt(Cache& c, Addr la)
-{
-    // Best-effort allocation for optional fills (S-S sharer copies,
-    // §5.4 refetches): evict only cheap (non-speculative or copy)
-    // victims — displacing responder-class speculative state for a
-    // refetchable copy would risk capacity aborts.
-    Line* slot = c.freeSlot(la);
-    if (!slot) {
-        auto& s = c.set(la);
-        for (auto& l : s)
-            reconcile(l);
-        slot = c.freeSlot(la);
-        if (!slot) {
-            Line* victim = nullptr;
-            for (auto& l : s) {
-                if (victimClass(l) > 2)
-                    continue;
-                if (!victim || victimClass(l) < victimClass(*victim) ||
-                    (victimClass(l) == victimClass(*victim) &&
-                     l.lastUse < victim->lastUse)) {
-                    victim = &l;
-                }
-            }
-            if (!victim)
-                return nullptr;
-            std::uint64_t gen = abortGen_;
-            if (!evict(c, *victim) || abortGen_ != gen)
-                return nullptr;
-            slot = victim;
-        }
-    }
-    *slot = Line{};
-    slot->base = la;
-    slot->lastUse = eq_.curTick();
-    return slot;
-}
-
-Line*
-CacheSystem::allocate(Cache& c, Addr la)
-{
-    Line* slot = c.freeSlot(la);
-    if (!slot) {
-        auto& s = c.set(la);
-        for (auto& l : s)
-            reconcile(l);
-        slot = c.freeSlot(la);
-        if (!slot) {
-            // Choose the cheapest victim (lowest class, then LRU).
-            Line* victim = &s.front();
-            for (auto& l : s) {
-                int vc = victimClass(l);
-                int bc = victimClass(*victim);
-                if (vc < bc ||
-                    (vc == bc && l.lastUse < victim->lastUse)) {
-                    victim = &l;
-                }
-            }
-            std::uint64_t gen = abortGen_;
-            if (!evict(c, *victim) || abortGen_ != gen)
-                return nullptr;
-            slot = victim;
-        }
-    }
-    *slot = Line{};
-    slot->base = la;
-    slot->lastUse = eq_.curTick();
-    return slot;
-}
-
-// --- protocol actions ---------------------------------------------------
-
-void
-CacheSystem::applyReadMark(CoreId core, Line& l, Vid vid, AccessResult& r)
-{
-    (void)core;
-    if (isSpecResponder(l.state)) {
-        if (vid > l.tag.high) {
-            r.needSla = true;
-            l.tag.high = vid;
-            l.highFromWrongPath = false;
-        }
-        return;
-    }
-    if (l.state == State::SpecShared)
-        return; // owner has already logged a VID >= this one
-    // First speculative access to a non-speculative line: gain
-    // writable access (§4.2), then transition to a speculative state.
-    if (l.state == State::Shared || l.state == State::Owned) {
-        busAcquire(r, l.base);
-        l.dirty = l.dirty || anyNonSpecDirty(l.base, &l);
-        invalidateNonSpecPeers(l.base, &l);
-    }
-    l.state = l.dirty ? State::SpecModified : State::SpecExclusive;
-    l.tag = {kNonSpecVid, vid};
-    syncLine(l);
-    r.needSla = true;
-}
-
-void
-CacheSystem::fixPeersForNewVersion(Addr la, const Line* owner, Vid y)
-{
-    forEachSnoopTarget(la, [&](std::size_t ci) {
-        for (auto& l : caches_[ci].set(la)) {
-            if (&l == owner || l.state == State::Invalid || l.base != la)
-                continue;
-            reconcile(l);
-            if (l.state == State::Invalid)
-                continue;
-            if (!isSpec(l.state)) {
-                // Non-speculative sharers of the pristine version stay
-                // usable for VIDs below the new version. They become
-                // droppable copies; the S-O owner carries dirtiness.
-                l.state = State::SpecShared;
-                l.tag = {kNonSpecVid, y};
-                l.dirty = false;
-                syncLine(l);
-            } else if (l.state == State::SpecShared && l.latestCopy) {
-                // The version this copy mirrors is now superseded at
-                // VID y: the copy keeps serving VIDs below y only.
-                l.latestCopy = false;
-                if (y <= l.tag.mod)
-                    l.state = State::Invalid;
-                else
-                    l.tag.high = y;
-                syncLine(l);
-            } else if (l.state == State::SpecShared &&
-                       !l.latestCopy && l.tag.high > y) {
-                if (y <= l.tag.mod)
-                    l.state = State::Invalid;
-                else
-                    l.tag.high = y;
-                syncLine(l);
-            }
-        }
-    });
-}
-
-void
-CacheSystem::invalidatePeerSpecShared(Addr la, const Line* keep, Vid mod)
-{
-    forEachSnoopTarget(la, [&](std::size_t ci) {
-        for (auto& l : caches_[ci].set(la)) {
-            if (&l == keep || l.state != State::SpecShared ||
-                l.base != la) {
-                continue;
-            }
-            if (l.tag.mod == mod || l.tag.high > mod) {
-                l.state = State::Invalid;
-                syncLine(l);
-            }
-        }
-    });
-}
-
-bool
-CacheSystem::anyNonSpecDirty(Addr la, const Line* except)
-{
-    bool dirty = false;
-    forEachSnoopTarget(la, [&](std::size_t ci) {
-        if (dirty)
-            return;
-        for (auto& l : caches_[ci].set(la)) {
-            if (&l == except || l.state == State::Invalid ||
-                l.base != la) {
-                continue;
-            }
-            if (!isSpec(l.state) && l.dirty) {
-                dirty = true;
-                return;
-            }
-        }
-    });
-    return dirty;
-}
-
-void
-CacheSystem::invalidateNonSpecPeers(Addr la, const Line* keep)
-{
-    forEachSnoopTarget(la, [&](std::size_t ci) {
-        for (auto& l : caches_[ci].set(la)) {
-            if (&l == keep || l.state == State::Invalid || l.base != la)
-                continue;
-            if (!isSpec(l.state)) {
-                l.state = State::Invalid;
-                syncLine(l);
-            } else if (l.state == State::SpecShared) {
-                // Copies are always refetchable from the owner (or
-                // memory); a stale one must not keep serving reads
-                // after this write.
-                l.state = State::Invalid;
-                l.latestCopy = false;
-                syncLine(l);
-            }
-        }
-    });
-}
-
-void
-CacheSystem::triggerAbort(const Line* offender)
-{
-    if (offender && offender->highFromWrongPath)
-        ++stats_.falseAbortsWrongPath;
-    if (offender) {
-        trace_.event(TraceCommit, eq_.curTick(),
-                     "ABORT triggered by line %#llx %s(%u,%u)",
-                     static_cast<unsigned long long>(offender->base),
-                     std::string(stateName(offender->state)).c_str(),
-                     offender->tag.mod, offender->tag.high);
-    } else {
-        trace_.event(TraceCommit, eq_.curTick(),
-                     "ABORT triggered (overflowed pristine version)");
-    }
-    abortAll();
-}
-
-// --- data movement -------------------------------------------------------
-
-std::uint64_t
-CacheSystem::readData(const Line& l, Addr a, unsigned size) const
-{
-    std::uint64_t v = 0;
-    unsigned off = lineOffset(a);
-    for (unsigned i = 0; i < size; ++i)
-        v |= static_cast<std::uint64_t>(l.data[off + i]) << (8 * i);
-    return v;
-}
-
-void
-CacheSystem::writeData(Line& l, Addr a, std::uint64_t v, unsigned size)
-{
-    unsigned off = lineOffset(a);
-    for (unsigned i = 0; i < size; ++i)
-        l.data[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-
-void
-CacheSystem::busAcquire(AccessResult& r, Addr la)
-{
-    Tick now = eq_.curTick();
-    if (cfg_.fabric == Fabric::Directory) {
-        // Address-interleaved directory bank: only transactions to
-        // the same bank serialize; the rest proceed concurrently.
-        std::size_t b = (la >> kLineShift) % bankFree_.size();
-        Tick start = std::max(now, bankFree_[b]);
-        bankFree_[b] = start + cfg_.busCycles;
-        r.latency += (start - now) + cfg_.dirLookup + cfg_.dirHop;
-        ++stats_.dirLookups;
-        ++stats_.busTxns;
-        return;
-    }
-    Tick start = std::max(now, busFree_);
-    busFree_ = start + busOccupancy();
-    r.latency += (start - now) + cfg_.busCycles;
-    ++stats_.busTxns;
-}
-
-Cycles
-CacheSystem::busOccupancy() const
-{
-    // A snoopy broadcast occupies the bus for longer as the machine
-    // grows: every cache must snoop and the responses must be
-    // collected, so occupancy scales with the core count — the very
-    // reason the paper's future work moves to a directory (§8).
-    unsigned scale = std::max(1u, cfg_.numCores / 4);
-    return cfg_.busCycles * scale;
-}
-
-void
-CacheSystem::busAsync(Addr la)
-{
-    if (cfg_.fabric == Fabric::Directory) {
-        std::size_t b = (la >> kLineShift) % bankFree_.size();
-        bankFree_[b] =
-            std::max(bankFree_[b], eq_.curTick()) + cfg_.busCycles;
-        ++stats_.dirLookups;
-        ++stats_.busTxns;
-        return;
-    }
-    busFree_ = std::max(busFree_, eq_.curTick()) + busOccupancy();
-    ++stats_.busTxns;
-}
-
-Cycles
-CacheSystem::remoteLatency() const
-{
-    if (cfg_.fabric == Fabric::Directory) {
-        // Three-hop miss: requester -> directory -> owner -> requester
-        // (the lookup itself is charged by busAcquire).
-        return 2 * cfg_.dirHop;
-    }
-    return cfg_.l2Latency;
-}
-
-// --- bookkeeping ----------------------------------------------------------
-
-CacheSystem::RwSets&
-CacheSystem::rwFor(Vid vid)
-{
-    // Accesses cluster heavily by VID (each core works through one
-    // transaction at a time), so cache the last node instead of
-    // re-hashing per access. Node pointers are stable across inserts.
-    if (rwCached_ && rwCachedVid_ == vid)
-        return *rwCached_;
-    rwCached_ = &rw_[vid];
-    rwCachedVid_ = vid;
-    return *rwCached_;
-}
-
-void
-CacheSystem::recordRead(Vid vid, Addr la)
-{
-    rwFor(vid).reads.insert(la);
-}
-
-void
-CacheSystem::recordWrite(Vid vid, Addr la)
-{
-    rwFor(vid).writes.insert(la);
-}
-
-void
-CacheSystem::noteShadowWrongPath(Addr la, Vid vid)
-{
-    Vid& v = shadow_[la];
-    v = std::max(v, vid);
-}
-
-void
-CacheSystem::checkShadowAvoided(Addr la, Vid storeVid)
-{
-    // Only wrong-path loads under SLAs populate the shadow map; skip
-    // the hash probe entirely on the (typical) run without any.
-    if (shadow_.empty())
-        return;
-    auto it = shadow_.find(la);
-    if (it == shadow_.end())
-        return;
-    if (it->second > storeVid) {
-        // Without SLAs the wrong-path load would have marked the line
-        // with its higher VID and this (successful) store would have
-        // triggered a false abort (§5.1, Table 1).
-        ++stats_.avoidedAborts;
-        shadow_.erase(it);
-    } else if (it->second <= lcVid_) {
-        shadow_.erase(it);
-    }
-}
-
-// --- loads -----------------------------------------------------------------
-
-AccessResult
-CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
-                  bool wrongPath)
-{
-    const Addr la = lineAddr(a);
-    assert(lineOffset(a) + size <= kLineBytes);
-
-    AccessResult r;
-    r.latency = cfg_.l1Latency;
-    ++stats_.loads;
-
-    const bool spec = cfg_.hmtxEnabled && vid != kNonSpecVid;
-    if (wrongPath)
-        ++stats_.wrongPathLoads;
-    else if (spec)
-        ++stats_.specLoads;
-
-    // Wrong-path loads move data around but, with SLAs, never mark
-    // lines (§5.1). With SLAs disabled they mark like any other load,
-    // which is the false-misspeculation source prior systems suffer.
-    const bool mark = spec && (!wrongPath || !cfg_.slaEnabled);
-    const Vid reqVid = spec ? vid : lcVid_;
-
-    Cache& l1 = caches_[core];
-    Line* v = findLocal(l1, la, reqVid, false);
-    if (v) {
-        ++stats_.l1Hits;
-        r.l1Hit = true;
-        v->lastUse = eq_.curTick();
-        r.value = readData(*v, a, size);
-        if (mark) {
-            if (v->state == State::SpecShared && v->latestCopy) {
-                // Record the read on the local copy; store broadcasts
-                // aggregate these distributed marks.
-                if (vid > v->tag.high) {
-                    r.needSla = true;
-                    v->tag.high = vid;
-                }
-            } else {
-                applyReadMark(core, *v, vid, r);
-            }
-            if (wrongPath && r.needSla)
-                v->highFromWrongPath = true;
-        } else if (wrongPath && spec && cfg_.slaEnabled) {
-            noteShadowWrongPath(la, vid);
-        }
-    } else {
-        ++stats_.l1Misses;
-        busAcquire(r, la);
-        RemoteHit rh = findRemote(core, la, reqVid, false);
-        if (rh.line) {
-            ++stats_.snoopHits;
-            r.latency += remoteLatency() + rh.extraLatency;
-            Line& o = *rh.line;
-            o.lastUse = eq_.curTick();
-            r.value = readData(o, a, size);
-            if (isSpec(o.state)) {
-                // The speculative owner responds; requester keeps a
-                // silent S-S copy covering VIDs <= the request's.
-                if (mark && reqVid > o.tag.high) {
-                    r.needSla = true;
-                    o.tag.high = reqVid;
-                    o.highFromWrongPath = wrongPath;
-                } else if (!mark && wrongPath && spec &&
-                           cfg_.slaEnabled) {
-                    noteShadowWrongPath(la, vid);
-                }
-                LineData d = o.data;
-                bool latest = isSpecLatest(o.state);
-                // Latest-version copies carry a local read mark —
-                // zero for non-marking requests (wrong-path loads
-                // must not plant marks, §5.1). Superseded copies
-                // carry their coverage bound instead.
-                VersionTag t{o.tag.mod,
-                             latest ? (mark ? reqVid : kNonSpecVid)
-                                    : reqVid + 1};
-                o.mayHaveSharers = true;
-                if (Line* nl = allocateOpt(l1, la)) {
-                    nl->state = State::SpecShared;
-                    nl->tag = t;
-                    nl->latestCopy = latest;
-                    nl->data = d;
-                    syncLine(*nl);
-                }
-            } else if (mark) {
-                // First speculative access: gain writable access and
-                // migrate ownership to the requesting core (§4.2).
-                bool dirty = o.dirty || anyNonSpecDirty(la, &o);
-                LineData d = o.data;
-                invalidateNonSpecPeers(la, nullptr);
-                Line* nl = allocate(l1, la);
-                if (!nl) {
-                    r.aborted = true;
-                    return r;
-                }
-                nl->state = dirty ? State::SpecModified
-                                  : State::SpecExclusive;
-                nl->tag = {kNonSpecVid, vid};
-                nl->dirty = dirty;
-                nl->highFromWrongPath = wrongPath;
-                nl->data = d;
-                syncLine(*nl);
-                r.needSla = true;
-            } else {
-                // Plain MOESI read miss served cache-to-cache.
-                if (o.state == State::Modified)
-                    o.state = State::Owned;
-                else if (o.state == State::Exclusive)
-                    o.state = State::Shared;
-                syncLine(o);
-                LineData d = o.data;
-                Line* nl = allocate(l1, la);
-                if (!nl) {
-                    r.aborted = true;
-                    return r;
-                }
-                nl->state = State::Shared;
-                nl->data = d;
-                syncLine(*nl);
-                if (wrongPath && spec && cfg_.slaEnabled)
-                    noteShadowWrongPath(la, vid);
-            }
-        } else {
-            // Satisfied by main memory.
-            ++stats_.memFetches;
-            r.latency += cfg_.memLatency;
-            const LineData& md = mem_.readLine(la);
-            LineData d = md;
-            if (rh.assertModified) {
-                // §5.4: the pristine version overflowed to memory; it
-                // returns as S-O(0, reqVid + 1).
-                ++stats_.soRefetches;
-                // Merge with an existing local copy of the pristine
-                // version, if any, to keep responder hits unambiguous.
-                Line* exist = nullptr;
-                for (auto& l : l1.set(la)) {
-                    if (l.state != State::Invalid && l.base == la &&
-                        isSpec(l.state) && l.tag.mod == kNonSpecVid &&
-                        isSpecSuperseded(l.state)) {
-                        exist = &l;
-                        break;
-                    }
-                }
-                if (exist) {
-                    exist->tag.high =
-                        std::max(exist->tag.high, reqVid + 1);
-                    exist->lastUse = eq_.curTick();
-                } else if (Line* nl = allocateOpt(l1, la)) {
-                    // Best effort: if no slot is free the value is
-                    // still served; a later conflicting store is
-                    // caught conservatively by the §5.4 assertion.
-                    nl->state = State::SpecOwned;
-                    nl->tag = {kNonSpecVid, reqVid + 1};
-                    nl->data = d;
-                    syncLine(*nl);
-                }
-                if (mark)
-                    r.needSla = true;
-            } else {
-                Line* nl = allocate(l1, la);
-                if (!nl) {
-                    r.aborted = true;
-                    return r;
-                }
-                nl->data = d;
-                if (mark) {
-                    nl->state = State::SpecExclusive;
-                    nl->tag = {kNonSpecVid, vid};
-                    nl->highFromWrongPath = wrongPath;
-                    r.needSla = true;
-                } else {
-                    nl->state = State::Exclusive;
-                    if (wrongPath && spec && cfg_.slaEnabled)
-                        noteShadowWrongPath(la, vid);
-                }
-                syncLine(*nl);
-            }
-            r.value = 0;
-            unsigned off = lineOffset(a);
-            for (unsigned i = 0; i < size; ++i)
-                r.value |= static_cast<std::uint64_t>(d[off + i])
-                    << (8 * i);
-        }
-    }
-
-    if (spec && !wrongPath) {
-        recordRead(vid, la);
-        if (r.needSla) {
-            // SLA sent once the load retires; occupies the bus but
-            // does not stall the core (§5.1).
-            ++stats_.slaNeeded;
-            busAsync(la);
-        }
-    }
-
-    // §7.1 ablation: Vachharajani's design creates a new line version
-    // on every read from a new VID, adding cache pressure.
-    if (cfg_.copyOnRead && mark && r.needSla && !r.aborted) {
-        // A real allocation, as in Vachharajani's design: the
-        // duplicate competes for ways with live lines (and can even
-        // force capacity aborts), which is exactly the §7.1 critique.
-        Line* dup = allocate(l1, la);
-        if (dup) {
-            // The duplicate models the redundant per-VID version of
-            // Vachharajani's design: it competes for ways like any
-            // speculative version (and is flushed once its VID
-            // commits), but its empty hit range keeps it from ever
-            // serving (or corrupting) a request.
-            dup->state = State::SpecOwned;
-            dup->tag = {1, 1};
-            syncLine(*dup);
-            ++stats_.corDuplicates;
-        }
-    }
-    return r;
-}
-
-// --- stores ------------------------------------------------------------------
-
-AccessResult
-CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
-                   unsigned size, Vid vid)
-{
-    ++stats_.stores;
-    if (!cfg_.hmtxEnabled || vid == kNonSpecVid)
-        return nonSpecStore(core, a, value, size);
-
-    ++stats_.specStores;
-    const Addr la = lineAddr(a);
-    assert(lineOffset(a) + size <= kLineBytes);
-
-    AccessResult r;
-    r.latency = cfg_.l1Latency;
-    Cache& l1 = caches_[core];
-
-    Line* v = findLocal(l1, la, vid, true);
-    if (v && v->state == State::SpecModified && v->tag.mod == vid &&
-        v->tag.high == vid && !v->mayHaveSharers) {
-        // We own this version exclusively: silent in-place write.
-        writeData(*v, a, value, size);
-        v->dirty = true;
-        syncLine(*v);
-        v->lastUse = eq_.curTick();
-        r.l1Hit = true;
-        ++stats_.l1Hits;
-        recordWrite(vid, la);
-        checkShadowAvoided(la, vid);
-        return r;
-    }
-
-    busAcquire(r, la);
-    Line* owner = v;
-    Cache* ownerCache = owner ? &l1 : nullptr;
-    RemoteHit rh;
-    if (!owner) {
-        rh = findRemote(core, la, vid, true);
-        owner = rh.line;
-        ownerCache = rh.cache;
-        if (owner)
-            r.latency += remoteLatency() + rh.extraLatency;
-    }
-
-    if (!owner) {
-        if (rh.assertModified) {
-            // The superseded pristine version overflowed to memory and
-            // a later version exists: this earlier store arrives out
-            // of order (§4.3 / §5.4), abort conservatively.
-            triggerAbort(nullptr);
-            r.aborted = true;
-            return r;
-        }
-        // Cold store miss: build the first speculative version.
-        ++stats_.memFetches;
-        r.latency += cfg_.memLatency;
-        LineData d = mem_.readLine(la);
-        Line* nl = allocate(l1, la);
-        if (!nl) {
-            r.aborted = true;
-            return r;
-        }
-        nl->state = State::SpecModified;
-        nl->tag = {vid, vid};
-        nl->dirty = true;
-        nl->data = d;
-        writeData(*nl, a, value, size);
-        syncLine(*nl);
-        ++stats_.newVersions;
-        trace_.event(TraceProtocol, eq_.curTick(),
-                     "new version S-M(%u,%u) of %#llx at core %u "
-                     "(cold)",
-                     vid, vid, static_cast<unsigned long long>(la),
-                     core);
-        recordWrite(vid, la);
-        checkShadowAvoided(la, vid);
-        return r;
-    }
-
-    // Aggregate the distributed read marks from latest-version S-S
-    // copies: a peer cache may have served a higher VID locally.
-    // This applies both to speculative latest owners (S-M/S-E) and to
-    // non-speculative owners whose retired readers left copies.
-    VersionTag eff = owner->tag;
-    if (!isSpecSuperseded(owner->state)) {
-        forEachSnoopTarget(la, [&](std::size_t ci) {
-            for (auto& l : caches_[ci].set(la)) {
-                if (l.state == State::SpecShared && l.base == la &&
-                    l.latestCopy) {
-                    eff.high = std::max(eff.high, l.tag.high);
-                    if (l.highFromWrongPath &&
-                        l.tag.high > owner->tag.high) {
-                        owner->highFromWrongPath = true;
-                    }
-                }
-            }
-        });
-    }
-    StoreAction act;
-    if (vid < eff.high) {
-        // A later VID already read this version — possibly recorded
-        // on a peer copy rather than the owner (§4.3).
-        act = StoreAction::Abort;
-    } else {
-        act = classifyStore(owner->state, eff, vid);
-    }
-    if (act == StoreAction::Abort) {
-        triggerAbort(owner);
-        r.aborted = true;
-        return r;
-    }
-
-    if (act == StoreAction::InPlace) {
-        // The version exists (an MTX peer thread created it); pull it
-        // into our L1 exclusively and write.
-        invalidatePeerSpecShared(la, owner, vid);
-        if (ownerCache != &l1) {
-            Line copy = *owner;
-            owner->state = State::Invalid;
-            syncLine(*owner);
-            Line* nl = allocate(l1, la);
-            if (!nl) {
-                r.aborted = true;
-                return r;
-            }
-            *nl = copy;
-            owner = nl;
-        }
-        owner->mayHaveSharers = false;
-        writeData(*owner, a, value, size);
-        owner->dirty = true;
-        syncLine(*owner);
-        owner->lastUse = eq_.curTick();
-        recordWrite(vid, la);
-        checkShadowAvoided(la, vid);
-        return r;
-    }
-
-    // NewVersion: keep the pristine copy in S-O and create S-M(y,y).
-    LineData base = owner->data;
-    if (isSpec(owner->state)) {
-        owner->state = State::SpecOwned;
-        owner->tag.high = vid;
-    } else {
-        // The hitting copy may be a clean Shared one while a dirty
-        // Owned copy lives elsewhere; the surviving S-O owner must
-        // inherit the true dirtiness or committed data could be
-        // dropped on eviction.
-        owner->dirty = owner->dirty || anyNonSpecDirty(la, owner);
-        owner->state = State::SpecOwned;
-        owner->tag = {kNonSpecVid, vid};
-    }
-    owner->mayHaveSharers = false;
-    syncLine(*owner);
-    fixPeersForNewVersion(la, owner, vid);
-    Line* nl = allocate(l1, la);
-    if (!nl) {
-        r.aborted = true;
-        return r;
-    }
-    nl->state = State::SpecModified;
-    nl->tag = {vid, vid};
-    nl->dirty = true;
-    nl->data = base;
-    writeData(*nl, a, value, size);
-    syncLine(*nl);
-    ++stats_.newVersions;
-    trace_.event(TraceProtocol, eq_.curTick(),
-                 "new version S-M(%u,%u) of %#llx at core %u", vid,
-                 vid, static_cast<unsigned long long>(la), core);
-    recordWrite(vid, la);
-    checkShadowAvoided(la, vid);
-    return r;
-}
-
-AccessResult
-CacheSystem::nonSpecStore(CoreId core, Addr a, std::uint64_t value,
-                          unsigned size)
-{
-    const Addr la = lineAddr(a);
-    AccessResult r;
-    r.latency = cfg_.l1Latency;
-    Cache& l1 = caches_[core];
-
-    Line* v = findLocal(l1, la, lcVid_, true);
-    if (v && (v->state == State::Modified ||
-              v->state == State::Exclusive)) {
-        writeData(*v, a, value, size);
-        v->state = State::Modified;
-        v->dirty = true;
-        syncLine(*v);
-        v->lastUse = eq_.curTick();
-        r.l1Hit = true;
-        ++stats_.l1Hits;
-        return r;
-    }
-
-    busAcquire(r, la);
-    Line* owner = v;
-    RemoteHit rh;
-    if (!owner) {
-        rh = findRemote(core, la, lcVid_, true);
-        owner = rh.line;
-        if (owner)
-            r.latency += remoteLatency() + rh.extraLatency;
-    }
-
-    if (owner && isSpec(owner->state)) {
-        // Committed code is writing data a live transaction touched:
-        // conservative abort (the transaction read stale state).
-        triggerAbort(owner);
-        r.aborted = true;
-        return r;
-    }
-    // Distributed read marks: a live transaction may have recorded
-    // its read on a latest-version S-S copy instead of the owner.
-    // Find the offender first, then abort: triggerAbort rewrites the
-    // whole cache system and must not run mid-snoop.
-    Line* offender = nullptr;
-    forEachSnoopTarget(la, [&](std::size_t ci) {
-        if (offender)
-            return;
-        for (auto& l : caches_[ci].set(la)) {
-            if (l.state == State::SpecShared && l.base == la &&
-                l.latestCopy && l.tag.high > lcVid_) {
-                offender = &l;
-                return;
-            }
-        }
-    });
-    if (offender) {
-        triggerAbort(offender);
-        r.aborted = true;
-        return r;
-    }
-
-    LineData d;
-    if (owner) {
-        d = owner->data;
-    } else {
-        if (rh.assertModified) {
-            triggerAbort(nullptr);
-            r.aborted = true;
-            return r;
-        }
-        ++stats_.memFetches;
-        r.latency += cfg_.memLatency;
-        d = mem_.readLine(la);
-    }
-
-    invalidateNonSpecPeers(la, nullptr);
-    Line* nl = allocate(l1, la);
-    if (!nl) {
-        r.aborted = true;
-        return r;
-    }
-    nl->state = State::Modified;
-    nl->dirty = true;
-    nl->data = d;
-    writeData(*nl, a, value, size);
-    syncLine(*nl);
-    return r;
-}
-
-// --- SLA, commit, abort, reset ------------------------------------------
-
-bool
-CacheSystem::slaConfirm(CoreId core, const SlaEntry& e)
-{
-    const Addr la = lineAddr(e.addr);
-    busAsync(la);
-
-    Cache& l1 = caches_[core];
-    Line* cur = findLocal(l1, la, e.vid, false);
-    if (!cur) {
-        RemoteHit rh = findRemote(core, la, e.vid, false);
-        cur = rh.line;
-    }
-
-    std::uint64_t now;
-    if (cur) {
-        now = readData(*cur, e.addr, e.size);
-    } else {
-        now = mem_.read(e.addr, e.size);
-    }
-    if (now != e.value) {
-        ++stats_.slaMismatchAborts;
-        trace_.event(TraceSla, eq_.curTick(),
-                     "SLA mismatch at %#llx vid %u",
-                     static_cast<unsigned long long>(e.addr), e.vid);
-        triggerAbort(nullptr);
-        return false;
-    }
-    if (cur && cur->state != State::SpecShared) {
-        AccessResult dummy;
-        applyReadMark(core, *cur, e.vid, dummy);
-    }
-    ++stats_.slaConfirms;
-    return true;
-}
-
-Cycles
-CacheSystem::commit(Vid vid)
-{
-    if (vid != lcVid_ + 1) {
-        throw std::logic_error(
-            "commitMTX: commits must occur consecutively (§4.7); "
-            "expected VID " + std::to_string(lcVid_ + 1) + ", got " +
-            std::to_string(vid));
-    }
-    lcVid_ = vid;
-    ++stats_.commits;
-    ++stats_.committedTxs;
-    trace_.event(TraceCommit, eq_.curTick(), "commit VID %u", vid);
-
-    auto it = rw_.find(vid);
-    if (it != rw_.end()) {
-        std::size_t rl = it->second.reads.size();
-        std::size_t wl = it->second.writes.size();
-        std::size_t comb = rl;
-        for (Addr w : it->second.writes)
-            if (!it->second.reads.count(w))
-                ++comb;
-        stats_.readSetLines += rl;
-        stats_.writeSetLines += wl;
-        stats_.combinedSetLines += comb;
-        stats_.maxCombinedSetLines =
-            std::max<std::uint64_t>(stats_.maxCombinedSetLines, comb);
-        rwCached_ = nullptr;
-        rw_.erase(it);
-    }
-
-    Cycles cost = cfg_.busCycles;
-    busAsync();
-    if (!cfg_.lazyCommit) {
-        // Naive §4.4 scheme: walk and transition every speculative
-        // line now. The per-cache registry is exactly the ORB-like
-        // structure the paper assumes locates them [34] — without it
-        // a full cache walk would cost one cycle per cache line,
-        // >500k cycles per commit with Table 2's 32 MB L2. The walk
-        // occupies the memory system, stalling every core's misses.
-        std::uint64_t touched = 0;
-        forEachCandidateLine([&](Line& l) {
-            if (isSpec(l.state)) {
-                ++touched;
-                reconcile(l);
-            }
-        });
-        cost += touched * cfg_.eagerPerLineCycles;
-        busFree_ = std::max(busFree_, eq_.curTick()) + cost;
-    }
-    stats_.commitProcessingCycles += cost;
-    maybeCrossCheck();
-    return cost;
-}
-
-Cycles
-CacheSystem::abortAll()
-{
-    ++abortGen_;
-    ++stats_.aborts;
-    std::uint64_t touched = 0;
-    forEachCandidateLine([&](Line& l) {
-        if (!isSpec(l.state))
-            return; // dirty committed lines are untouched by aborts
-        ++touched;
-        if (l.state == State::SpecShared && l.latestCopy) {
-            // Copies are refetchable; dropping them keeps every
-            // version with exactly one apparent owner.
-            l.state = State::Invalid;
-            l.tag = {};
-        } else {
-            bool sharers = l.mayHaveSharers;
-            LineTransition t = commitLine(l.state, l.tag, lcVid_,
-                                          l.dirty);
-            t = abortLine(t.state, t.tag, lcVid_, l.dirty);
-            if (sharers) {
-                if (t.state == State::Modified)
-                    t.state = State::Owned;
-                else if (t.state == State::Exclusive)
-                    t.state = State::Shared;
-            }
-            l.state = t.state;
-            l.tag = t.tag;
-        }
-        l.latestCopy = false;
-        l.mayHaveSharers = false;
-        l.highFromWrongPath = false;
-        syncLine(l);
-    });
-    overflow_.forEach([&](Line& l) {
-        LineTransition tr =
-            commitLine(l.state, l.tag, lcVid_, l.dirty);
-        tr = abortLine(tr.state, tr.tag, lcVid_, l.dirty);
-        if (tr.state != State::Invalid && l.dirty) {
-            // Committed data survives the abort: fold it back into
-            // memory rather than keeping a nonspec entry spilled.
-            mem_.writeLine(l.base, l.data);
-            ++stats_.writebacks;
-        }
-        l.state = State::Invalid;
-        l.tag = {};
-    });
-    rwCached_ = nullptr;
-    rw_.clear();
-    shadow_.clear();
-    Cycles cost = cfg_.busCycles;
-    if (!cfg_.lazyCommit) {
-        cost += touched * cfg_.eagerPerLineCycles;
-        busFree_ = std::max(busFree_, eq_.curTick()) + cost;
-    }
-    stats_.commitProcessingCycles += cost;
-    busAsync();
-    maybeCrossCheck();
-    return cost;
-}
-
-Cycles
-CacheSystem::vidReset()
-{
-    std::uint64_t specLeft = 0;
-    overflow_.forEach([&](Line& l) {
-        reconcile(l);
-        if (l.state == State::Invalid)
-            return;
-        // All transactions committed (precondition): spilled data is
-        // committed; fold dirty survivors back into memory.
-        if (l.dirty && !isSpecSuperseded(l.state)) {
-            mem_.writeLine(l.base, l.data);
-            ++stats_.writebacks;
-        }
-        l.state = State::Invalid;
-    });
-    forEachCandidateLine([&](Line& l) {
-        reconcile(l);
-        if (isSpec(l.state)) {
-            if (l.state == State::SpecShared && l.latestCopy) {
-                l.state = State::Invalid;
-                l.tag = {};
-            } else {
-                bool sharers = l.mayHaveSharers;
-                LineTransition t =
-                    resetLine(l.state, l.tag, l.dirty);
-                if (sharers) {
-                    if (t.state == State::Modified)
-                        t.state = State::Owned;
-                    else if (t.state == State::Exclusive)
-                        t.state = State::Shared;
-                }
-                l.state = t.state;
-                l.tag = t.tag;
-            }
-            l.latestCopy = false;
-            l.mayHaveSharers = false;
-            syncLine(l);
-            ++specLeft;
-        }
-    });
-    if (!rw_.empty()) {
-        throw std::logic_error(
-            "vidReset with outstanding uncommitted transactions");
-    }
-    (void)specLeft;
-    lcVid_ = kNonSpecVid;
-    shadow_.clear();
-    ++stats_.vidResets;
-    trace_.event(TraceCommit, eq_.curTick(), "VID reset");
-    busAsync();
-    maybeCrossCheck();
-    return cfg_.busCycles;
-}
-
-void
-CacheSystem::flushDirtyToMemory()
-{
-    overflow_.forEach([&](Line& l) {
-        reconcile(l);
-        if (l.state == State::Invalid)
-            return;
-        if (!isSpec(l.state)) {
-            // The spilled version retired: its data is committed.
-            if (l.dirty) {
-                mem_.writeLine(l.base, l.data);
-                ++stats_.writebacks;
-            }
-            l.state = State::Invalid;
-        }
-    });
-    forEachCandidateLine([&](Line& l) {
-        reconcile(l);
-        // Reconciliation may retire a superseded version to
-        // Invalid; its stale data must not reach memory.
-        if (l.state == State::Invalid)
-            return;
-        if (!isSpec(l.state) && l.dirty) {
-            mem_.writeLine(l.base, l.data);
-            l.dirty = false;
-            ++stats_.writebacks;
-            l.state = l.state == State::Modified ? State::Exclusive
-                                                 : State::Shared;
-            syncLine(l);
-        }
-    });
-    maybeCrossCheck();
-}
+// --- self-checks --------------------------------------------------------
 
 void
 CacheSystem::checkInvariants()

@@ -1,25 +1,42 @@
 /**
  * @file
- * The HMTX memory system: per-core L1s, a shared L2, a snoopy bus, and
- * main memory, running the MOESI protocol extended with the paper's
- * speculative states and version rules (§4).
+ * The HMTX memory system: per-core L1s, a shared L2, a pluggable
+ * coherence interconnect, and main memory, running the MOESI protocol
+ * extended with the paper's speculative states and version rules (§4).
+ *
+ * CacheSystem is the *orchestration* layer of the three-layer design
+ * (DESIGN.md §8): protocol decisions come from the pure engine in
+ * core/protocol.hh, fabric timing from the Interconnect behind
+ * sim/interconnect.hh, and this class wires caches, indexes, and data
+ * movement together. It is genuinely numCores-parametric; nothing here
+ * knows which fabric is configured.
+ *
+ * The implementation is split across four translation units:
+ *  - cache_system.cc         construction, index maintenance, checks
+ *  - cache_system_lookup.cc  reconcile/hit/find, allocation, data
+ *  - cache_system_access.cc  load/store/SLA and protocol actions
+ *  - cache_system_bulk.cc    commit, abort, VID reset, flush
  */
 
 #ifndef HMTX_SIM_CACHE_SYSTEM_HH
 #define HMTX_SIM_CACHE_SYSTEM_HH
 
+#include <bit>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "core/comparator.hh"
+#include "core/protocol.hh"
 #include "core/sla.hh"
 #include "core/types.hh"
 #include "core/version_rules.hh"
 #include "sim/cache.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/interconnect.hh"
 #include "sim/memory.hh"
 #include "sim/overflow_table.hh"
 #include "sim/stats.hh"
@@ -51,7 +68,7 @@ struct AccessResult
  *
  * Accesses complete atomically at issue time (state transitions happen
  * immediately and deterministically) and report the latency the
- * requester must stall for; bus occupancy is tracked so concurrent
+ * requester must stall for; fabric occupancy is tracked so concurrent
  * traffic serializes. This is the component the paper contributes:
  * everything in §4 and §5 is implemented here and in src/core.
  *
@@ -65,6 +82,11 @@ class CacheSystem
 {
   public:
     CacheSystem(EventQueue& eq, const MachineConfig& cfg);
+
+    /** The interconnect and stats members hold references into this
+     *  object; moving would dangle them. */
+    CacheSystem(const CacheSystem&) = delete;
+    CacheSystem& operator=(const CacheSystem&) = delete;
 
     /**
      * Performs a load.
@@ -132,6 +154,9 @@ class CacheSystem
 
     const MachineConfig& config() const { return cfg_; }
 
+    /** The configured coherence fabric (exposed for tests/reports). */
+    const Interconnect& interconnect() const { return *net_; }
+
     /** L1 of @p core (exposed for tests). */
     Cache& l1(CoreId core) { return caches_[core]; }
     /** The shared L2 (exposed for tests). */
@@ -166,6 +191,27 @@ class CacheSystem
     const IndexStats& indexStats() const { return idxStats_; }
 
   private:
+    // --- protocol-engine bridge ---------------------------------------
+    /** Architectural payload of @p l as the protocol engine sees it. */
+    static VersionView
+    viewOf(const Line& l)
+    {
+        return {l.state,      l.tag,        l.dirty,
+                l.mayHaveSharers, l.latestCopy, l.highFromWrongPath};
+    }
+
+    /** Applies an engine-produced image back onto @p l. */
+    static void
+    applyView(Line& l, const VersionView& v)
+    {
+        l.state = v.state;
+        l.tag = v.tag;
+        l.dirty = v.dirty;
+        l.mayHaveSharers = v.mayHaveSharers;
+        l.latestCopy = v.latestCopy;
+        l.highFromWrongPath = v.highFromWrongPath;
+    }
+
     // --- lookup -------------------------------------------------------
     /**
      * Pure lazy-commit transition: folds everything at or below the
@@ -217,9 +263,9 @@ class CacheSystem
     // --- protocol actions ---------------------------------------------
     /**
      * Applies the read marking for VID @p vid on owner version @p l
-     * (may upgrade a non-exclusive non-speculative line, costing a bus
-     * transaction). Sets r.needSla when the line had not logged this
-     * VID yet.
+     * (may upgrade a non-exclusive non-speculative line, costing a
+     * fabric transaction). Sets r.needSla when the line had not logged
+     * this VID yet.
      */
     void applyReadMark(CoreId core, Line& l, Vid vid, AccessResult& r);
     /** Converts peer copies after a new version @p y of @p la. */
@@ -239,18 +285,9 @@ class CacheSystem
     void writeData(Line& l, Addr a, std::uint64_t v, unsigned size);
     /**
      * Serializes a coherence transaction for @p la on the configured
-     * fabric: the single snoopy bus, or the address-interleaved
-     * directory bank (which lets independent lines proceed in
-     * parallel — the §8 scaling extension). Adds wait + transfer
-     * cycles to @p r.
+     * interconnect and adds the requester's stall cycles to @p r.
      */
     void busAcquire(AccessResult& r, Addr la = 0);
-    /** Charges asynchronous fabric occupancy (SLA traffic). */
-    void busAsync(Addr la = 0);
-    /** Remote-transfer latency on the configured fabric. */
-    Cycles remoteLatency() const;
-    /** Bus occupancy per snoop transaction (grows with core count). */
-    Cycles busOccupancy() const;
 
     // --- index maintenance ----------------------------------------------
     /**
@@ -272,7 +309,26 @@ class CacheSystem
      * invalidate lines (and thereby shrink the filter) safely.
      */
     template <typename Fn>
-    void forEachSnoopTarget(Addr la, Fn&& fn);
+    void
+    forEachSnoopTarget(Addr la, Fn&& fn)
+    {
+        if (!filterEnabled_ || cfg_.forceFullScan) {
+            for (std::size_t ci = 0; ci < caches_.size(); ++ci)
+                fn(ci);
+            return;
+        }
+        auto it = presence_.find(la);
+        // Snapshot the holder mask: fn may invalidate lines and
+        // thereby shrink (or erase) the filter entry while we iterate.
+        const std::uint64_t mask =
+            it == presence_.end() ? 0 : it->second.mask;
+        const auto holders =
+            static_cast<std::uint64_t>(std::popcount(mask));
+        idxStats_.snoopsVisited += holders;
+        idxStats_.snoopsFiltered += caches_.size() - holders;
+        for (std::uint64_t m = mask; m != 0; m &= m - 1)
+            fn(static_cast<std::size_t>(std::countr_zero(m)));
+    }
     /**
      * Applies @p fn to every line that can need bulk processing —
      * speculative or dirty — via the per-cache registries (or a full
@@ -280,7 +336,27 @@ class CacheSystem
      * order, exactly like the historical full scans.
      */
     template <typename Fn>
-    void forEachCandidateLine(Fn&& fn);
+    void
+    forEachCandidateLine(Fn&& fn)
+    {
+        if (cfg_.forceFullScan) {
+            ++idxStats_.fullScanWalks;
+            for (auto& c : caches_) {
+                c.forEachLine([&](Line& l) {
+                    if (Cache::interesting(l))
+                        fn(l);
+                });
+            }
+            return;
+        }
+        ++idxStats_.registryWalks;
+        for (auto& c : caches_) {
+            c.forEachInteresting([&](Line& l) {
+                ++idxStats_.registryWalkLines;
+                fn(l);
+            });
+        }
+    }
     /** Runs verifyIndexes() when MachineConfig::indexCrossCheck. */
     void maybeCrossCheck();
 
@@ -300,11 +376,10 @@ class CacheSystem
     std::vector<Cache> caches_;
     Vid lcVid_ = 0;
     std::uint64_t abortGen_ = 0;
-    Tick busFree_ = 0;
-    /** Directory fabric: per-bank next-free ticks. */
-    std::vector<Tick> bankFree_;
     VidComparator cmp_;
     SysStats stats_;
+    /** The coherence fabric (timing/occupancy; references stats_). */
+    std::unique_ptr<Interconnect> net_;
     Trace trace_;
 
     /** Spilled speculative versions (unbounded-sets extension). */

@@ -1,0 +1,733 @@
+/**
+ * @file
+ * CacheSystem access half: loads, stores, SLA confirmation, and the
+ * peer-fixup protocol actions they trigger. Marking and classification
+ * decisions come from the pure engine in core/protocol.hh; all fabric
+ * timing goes through the Interconnect.
+ */
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "sim/cache_system.hh"
+
+namespace hmtx::sim
+{
+
+// --- protocol actions ---------------------------------------------------
+
+void
+CacheSystem::applyReadMark(CoreId core, Line& l, Vid vid, AccessResult& r)
+{
+    (void)core;
+    switch (classifyReadMark(l.state, l.tag, vid)) {
+      case ReadMarkAction::None:
+        return;
+      case ReadMarkAction::RaiseHigh:
+        r.needSla = true;
+        l.tag.high = vid;
+        l.highFromWrongPath = false;
+        return;
+      case ReadMarkAction::UpgradeWithBus:
+        // Gain writable access (§4.2) before going speculative.
+        busAcquire(r, l.base);
+        l.dirty = l.dirty || anyNonSpecDirty(l.base, &l);
+        invalidateNonSpecPeers(l.base, &l);
+        [[fallthrough]];
+      case ReadMarkAction::Upgrade:
+        l.state = specUpgradeState(l.dirty);
+        l.tag = {kNonSpecVid, vid};
+        syncLine(l);
+        r.needSla = true;
+        return;
+    }
+}
+
+void
+CacheSystem::fixPeersForNewVersion(Addr la, const Line* owner, Vid y)
+{
+    forEachSnoopTarget(la, [&](std::size_t ci) {
+        for (auto& l : caches_[ci].set(la)) {
+            if (&l == owner || l.state == State::Invalid || l.base != la)
+                continue;
+            reconcile(l);
+            if (l.state == State::Invalid)
+                continue;
+            if (!isSpec(l.state)) {
+                // Non-speculative sharers of the pristine version stay
+                // usable for VIDs below the new version. They become
+                // droppable copies; the S-O owner carries dirtiness.
+                l.state = State::SpecShared;
+                l.tag = {kNonSpecVid, y};
+                l.dirty = false;
+                syncLine(l);
+            } else if (l.state == State::SpecShared && l.latestCopy) {
+                // The version this copy mirrors is now superseded at
+                // VID y: the copy keeps serving VIDs below y only.
+                l.latestCopy = false;
+                if (y <= l.tag.mod)
+                    l.state = State::Invalid;
+                else
+                    l.tag.high = y;
+                syncLine(l);
+            } else if (l.state == State::SpecShared &&
+                       !l.latestCopy && l.tag.high > y) {
+                if (y <= l.tag.mod)
+                    l.state = State::Invalid;
+                else
+                    l.tag.high = y;
+                syncLine(l);
+            }
+        }
+    });
+}
+
+void
+CacheSystem::invalidatePeerSpecShared(Addr la, const Line* keep, Vid mod)
+{
+    forEachSnoopTarget(la, [&](std::size_t ci) {
+        for (auto& l : caches_[ci].set(la)) {
+            if (&l == keep || l.state != State::SpecShared ||
+                l.base != la) {
+                continue;
+            }
+            if (l.tag.mod == mod || l.tag.high > mod) {
+                l.state = State::Invalid;
+                syncLine(l);
+            }
+        }
+    });
+}
+
+bool
+CacheSystem::anyNonSpecDirty(Addr la, const Line* except)
+{
+    bool dirty = false;
+    forEachSnoopTarget(la, [&](std::size_t ci) {
+        if (dirty)
+            return;
+        for (auto& l : caches_[ci].set(la)) {
+            if (&l == except || l.state == State::Invalid ||
+                l.base != la) {
+                continue;
+            }
+            if (!isSpec(l.state) && l.dirty) {
+                dirty = true;
+                return;
+            }
+        }
+    });
+    return dirty;
+}
+
+void
+CacheSystem::invalidateNonSpecPeers(Addr la, const Line* keep)
+{
+    forEachSnoopTarget(la, [&](std::size_t ci) {
+        for (auto& l : caches_[ci].set(la)) {
+            if (&l == keep || l.state == State::Invalid || l.base != la)
+                continue;
+            if (!isSpec(l.state)) {
+                l.state = State::Invalid;
+                syncLine(l);
+            } else if (l.state == State::SpecShared) {
+                // Copies are always refetchable from the owner (or
+                // memory); a stale one must not keep serving reads
+                // after this write.
+                l.state = State::Invalid;
+                l.latestCopy = false;
+                syncLine(l);
+            }
+        }
+    });
+}
+
+void
+CacheSystem::triggerAbort(const Line* offender)
+{
+    if (offender && offender->highFromWrongPath)
+        ++stats_.falseAbortsWrongPath;
+    if (offender) {
+        trace_.event(TraceCommit, eq_.curTick(),
+                     "ABORT triggered by line %#llx %s(%u,%u)",
+                     static_cast<unsigned long long>(offender->base),
+                     std::string(stateName(offender->state)).c_str(),
+                     offender->tag.mod, offender->tag.high);
+    } else {
+        trace_.event(TraceCommit, eq_.curTick(),
+                     "ABORT triggered (overflowed pristine version)");
+    }
+    abortAll();
+}
+
+// --- bookkeeping ----------------------------------------------------------
+
+CacheSystem::RwSets&
+CacheSystem::rwFor(Vid vid)
+{
+    // Accesses cluster heavily by VID (each core works through one
+    // transaction at a time), so cache the last node instead of
+    // re-hashing per access. Node pointers are stable across inserts.
+    if (rwCached_ && rwCachedVid_ == vid)
+        return *rwCached_;
+    rwCached_ = &rw_[vid];
+    rwCachedVid_ = vid;
+    return *rwCached_;
+}
+
+void
+CacheSystem::recordRead(Vid vid, Addr la)
+{
+    rwFor(vid).reads.insert(la);
+}
+
+void
+CacheSystem::recordWrite(Vid vid, Addr la)
+{
+    rwFor(vid).writes.insert(la);
+}
+
+void
+CacheSystem::noteShadowWrongPath(Addr la, Vid vid)
+{
+    Vid& v = shadow_[la];
+    v = std::max(v, vid);
+}
+
+void
+CacheSystem::checkShadowAvoided(Addr la, Vid storeVid)
+{
+    // Only wrong-path loads under SLAs populate the shadow map; skip
+    // the hash probe entirely on the (typical) run without any.
+    if (shadow_.empty())
+        return;
+    auto it = shadow_.find(la);
+    if (it == shadow_.end())
+        return;
+    if (it->second > storeVid) {
+        // Without SLAs the wrong-path load would have marked the line
+        // with its higher VID and this (successful) store would have
+        // triggered a false abort (§5.1, Table 1).
+        ++stats_.avoidedAborts;
+        shadow_.erase(it);
+    } else if (it->second <= lcVid_) {
+        shadow_.erase(it);
+    }
+}
+
+// --- loads -----------------------------------------------------------------
+
+AccessResult
+CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
+                  bool wrongPath)
+{
+    const Addr la = lineAddr(a);
+    assert(lineOffset(a) + size <= kLineBytes);
+
+    AccessResult r;
+    r.latency = cfg_.l1Latency;
+    ++stats_.loads;
+
+    const bool spec = cfg_.hmtxEnabled && vid != kNonSpecVid;
+    if (wrongPath)
+        ++stats_.wrongPathLoads;
+    else if (spec)
+        ++stats_.specLoads;
+
+    // Wrong-path loads move data around but, with SLAs, never mark
+    // lines (§5.1). With SLAs disabled they mark like any other load,
+    // which is the false-misspeculation source prior systems suffer.
+    const bool mark = spec && (!wrongPath || !cfg_.slaEnabled);
+    const Vid reqVid = spec ? vid : lcVid_;
+
+    Cache& l1 = caches_[core];
+    Line* v = findLocal(l1, la, reqVid, false);
+    if (v) {
+        ++stats_.l1Hits;
+        r.l1Hit = true;
+        v->lastUse = eq_.curTick();
+        r.value = readData(*v, a, size);
+        if (mark) {
+            if (v->state == State::SpecShared && v->latestCopy) {
+                // Record the read on the local copy; store broadcasts
+                // aggregate these distributed marks.
+                if (vid > v->tag.high) {
+                    r.needSla = true;
+                    v->tag.high = vid;
+                }
+            } else {
+                applyReadMark(core, *v, vid, r);
+            }
+            if (wrongPath && r.needSla)
+                v->highFromWrongPath = true;
+        } else if (wrongPath && spec && cfg_.slaEnabled) {
+            noteShadowWrongPath(la, vid);
+        }
+    } else {
+        ++stats_.l1Misses;
+        busAcquire(r, la);
+        RemoteHit rh = findRemote(core, la, reqVid, false);
+        if (rh.line) {
+            ++stats_.snoopHits;
+            r.latency += net_->transferLatency() + rh.extraLatency;
+            Line& o = *rh.line;
+            o.lastUse = eq_.curTick();
+            r.value = readData(o, a, size);
+            if (isSpec(o.state)) {
+                // The speculative owner responds; requester keeps a
+                // silent S-S copy covering VIDs <= the request's.
+                if (mark && reqVid > o.tag.high) {
+                    r.needSla = true;
+                    o.tag.high = reqVid;
+                    o.highFromWrongPath = wrongPath;
+                } else if (!mark && wrongPath && spec &&
+                           cfg_.slaEnabled) {
+                    noteShadowWrongPath(la, vid);
+                }
+                LineData d = o.data;
+                bool latest = isSpecLatest(o.state);
+                // Latest-version copies carry a local read mark —
+                // zero for non-marking requests (wrong-path loads
+                // must not plant marks, §5.1). Superseded copies
+                // carry their coverage bound instead.
+                VersionTag t{o.tag.mod,
+                             latest ? (mark ? reqVid : kNonSpecVid)
+                                    : reqVid + 1};
+                o.mayHaveSharers = true;
+                if (Line* nl = allocateOpt(l1, la)) {
+                    nl->state = State::SpecShared;
+                    nl->tag = t;
+                    nl->latestCopy = latest;
+                    nl->data = d;
+                    syncLine(*nl);
+                }
+            } else if (mark) {
+                // First speculative access: gain writable access and
+                // migrate ownership to the requesting core (§4.2).
+                bool dirty = o.dirty || anyNonSpecDirty(la, &o);
+                LineData d = o.data;
+                invalidateNonSpecPeers(la, nullptr);
+                Line* nl = allocate(l1, la);
+                if (!nl) {
+                    r.aborted = true;
+                    return r;
+                }
+                nl->state = specUpgradeState(dirty);
+                nl->tag = {kNonSpecVid, vid};
+                nl->dirty = dirty;
+                nl->highFromWrongPath = wrongPath;
+                nl->data = d;
+                syncLine(*nl);
+                r.needSla = true;
+            } else {
+                // Plain MOESI read miss served cache-to-cache.
+                if (o.state == State::Modified)
+                    o.state = State::Owned;
+                else if (o.state == State::Exclusive)
+                    o.state = State::Shared;
+                syncLine(o);
+                LineData d = o.data;
+                Line* nl = allocate(l1, la);
+                if (!nl) {
+                    r.aborted = true;
+                    return r;
+                }
+                nl->state = State::Shared;
+                nl->data = d;
+                syncLine(*nl);
+                if (wrongPath && spec && cfg_.slaEnabled)
+                    noteShadowWrongPath(la, vid);
+            }
+        } else {
+            // Satisfied by main memory.
+            ++stats_.memFetches;
+            r.latency += cfg_.memLatency;
+            const LineData& md = mem_.readLine(la);
+            LineData d = md;
+            if (rh.assertModified) {
+                // §5.4: the pristine version overflowed to memory; it
+                // returns as S-O(0, reqVid + 1).
+                ++stats_.soRefetches;
+                // Merge with an existing local copy of the pristine
+                // version, if any, to keep responder hits unambiguous.
+                Line* exist = nullptr;
+                for (auto& l : l1.set(la)) {
+                    if (l.state != State::Invalid && l.base == la &&
+                        isSpec(l.state) && l.tag.mod == kNonSpecVid &&
+                        isSpecSuperseded(l.state)) {
+                        exist = &l;
+                        break;
+                    }
+                }
+                if (exist) {
+                    exist->tag.high =
+                        std::max(exist->tag.high, reqVid + 1);
+                    exist->lastUse = eq_.curTick();
+                } else if (Line* nl = allocateOpt(l1, la)) {
+                    // Best effort: if no slot is free the value is
+                    // still served; a later conflicting store is
+                    // caught conservatively by the §5.4 assertion.
+                    nl->state = State::SpecOwned;
+                    nl->tag = {kNonSpecVid, reqVid + 1};
+                    nl->data = d;
+                    syncLine(*nl);
+                }
+                if (mark)
+                    r.needSla = true;
+            } else {
+                Line* nl = allocate(l1, la);
+                if (!nl) {
+                    r.aborted = true;
+                    return r;
+                }
+                nl->data = d;
+                if (mark) {
+                    nl->state = State::SpecExclusive;
+                    nl->tag = {kNonSpecVid, vid};
+                    nl->highFromWrongPath = wrongPath;
+                    r.needSla = true;
+                } else {
+                    nl->state = State::Exclusive;
+                    if (wrongPath && spec && cfg_.slaEnabled)
+                        noteShadowWrongPath(la, vid);
+                }
+                syncLine(*nl);
+            }
+            r.value = 0;
+            unsigned off = lineOffset(a);
+            for (unsigned i = 0; i < size; ++i)
+                r.value |= static_cast<std::uint64_t>(d[off + i])
+                    << (8 * i);
+        }
+    }
+
+    if (spec && !wrongPath) {
+        recordRead(vid, la);
+        if (r.needSla) {
+            // SLA sent once the load retires; occupies the fabric but
+            // does not stall the core (§5.1).
+            ++stats_.slaNeeded;
+            net_->post(eq_.curTick(), FabricOp::Sla, la);
+        }
+    }
+
+    // §7.1 ablation: Vachharajani's design creates a new line version
+    // on every read from a new VID, adding cache pressure.
+    if (cfg_.copyOnRead && mark && r.needSla && !r.aborted) {
+        // A real allocation, as in Vachharajani's design: the
+        // duplicate competes for ways with live lines (and can even
+        // force capacity aborts), which is exactly the §7.1 critique.
+        Line* dup = allocate(l1, la);
+        if (dup) {
+            // The duplicate models the redundant per-VID version of
+            // Vachharajani's design: it competes for ways like any
+            // speculative version (and is flushed once its VID
+            // commits), but its empty hit range keeps it from ever
+            // serving (or corrupting) a request.
+            dup->state = State::SpecOwned;
+            dup->tag = {1, 1};
+            syncLine(*dup);
+            ++stats_.corDuplicates;
+        }
+    }
+    return r;
+}
+
+// --- stores ------------------------------------------------------------------
+
+AccessResult
+CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
+                   unsigned size, Vid vid)
+{
+    ++stats_.stores;
+    if (!cfg_.hmtxEnabled || vid == kNonSpecVid)
+        return nonSpecStore(core, a, value, size);
+
+    ++stats_.specStores;
+    const Addr la = lineAddr(a);
+    assert(lineOffset(a) + size <= kLineBytes);
+
+    AccessResult r;
+    r.latency = cfg_.l1Latency;
+    Cache& l1 = caches_[core];
+
+    Line* v = findLocal(l1, la, vid, true);
+    if (v && v->state == State::SpecModified && v->tag.mod == vid &&
+        v->tag.high == vid && !v->mayHaveSharers) {
+        // We own this version exclusively: silent in-place write.
+        writeData(*v, a, value, size);
+        v->dirty = true;
+        syncLine(*v);
+        v->lastUse = eq_.curTick();
+        r.l1Hit = true;
+        ++stats_.l1Hits;
+        recordWrite(vid, la);
+        checkShadowAvoided(la, vid);
+        return r;
+    }
+
+    busAcquire(r, la);
+    Line* owner = v;
+    Cache* ownerCache = owner ? &l1 : nullptr;
+    RemoteHit rh;
+    if (!owner) {
+        rh = findRemote(core, la, vid, true);
+        owner = rh.line;
+        ownerCache = rh.cache;
+        if (owner)
+            r.latency += net_->transferLatency() + rh.extraLatency;
+    }
+
+    if (!owner) {
+        if (rh.assertModified) {
+            // The superseded pristine version overflowed to memory and
+            // a later version exists: this earlier store arrives out
+            // of order (§4.3 / §5.4), abort conservatively.
+            triggerAbort(nullptr);
+            r.aborted = true;
+            return r;
+        }
+        // Cold store miss: build the first speculative version.
+        ++stats_.memFetches;
+        r.latency += cfg_.memLatency;
+        LineData d = mem_.readLine(la);
+        Line* nl = allocate(l1, la);
+        if (!nl) {
+            r.aborted = true;
+            return r;
+        }
+        nl->state = State::SpecModified;
+        nl->tag = {vid, vid};
+        nl->dirty = true;
+        nl->data = d;
+        writeData(*nl, a, value, size);
+        syncLine(*nl);
+        ++stats_.newVersions;
+        trace_.event(TraceProtocol, eq_.curTick(),
+                     "new version S-M(%u,%u) of %#llx at core %u "
+                     "(cold)",
+                     vid, vid, static_cast<unsigned long long>(la),
+                     core);
+        recordWrite(vid, la);
+        checkShadowAvoided(la, vid);
+        return r;
+    }
+
+    // Aggregate the distributed read marks from latest-version S-S
+    // copies: a peer cache may have served a higher VID locally.
+    // This applies both to speculative latest owners (S-M/S-E) and to
+    // non-speculative owners whose retired readers left copies.
+    VersionTag eff = owner->tag;
+    if (!isSpecSuperseded(owner->state)) {
+        net_->post(eq_.curTick(), FabricOp::StoreAggregate, la);
+        forEachSnoopTarget(la, [&](std::size_t ci) {
+            for (auto& l : caches_[ci].set(la)) {
+                if (l.state == State::SpecShared && l.base == la &&
+                    l.latestCopy) {
+                    eff.high = std::max(eff.high, l.tag.high);
+                    if (l.highFromWrongPath &&
+                        l.tag.high > owner->tag.high) {
+                        owner->highFromWrongPath = true;
+                    }
+                }
+            }
+        });
+    }
+    StoreAction act = classifyStoreWithMarks(owner->state, eff, vid);
+    if (act == StoreAction::Abort) {
+        triggerAbort(owner);
+        r.aborted = true;
+        return r;
+    }
+
+    if (act == StoreAction::InPlace) {
+        // The version exists (an MTX peer thread created it); pull it
+        // into our L1 exclusively and write.
+        invalidatePeerSpecShared(la, owner, vid);
+        if (ownerCache != &l1) {
+            Line copy = *owner;
+            owner->state = State::Invalid;
+            syncLine(*owner);
+            Line* nl = allocate(l1, la);
+            if (!nl) {
+                r.aborted = true;
+                return r;
+            }
+            *nl = copy;
+            owner = nl;
+        }
+        owner->mayHaveSharers = false;
+        writeData(*owner, a, value, size);
+        owner->dirty = true;
+        syncLine(*owner);
+        owner->lastUse = eq_.curTick();
+        recordWrite(vid, la);
+        checkShadowAvoided(la, vid);
+        return r;
+    }
+
+    // NewVersion: keep the pristine copy in S-O and create S-M(y,y).
+    LineData base = owner->data;
+    if (isSpec(owner->state)) {
+        owner->state = State::SpecOwned;
+        owner->tag.high = vid;
+    } else {
+        // The hitting copy may be a clean Shared one while a dirty
+        // Owned copy lives elsewhere; the surviving S-O owner must
+        // inherit the true dirtiness or committed data could be
+        // dropped on eviction.
+        owner->dirty = owner->dirty || anyNonSpecDirty(la, owner);
+        owner->state = State::SpecOwned;
+        owner->tag = {kNonSpecVid, vid};
+    }
+    owner->mayHaveSharers = false;
+    syncLine(*owner);
+    fixPeersForNewVersion(la, owner, vid);
+    Line* nl = allocate(l1, la);
+    if (!nl) {
+        r.aborted = true;
+        return r;
+    }
+    nl->state = State::SpecModified;
+    nl->tag = {vid, vid};
+    nl->dirty = true;
+    nl->data = base;
+    writeData(*nl, a, value, size);
+    syncLine(*nl);
+    ++stats_.newVersions;
+    trace_.event(TraceProtocol, eq_.curTick(),
+                 "new version S-M(%u,%u) of %#llx at core %u", vid,
+                 vid, static_cast<unsigned long long>(la), core);
+    recordWrite(vid, la);
+    checkShadowAvoided(la, vid);
+    return r;
+}
+
+AccessResult
+CacheSystem::nonSpecStore(CoreId core, Addr a, std::uint64_t value,
+                          unsigned size)
+{
+    const Addr la = lineAddr(a);
+    AccessResult r;
+    r.latency = cfg_.l1Latency;
+    Cache& l1 = caches_[core];
+
+    Line* v = findLocal(l1, la, lcVid_, true);
+    if (v && (v->state == State::Modified ||
+              v->state == State::Exclusive)) {
+        writeData(*v, a, value, size);
+        v->state = State::Modified;
+        v->dirty = true;
+        syncLine(*v);
+        v->lastUse = eq_.curTick();
+        r.l1Hit = true;
+        ++stats_.l1Hits;
+        return r;
+    }
+
+    busAcquire(r, la);
+    Line* owner = v;
+    RemoteHit rh;
+    if (!owner) {
+        rh = findRemote(core, la, lcVid_, true);
+        owner = rh.line;
+        if (owner)
+            r.latency += net_->transferLatency() + rh.extraLatency;
+    }
+
+    if (owner && isSpec(owner->state)) {
+        // Committed code is writing data a live transaction touched:
+        // conservative abort (the transaction read stale state).
+        triggerAbort(owner);
+        r.aborted = true;
+        return r;
+    }
+    // Distributed read marks: a live transaction may have recorded
+    // its read on a latest-version S-S copy instead of the owner.
+    // Find the offender first, then abort: triggerAbort rewrites the
+    // whole cache system and must not run mid-snoop.
+    Line* offender = nullptr;
+    forEachSnoopTarget(la, [&](std::size_t ci) {
+        if (offender)
+            return;
+        for (auto& l : caches_[ci].set(la)) {
+            if (l.state == State::SpecShared && l.base == la &&
+                l.latestCopy && l.tag.high > lcVid_) {
+                offender = &l;
+                return;
+            }
+        }
+    });
+    if (offender) {
+        triggerAbort(offender);
+        r.aborted = true;
+        return r;
+    }
+
+    LineData d;
+    if (owner) {
+        d = owner->data;
+    } else {
+        if (rh.assertModified) {
+            triggerAbort(nullptr);
+            r.aborted = true;
+            return r;
+        }
+        ++stats_.memFetches;
+        r.latency += cfg_.memLatency;
+        d = mem_.readLine(la);
+    }
+
+    invalidateNonSpecPeers(la, nullptr);
+    Line* nl = allocate(l1, la);
+    if (!nl) {
+        r.aborted = true;
+        return r;
+    }
+    nl->state = State::Modified;
+    nl->dirty = true;
+    nl->data = d;
+    writeData(*nl, a, value, size);
+    syncLine(*nl);
+    return r;
+}
+
+// --- SLA ----------------------------------------------------------------
+
+bool
+CacheSystem::slaConfirm(CoreId core, const SlaEntry& e)
+{
+    const Addr la = lineAddr(e.addr);
+    net_->post(eq_.curTick(), FabricOp::Sla, la);
+
+    Cache& l1 = caches_[core];
+    Line* cur = findLocal(l1, la, e.vid, false);
+    if (!cur) {
+        RemoteHit rh = findRemote(core, la, e.vid, false);
+        cur = rh.line;
+    }
+
+    std::uint64_t now;
+    if (cur) {
+        now = readData(*cur, e.addr, e.size);
+    } else {
+        now = mem_.read(e.addr, e.size);
+    }
+    if (now != e.value) {
+        ++stats_.slaMismatchAborts;
+        trace_.event(TraceSla, eq_.curTick(),
+                     "SLA mismatch at %#llx vid %u",
+                     static_cast<unsigned long long>(e.addr), e.vid);
+        triggerAbort(nullptr);
+        return false;
+    }
+    if (cur && cur->state != State::SpecShared) {
+        AccessResult dummy;
+        applyReadMark(core, *cur, e.vid, dummy);
+    }
+    ++stats_.slaConfirms;
+    return true;
+}
+
+} // namespace hmtx::sim

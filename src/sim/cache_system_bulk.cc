@@ -1,0 +1,184 @@
+/**
+ * @file
+ * CacheSystem bulk half: the whole-machine protocol operations —
+ * group commit, global abort, VID reset, and the region-boundary
+ * flush. Per-line transitions come from the pure engine in
+ * core/protocol.hh; broadcast costs from the Interconnect.
+ */
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "sim/cache_system.hh"
+
+namespace hmtx::sim
+{
+
+Cycles
+CacheSystem::commit(Vid vid)
+{
+    if (vid != lcVid_ + 1) {
+        throw std::logic_error(
+            "commitMTX: commits must occur consecutively (§4.7); "
+            "expected VID " + std::to_string(lcVid_ + 1) + ", got " +
+            std::to_string(vid));
+    }
+    lcVid_ = vid;
+    ++stats_.commits;
+    ++stats_.committedTxs;
+    trace_.event(TraceCommit, eq_.curTick(), "commit VID %u", vid);
+
+    auto it = rw_.find(vid);
+    if (it != rw_.end()) {
+        std::size_t rl = it->second.reads.size();
+        std::size_t wl = it->second.writes.size();
+        std::size_t comb = rl;
+        for (Addr w : it->second.writes)
+            if (!it->second.reads.count(w))
+                ++comb;
+        stats_.readSetLines += rl;
+        stats_.writeSetLines += wl;
+        stats_.combinedSetLines += comb;
+        stats_.maxCombinedSetLines =
+            std::max<std::uint64_t>(stats_.maxCombinedSetLines, comb);
+        rwCached_ = nullptr;
+        rw_.erase(it);
+    }
+
+    Cycles cost =
+        net_->post(eq_.curTick(), FabricOp::GroupCommit, 0);
+    if (!cfg_.lazyCommit) {
+        // Naive §4.4 scheme: walk and transition every speculative
+        // line now. The per-cache registry is exactly the ORB-like
+        // structure the paper assumes locates them [34] — without it
+        // a full cache walk would cost one cycle per cache line,
+        // >500k cycles per commit with Table 2's 32 MB L2. The walk
+        // occupies the memory system, stalling every core's misses.
+        std::uint64_t touched = 0;
+        forEachCandidateLine([&](Line& l) {
+            if (isSpec(l.state)) {
+                ++touched;
+                reconcile(l);
+            }
+        });
+        cost += touched * cfg_.eagerPerLineCycles;
+        net_->occupy(eq_.curTick(), cost);
+    }
+    stats_.commitProcessingCycles += cost;
+    maybeCrossCheck();
+    return cost;
+}
+
+Cycles
+CacheSystem::abortAll()
+{
+    ++abortGen_;
+    ++stats_.aborts;
+    std::uint64_t touched = 0;
+    forEachCandidateLine([&](Line& l) {
+        if (!isSpec(l.state))
+            return; // dirty committed lines are untouched by aborts
+        ++touched;
+        applyView(l, abortVersion(viewOf(l), lcVid_));
+        syncLine(l);
+    });
+    overflow_.forEach([&](Line& l) {
+        LineTransition tr =
+            commitLine(l.state, l.tag, lcVid_, l.dirty);
+        tr = abortLine(tr.state, tr.tag, lcVid_, l.dirty);
+        if (tr.state != State::Invalid && l.dirty) {
+            // Committed data survives the abort: fold it back into
+            // memory rather than keeping a nonspec entry spilled.
+            mem_.writeLine(l.base, l.data);
+            ++stats_.writebacks;
+        }
+        l.state = State::Invalid;
+        l.tag = {};
+    });
+    rwCached_ = nullptr;
+    rw_.clear();
+    shadow_.clear();
+    Cycles cost =
+        net_->post(eq_.curTick(), FabricOp::GroupAbort, 0);
+    if (!cfg_.lazyCommit) {
+        cost += touched * cfg_.eagerPerLineCycles;
+        net_->occupy(eq_.curTick(), cost);
+    }
+    stats_.commitProcessingCycles += cost;
+    maybeCrossCheck();
+    return cost;
+}
+
+Cycles
+CacheSystem::vidReset()
+{
+    std::uint64_t specLeft = 0;
+    overflow_.forEach([&](Line& l) {
+        reconcile(l);
+        if (l.state == State::Invalid)
+            return;
+        // All transactions committed (precondition): spilled data is
+        // committed; fold dirty survivors back into memory.
+        if (l.dirty && !isSpecSuperseded(l.state)) {
+            mem_.writeLine(l.base, l.data);
+            ++stats_.writebacks;
+        }
+        l.state = State::Invalid;
+    });
+    forEachCandidateLine([&](Line& l) {
+        reconcile(l);
+        if (isSpec(l.state)) {
+            applyView(l, resetVersion(viewOf(l)));
+            syncLine(l);
+            ++specLeft;
+        }
+    });
+    if (!rw_.empty()) {
+        throw std::logic_error(
+            "vidReset with outstanding uncommitted transactions");
+    }
+    (void)specLeft;
+    lcVid_ = kNonSpecVid;
+    shadow_.clear();
+    ++stats_.vidResets;
+    trace_.event(TraceCommit, eq_.curTick(), "VID reset");
+    maybeCrossCheck();
+    return net_->post(eq_.curTick(), FabricOp::VidReset, 0);
+}
+
+void
+CacheSystem::flushDirtyToMemory()
+{
+    overflow_.forEach([&](Line& l) {
+        reconcile(l);
+        if (l.state == State::Invalid)
+            return;
+        if (!isSpec(l.state)) {
+            // The spilled version retired: its data is committed.
+            if (l.dirty) {
+                mem_.writeLine(l.base, l.data);
+                ++stats_.writebacks;
+            }
+            l.state = State::Invalid;
+        }
+    });
+    forEachCandidateLine([&](Line& l) {
+        reconcile(l);
+        // Reconciliation may retire a superseded version to
+        // Invalid; its stale data must not reach memory.
+        if (l.state == State::Invalid)
+            return;
+        if (!isSpec(l.state) && l.dirty) {
+            mem_.writeLine(l.base, l.data);
+            l.dirty = false;
+            ++stats_.writebacks;
+            l.state = l.state == State::Modified ? State::Exclusive
+                                                 : State::Shared;
+            syncLine(l);
+        }
+    });
+    maybeCrossCheck();
+}
+
+} // namespace hmtx::sim

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * CacheSystem lookup half: lazy-commit reconciliation, hit testing,
+ * local/remote version search, allocation/eviction, and raw data
+ * movement. Per-version protocol decisions are delegated to the pure
+ * engine in core/protocol.hh; fabric timing to the Interconnect.
+ */
+
+#include <algorithm>
+#include <string>
+
+#include "sim/cache_system.hh"
+
+namespace hmtx::sim
+{
+
+// --- lookup -----------------------------------------------------------
+
+void
+CacheSystem::applyReconcile(Line& l) const
+{
+    applyView(l, reconcileVersion(viewOf(l), lcVid_));
+}
+
+void
+CacheSystem::reconcile(Line& l)
+{
+    const State olds = l.state;
+    const bool oldDirty = l.dirty;
+    applyReconcile(l);
+    if (l.state != olds || l.dirty != oldDirty)
+        syncLine(l);
+}
+
+void
+CacheSystem::reconcileAddr(Cache& c, Addr la)
+{
+    for (auto& l : c.set(la))
+        if (l.state != State::Invalid && l.base == la)
+            reconcile(l);
+}
+
+bool
+CacheSystem::hits(const Line& l, Addr la, Vid a)
+{
+    if (l.state == State::Invalid || l.base != la)
+        return false;
+    // Count the VID comparisons the hardware would perform (§4.5).
+    if (isSpec(l.state)) {
+        cmp_.compare(a, l.tag.mod);
+        if (isSpecSuperseded(l.state))
+            cmp_.compare(a, l.tag.high);
+    }
+    return versionServes(viewOf(l), a);
+}
+
+Line*
+CacheSystem::findLocal(Cache& c, Addr la, Vid a, bool forStore)
+{
+    // Reconcile and probe in one pass over the set: lazy-commit
+    // transitions are strictly per-line, so interleaving them with the
+    // probes is equivalent to reconcileAddr() followed by a second
+    // scan, at roughly half the cost.
+    Line* hit = nullptr;
+    for (auto& l : c.set(la)) {
+        if (l.state != State::Invalid && l.base == la)
+            reconcile(l);
+        if (hit)
+            continue;
+        if (forStore && l.state == State::SpecShared)
+            continue;
+        if (hits(l, la, a))
+            hit = &l;
+    }
+    return hit;
+}
+
+CacheSystem::RemoteHit
+CacheSystem::findRemote(CoreId self, Addr la, Vid a, bool forStore)
+{
+    (void)forStore;
+    RemoteHit rh;
+    forEachSnoopTarget(la, [&](std::size_t ci) {
+        Cache& c = caches_[ci];
+        const bool isSelf = (ci == self);
+        for (auto& l : c.set(la)) {
+            if (l.state == State::Invalid || l.base != la)
+                continue;
+            reconcile(l);
+            if (l.state == State::Invalid)
+                continue;
+            // §5.4: speculative versions that miss on VID comparison
+            // assert that the line was speculatively modified.
+            if (isSpecResponder(l.state) && l.tag.mod > a)
+                rh.assertModified = true;
+            if (isSelf)
+                continue; // the local L1 was already searched
+            // S-S copies never respond to snoops (§4.1).
+            if (l.state == State::SpecShared)
+                continue;
+            if (!rh.line && hits(l, la, a)) {
+                rh.line = &l;
+                rh.cache = &c;
+            }
+        }
+    });
+    if (cfg_.unboundedSpecSets && !overflow_.empty()) {
+        // A miss (or assert) may be resolved by a spilled version:
+        // the hardware walk engine searches the overflow table
+        // (§8 / [27]).
+        if (auto* vs = overflow_.versionsOf(la)) {
+            for (auto& l : *vs)
+                reconcile(l);
+            std::erase_if(*vs, [](const Line& l) {
+                return l.state == State::Invalid;
+            });
+            for (std::size_t i = 0; i < vs->size(); ++i) {
+                Line& l = (*vs)[i];
+                if (isSpecResponder(l.state) && l.tag.mod > a)
+                    rh.assertModified = true;
+                if (!rh.line && hits(l, la, a)) {
+                    // Refill the version into the requester's L1 and
+                    // continue as a normal remote hit.
+                    Line copy = l;
+                    overflow_.remove(la, i);
+                    rh.extraLatency = OverflowTable::kWalkCycles +
+                        cfg_.memLatency;
+                    ++stats_.specRefills;
+                    Line* slot = allocate(caches_[self], la);
+                    if (!slot)
+                        return rh; // capacity abort during refill
+                    *slot = copy;
+                    syncLine(*slot);
+                    rh.line = slot;
+                    rh.cache = &caches_[self];
+                    break;
+                }
+            }
+        }
+    }
+    return rh;
+}
+
+// --- allocation & eviction --------------------------------------------
+
+int
+CacheSystem::victimClass(const Line& l) const
+{
+    return hmtx::victimClass(viewOf(l));
+}
+
+bool
+CacheSystem::evict(Cache& c, Line& victim)
+{
+    reconcile(victim);
+    if (victim.state == State::Invalid)
+        return true;
+
+    const bool isL2 = (&c == &caches_.back());
+    const Addr la = victim.base;
+
+    auto drop = [&victim, this] {
+        victim.state = State::Invalid;
+        syncLine(victim);
+    };
+
+    switch (victim.state) {
+      case State::SpecShared:
+        // Droppable copies: the owner version still responds.
+        drop();
+        return true;
+      case State::Shared:
+      case State::Exclusive:
+        if (isL2) {
+            drop(); // clean: memory already has the data
+            return true;
+        }
+        break; // L1 victims spill into the shared L2
+      case State::Modified:
+      case State::Owned:
+        if (isL2) {
+            mem_.writeLine(la, victim.data);
+            ++stats_.writebacks;
+            drop();
+            return true;
+        }
+        break; // move to L2
+      case State::SpecOwned:
+        if (victim.tag.mod == kNonSpecVid) {
+            // §5.4: the pristine pre-speculation data is committed
+            // state and may overflow to memory (from any level — it
+            // must not displace S-M/S-E lines, whose loss aborts); an
+            // S-M line's snoop assertion recovers it later.
+            if (victim.dirty) {
+                mem_.writeLine(la, victim.data);
+                ++stats_.writebacks;
+            }
+            ++stats_.soOverflowWritebacks;
+            drop();
+            return true;
+        }
+        if (isL2) {
+            if (cfg_.unboundedSpecSets) {
+                overflow_.spill(victim);
+                ++stats_.specSpills;
+                drop();
+                return true;
+            }
+            ++stats_.capacityAborts;
+            triggerAbort(&victim);
+            return false;
+        }
+        break; // move to L2
+      case State::SpecExclusive:
+      case State::SpecModified:
+        if (isL2) {
+            if (cfg_.unboundedSpecSets) {
+                // §8 / [27]: spill the version into the
+                // memory-resident overflow table instead of aborting.
+                trace_.event(TraceEvict, eq_.curTick(),
+                             "spill %s(%u,%u) %#llx",
+                             std::string(stateName(victim.state))
+                                 .c_str(),
+                             victim.tag.mod, victim.tag.high,
+                             static_cast<unsigned long long>(la));
+                overflow_.spill(victim);
+                ++stats_.specSpills;
+                drop();
+                return true;
+            }
+            // Speculative state fell out of the last-level cache: the
+            // transaction cannot be tracked any more (§5.4).
+            ++stats_.capacityAborts;
+            triggerAbort(&victim);
+            return false;
+        }
+        break; // move to L2
+      case State::Invalid:
+        return true;
+    }
+
+    // Move the line from an L1 into the shared L2.
+    Line copy = victim;
+    drop();
+    Line* slot = allocate(caches_.back(), la);
+    if (!slot)
+        return false;
+    *slot = copy;
+    syncLine(*slot);
+    return true;
+}
+
+Line*
+CacheSystem::allocateOpt(Cache& c, Addr la)
+{
+    // Best-effort allocation for optional fills (S-S sharer copies,
+    // §5.4 refetches): evict only cheap (non-speculative or copy)
+    // victims — displacing responder-class speculative state for a
+    // refetchable copy would risk capacity aborts.
+    Line* slot = c.freeSlot(la);
+    if (!slot) {
+        auto& s = c.set(la);
+        for (auto& l : s)
+            reconcile(l);
+        slot = c.freeSlot(la);
+        if (!slot) {
+            Line* victim = nullptr;
+            for (auto& l : s) {
+                if (victimClass(l) > 2)
+                    continue;
+                if (!victim || victimClass(l) < victimClass(*victim) ||
+                    (victimClass(l) == victimClass(*victim) &&
+                     l.lastUse < victim->lastUse)) {
+                    victim = &l;
+                }
+            }
+            if (!victim)
+                return nullptr;
+            std::uint64_t gen = abortGen_;
+            if (!evict(c, *victim) || abortGen_ != gen)
+                return nullptr;
+            slot = victim;
+        }
+    }
+    *slot = Line{};
+    slot->base = la;
+    slot->lastUse = eq_.curTick();
+    return slot;
+}
+
+Line*
+CacheSystem::allocate(Cache& c, Addr la)
+{
+    Line* slot = c.freeSlot(la);
+    if (!slot) {
+        auto& s = c.set(la);
+        for (auto& l : s)
+            reconcile(l);
+        slot = c.freeSlot(la);
+        if (!slot) {
+            // Choose the cheapest victim (lowest class, then LRU).
+            Line* victim = &s.front();
+            for (auto& l : s) {
+                int vc = victimClass(l);
+                int bc = victimClass(*victim);
+                if (vc < bc ||
+                    (vc == bc && l.lastUse < victim->lastUse)) {
+                    victim = &l;
+                }
+            }
+            std::uint64_t gen = abortGen_;
+            if (!evict(c, *victim) || abortGen_ != gen)
+                return nullptr;
+            slot = victim;
+        }
+    }
+    *slot = Line{};
+    slot->base = la;
+    slot->lastUse = eq_.curTick();
+    return slot;
+}
+
+// --- data movement -------------------------------------------------------
+
+std::uint64_t
+CacheSystem::readData(const Line& l, Addr a, unsigned size) const
+{
+    std::uint64_t v = 0;
+    unsigned off = lineOffset(a);
+    for (unsigned i = 0; i < size; ++i)
+        v |= static_cast<std::uint64_t>(l.data[off + i]) << (8 * i);
+    return v;
+}
+
+void
+CacheSystem::writeData(Line& l, Addr a, std::uint64_t v, unsigned size)
+{
+    unsigned off = lineOffset(a);
+    for (unsigned i = 0; i < size; ++i)
+        l.data[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+CacheSystem::busAcquire(AccessResult& r, Addr la)
+{
+    r.latency += net_->acquire(eq_.curTick(), la);
+}
+
+} // namespace hmtx::sim

@@ -66,6 +66,14 @@ struct SysStats
     std::uint64_t specSpills = 0;
     std::uint64_t specRefills = 0;
 
+    /**
+     * Cores of the configured machine the execution model left idle
+     * (numCores minus the cores the executor actually occupied).
+     * Recorded by the runtime drivers so a pipeline schedule narrower
+     * than the machine is visible instead of silently wasting cores.
+     */
+    std::uint64_t idleCores = 0;
+
     // Read/write set accounting (Figure 9), accumulated at commit.
     std::uint64_t committedTxs = 0;
     std::uint64_t readSetLines = 0;

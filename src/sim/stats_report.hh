@@ -103,6 +103,8 @@ class StatsReport
              "avg write set per transaction, kB (Fig. 9)");
         rate("tx.avgSpecAccesses", s_.avgSpecAccessesPerTx(),
              "avg speculative accesses per transaction (Table 1)");
+        row("sim.idleCores", double(s_.idleCores),
+            "cores the execution model left idle");
 
         if (idx_) {
             row("sim.snoopsVisited", double(idx_->snoopsVisited),

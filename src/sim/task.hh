@@ -93,8 +93,22 @@ class FramePool
     static std::vector<void*>*
     lists()
     {
-        thread_local std::vector<void*> fl[kBuckets];
-        return fl;
+        // The destructor returns pooled blocks to the heap at thread
+        // exit; a bare vector would free only its own buffer and leak
+        // every recycled frame it still holds.
+        struct Lists
+        {
+            std::vector<void*> fl[kBuckets];
+
+            ~Lists()
+            {
+                for (auto& l : fl)
+                    for (void* p : l)
+                        ::operator delete(p);
+            }
+        };
+        thread_local Lists l;
+        return l.fl;
     }
 };
 

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Unit tests for the pure protocol engine (core/protocol.hh): the
+ * whole per-version decision surface — reconcile, abort, reset, hit
+ * serving, victim classes, store classification with distributed read
+ * marks, and read-mark classification — exercised on plain values with
+ * no machine attached.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/protocol.hh"
+
+namespace hmtx
+{
+namespace
+{
+
+VersionView
+view(State st, Vid mod, Vid high, bool dirty = false,
+     bool sharers = false, bool latest = false, bool wrongPath = false)
+{
+    return {st, {mod, high}, dirty, sharers, latest, wrongPath};
+}
+
+// --- reconcileVersion ---------------------------------------------------
+
+TEST(ReconcileVersion, NonSpecAndInvalidAreUntouched)
+{
+    for (State st : {State::Invalid, State::Shared, State::Exclusive,
+                     State::Modified, State::Owned}) {
+        VersionView v = view(st, 0, 0, true);
+        EXPECT_EQ(reconcileVersion(v, 5), v);
+    }
+}
+
+TEST(ReconcileVersion, UncommittedSpecIsUntouched)
+{
+    VersionView v = view(State::SpecModified, 4, 4, true);
+    EXPECT_EQ(reconcileVersion(v, 3), v);
+}
+
+TEST(ReconcileVersion, CommittedLatestRetiresToNonSpec)
+{
+    // S-M(2,2) with everything <= LC: retires to M (Figure 6).
+    VersionView v = reconcileVersion(
+        view(State::SpecModified, 2, 2, true), 2);
+    EXPECT_EQ(v.state, State::Modified);
+    EXPECT_EQ(v.tag, (VersionTag{0, 0}));
+    EXPECT_TRUE(v.dirty);
+
+    v = reconcileVersion(view(State::SpecExclusive, 0, 3), 3);
+    EXPECT_EQ(v.state, State::Exclusive);
+}
+
+TEST(ReconcileVersion, RetiringOwnerWithSharersLandsShareable)
+{
+    // A retiring owner that handed out S-S copies must not land in a
+    // silently-writable state.
+    VersionView v = reconcileVersion(
+        view(State::SpecModified, 2, 2, true, /*sharers=*/true), 2);
+    EXPECT_EQ(v.state, State::Owned);
+    EXPECT_FALSE(v.mayHaveSharers) << "flag clears on retirement";
+
+    v = reconcileVersion(
+        view(State::SpecExclusive, 0, 2, false, /*sharers=*/true), 2);
+    EXPECT_EQ(v.state, State::Shared);
+}
+
+TEST(ReconcileVersion, SupersededVersionDiesOnceReadersCommit)
+{
+    VersionView v = reconcileVersion(
+        view(State::SpecOwned, 1, 3, true), 3);
+    EXPECT_EQ(v.state, State::Invalid);
+    EXPECT_FALSE(v.dirty) << "stale data must not look writable-back";
+}
+
+TEST(ReconcileVersion, LatestCopyOnlyShedsCommittedMarks)
+{
+    // A latest-version S-S copy never becomes a second owner: only its
+    // local marks fold.
+    VersionView c = view(State::SpecShared, 2, 4, false, false,
+                         /*latest=*/true, /*wrongPath=*/true);
+    VersionView v = reconcileVersion(c, 3);
+    EXPECT_EQ(v.state, State::SpecShared);
+    EXPECT_TRUE(v.latestCopy);
+    EXPECT_EQ(v.tag.mod, kNonSpecVid) << "committed modVID folds to 0";
+    EXPECT_EQ(v.tag.high, 4u) << "live read mark survives";
+    EXPECT_TRUE(v.highFromWrongPath) << "mark above LC stays flagged";
+
+    v = reconcileVersion(c, 4);
+    EXPECT_FALSE(v.highFromWrongPath) << "committed mark unflags";
+    EXPECT_EQ(v.state, State::SpecShared) << "copy still never retires";
+}
+
+TEST(ReconcileVersion, IdempotentForFixedWatermark)
+{
+    for (Vid lc : {0u, 1u, 2u, 3u, 5u}) {
+        VersionView v = view(State::SpecOwned, 1, 3, true, true);
+        VersionView once = reconcileVersion(v, lc);
+        EXPECT_EQ(reconcileVersion(once, lc), once) << "lc=" << lc;
+    }
+}
+
+// --- abortVersion -------------------------------------------------------
+
+TEST(AbortVersion, UncommittedModificationIsFlushed)
+{
+    VersionView v = abortVersion(view(State::SpecModified, 3, 3, true),
+                                 1);
+    EXPECT_EQ(v.state, State::Invalid);
+}
+
+TEST(AbortVersion, CommittedDataSurvivesWithMarksCleared)
+{
+    // S-M(1,3) at LC=1: the modification committed, only the
+    // uncommitted reader marks flush (Figure 7 after Figure 6).
+    VersionView v = abortVersion(
+        view(State::SpecModified, 1, 3, true, false, false, true), 1);
+    EXPECT_EQ(v.state, State::Modified);
+    EXPECT_EQ(v.tag, (VersionTag{0, 0}));
+    EXPECT_TRUE(v.dirty);
+    EXPECT_FALSE(v.highFromWrongPath);
+}
+
+TEST(AbortVersion, SurvivorWithSharersLandsShareable)
+{
+    VersionView v = abortVersion(
+        view(State::SpecModified, 1, 3, true, /*sharers=*/true), 1);
+    EXPECT_EQ(v.state, State::Owned);
+    EXPECT_FALSE(v.mayHaveSharers);
+}
+
+TEST(AbortVersion, LatestCopyIsDropped)
+{
+    VersionView v = abortVersion(
+        view(State::SpecShared, 0, 2, false, false, /*latest=*/true),
+        3);
+    EXPECT_EQ(v.state, State::Invalid);
+    EXPECT_FALSE(v.latestCopy);
+}
+
+TEST(AbortVersion, NonSpecIsUntouched)
+{
+    VersionView v = view(State::Modified, 0, 0, true);
+    EXPECT_EQ(abortVersion(v, 2), v);
+}
+
+// --- resetVersion -------------------------------------------------------
+
+TEST(ResetVersion, LatestVersionsRetireSupersededDie)
+{
+    VersionView v = resetVersion(view(State::SpecModified, 3, 3, true));
+    EXPECT_EQ(v.state, State::Modified);
+    EXPECT_EQ(v.tag, (VersionTag{0, 0}));
+
+    v = resetVersion(view(State::SpecOwned, 1, 3, true));
+    EXPECT_EQ(v.state, State::Invalid);
+}
+
+TEST(ResetVersion, RetiringOwnerWithSharersLandsShareable)
+{
+    VersionView v = resetVersion(
+        view(State::SpecModified, 3, 3, true, /*sharers=*/true));
+    EXPECT_EQ(v.state, State::Owned);
+    EXPECT_FALSE(v.mayHaveSharers);
+}
+
+TEST(ResetVersion, LatestCopyIsDropped)
+{
+    VersionView v = resetVersion(
+        view(State::SpecShared, 0, 2, false, false, /*latest=*/true));
+    EXPECT_EQ(v.state, State::Invalid);
+    EXPECT_FALSE(v.latestCopy);
+}
+
+// --- versionServes ------------------------------------------------------
+
+TEST(VersionServes, MatchesBaseHitRule)
+{
+    // S-M(2,_) serves a >= 2; S-O(2,5) serves 2 <= a < 5 (§4.1).
+    EXPECT_FALSE(versionServes(view(State::SpecModified, 2, 2), 1));
+    EXPECT_TRUE(versionServes(view(State::SpecModified, 2, 2), 2));
+    EXPECT_TRUE(versionServes(view(State::SpecModified, 2, 2), 7));
+    EXPECT_TRUE(versionServes(view(State::SpecOwned, 2, 5), 4));
+    EXPECT_FALSE(versionServes(view(State::SpecOwned, 2, 5), 5));
+    EXPECT_FALSE(versionServes(view(State::Invalid, 0, 0), 0));
+}
+
+TEST(VersionServes, LatestCopyServesAllLaterVids)
+{
+    // A copy of the latest version ignores its local read mark: it
+    // serves any VID >= modVID, exactly like the owner would.
+    VersionView c = view(State::SpecShared, 2, 3, false, false,
+                         /*latest=*/true);
+    EXPECT_FALSE(versionServes(c, 1));
+    EXPECT_TRUE(versionServes(c, 3));
+    EXPECT_TRUE(versionServes(c, 9)) << "beyond the local mark";
+}
+
+TEST(VersionServes, SupersededCopyIsBoundedByHigh)
+{
+    VersionView c = view(State::SpecShared, 2, 5);
+    EXPECT_TRUE(versionServes(c, 4));
+    EXPECT_FALSE(versionServes(c, 5));
+}
+
+// --- victimClass --------------------------------------------------------
+
+TEST(VictimClass, OrdersEvictionPreference)
+{
+    EXPECT_EQ(victimClass(view(State::Invalid, 0, 0)), 0);
+    EXPECT_EQ(victimClass(view(State::SpecShared, 1, 3)), 1)
+        << "superseded copies are nearly dead";
+    EXPECT_EQ(victimClass(view(State::SpecShared, 1, 3, false, false,
+                               /*latest=*/true)),
+              2)
+        << "latest copies compete via LRU";
+    EXPECT_EQ(victimClass(view(State::Shared, 0, 0)), 2);
+    EXPECT_EQ(victimClass(view(State::Modified, 0, 0, true)), 2);
+    EXPECT_EQ(victimClass(view(State::SpecOwned, 0, 3, true)), 3)
+        << "pristine S-O may overflow to memory (§5.4)";
+    EXPECT_EQ(victimClass(view(State::SpecOwned, 1, 3, true)), 4);
+    EXPECT_EQ(victimClass(view(State::SpecModified, 2, 2, true)), 4)
+        << "losing a responder aborts; evict last";
+}
+
+// --- classifyStoreWithMarks ---------------------------------------------
+
+TEST(ClassifyStoreWithMarks, DistributedMarkForcesAbort)
+{
+    // The owner never logged the reader, but a latest-copy mark was
+    // aggregated into the effective tag: the store still violates the
+    // flow dependence (§4.3).
+    EXPECT_EQ(classifyStoreWithMarks(State::SpecModified, {2, 5}, 4),
+              StoreAction::Abort);
+    EXPECT_EQ(classifyStoreWithMarks(State::SpecExclusive, {0, 3}, 2),
+              StoreAction::Abort);
+}
+
+TEST(ClassifyStoreWithMarks, MatchesBaseClassifierOtherwise)
+{
+    EXPECT_EQ(classifyStoreWithMarks(State::SpecModified, {2, 2}, 2),
+              StoreAction::InPlace);
+    EXPECT_EQ(classifyStoreWithMarks(State::SpecModified, {2, 2}, 4),
+              StoreAction::NewVersion);
+    EXPECT_EQ(classifyStoreWithMarks(State::Exclusive, {0, 0}, 3),
+              StoreAction::NewVersion);
+}
+
+// --- classifyReadMark ---------------------------------------------------
+
+TEST(ClassifyReadMark, ResponderRaisesOrIgnores)
+{
+    EXPECT_EQ(classifyReadMark(State::SpecModified, {2, 3}, 5),
+              ReadMarkAction::RaiseHigh);
+    EXPECT_EQ(classifyReadMark(State::SpecModified, {2, 5}, 5),
+              ReadMarkAction::None)
+        << "equal-or-lower VIDs are already logged";
+    EXPECT_EQ(classifyReadMark(State::SpecOwned, {1, 5}, 3),
+              ReadMarkAction::None)
+        << "high=5 already covers the VID-3 reader";
+    EXPECT_EQ(classifyReadMark(State::SpecOwned, {1, 5}, 7),
+              ReadMarkAction::RaiseHigh)
+        << "S-O responds for its window and logs like an owner";
+}
+
+TEST(ClassifyReadMark, CopiesAreNeverMarkedHere)
+{
+    EXPECT_EQ(classifyReadMark(State::SpecShared, {1, 5}, 3),
+              ReadMarkAction::None);
+}
+
+TEST(ClassifyReadMark, NonSpecUpgrades)
+{
+    EXPECT_EQ(classifyReadMark(State::Exclusive, {0, 0}, 2),
+              ReadMarkAction::Upgrade);
+    EXPECT_EQ(classifyReadMark(State::Modified, {0, 0}, 2),
+              ReadMarkAction::Upgrade);
+    EXPECT_EQ(classifyReadMark(State::Shared, {0, 0}, 2),
+              ReadMarkAction::UpgradeWithBus)
+        << "shared-class lines must first gain writable access";
+    EXPECT_EQ(classifyReadMark(State::Owned, {0, 0}, 2),
+              ReadMarkAction::UpgradeWithBus);
+}
+
+TEST(SpecUpgradeState, FollowsDirtiness)
+{
+    EXPECT_EQ(specUpgradeState(true), State::SpecModified);
+    EXPECT_EQ(specUpgradeState(false), State::SpecExclusive);
+}
+
+// --- cross-checks against the normative primitives ----------------------
+
+TEST(EngineCrossCheck, ReconcileAgreesWithCommitLineWithoutFlags)
+{
+    // With no sharer/copy flags set, the engine must reproduce the
+    // normative Figure 6 transitions exactly.
+    const State specs[] = {State::SpecModified, State::SpecExclusive,
+                           State::SpecOwned, State::SpecShared};
+    for (State st : specs) {
+        for (Vid mod : {0u, 1u, 2u, 3u}) {
+            for (Vid high : {0u, 2u, 4u}) {
+                for (Vid lc : {0u, 1u, 2u, 3u, 4u}) {
+                    VersionView v = view(st, mod, high, true);
+                    VersionView got = reconcileVersion(v, lc);
+                    LineTransition want =
+                        commitLine(st, {mod, high}, lc, true);
+                    EXPECT_EQ(got.state, want.state)
+                        << stateName(st) << "(" << mod << "," << high
+                        << ") lc=" << lc;
+                    EXPECT_EQ(got.tag, want.tag);
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace hmtx

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <tuple>
 #include <vector>
 
 #include "sim/cache_system.hh"
@@ -21,10 +22,13 @@ namespace
 {
 
 MachineConfig
-config(bool lazy, bool tiny)
+config(bool lazy, bool tiny, Fabric fabric = Fabric::SnoopBus)
 {
     MachineConfig cfg;
     cfg.lazyCommit = lazy;
+    cfg.fabric = fabric;
+    if (fabric == Fabric::Directory)
+        cfg.dirBanks = 8;
     if (tiny) {
         cfg.l1SizeKB = 1;
         cfg.l1Assoc = 2;
@@ -109,13 +113,16 @@ replay(CacheSystem& sys, const std::vector<Op>& ops,
     return obs;
 }
 
+/** Parameterized over (trace seed, interconnect fabric): the §5.3
+ *  equivalence must hold regardless of what carries the traffic. */
 class LazyEagerEquivalence
-    : public ::testing::TestWithParam<std::uint64_t>
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, Fabric>>
 {};
 
 TEST_P(LazyEagerEquivalence, SameObservationsBothSchemes)
 {
-    const std::uint64_t seed = GetParam();
+    const std::uint64_t seed = std::get<0>(GetParam());
+    const Fabric fabric = std::get<1>(GetParam());
     const bool tiny = (seed % 2) == 0;
     std::vector<Op> ops = makeTrace(seed);
     std::vector<Addr> addrs;
@@ -123,8 +130,8 @@ TEST_P(LazyEagerEquivalence, SameObservationsBothSchemes)
         addrs.push_back(0x40000 + i * 64);
 
     EventQueue eqL, eqE;
-    CacheSystem lazy(eqL, config(true, tiny));
-    CacheSystem eager(eqE, config(false, tiny));
+    CacheSystem lazy(eqL, config(true, tiny, fabric));
+    CacheSystem eager(eqE, config(false, tiny, fabric));
     auto a = replay(lazy, ops, addrs);
     auto b = replay(eager, ops, addrs);
     ASSERT_EQ(a.size(), b.size());
@@ -136,12 +143,13 @@ TEST_P(LazyEagerEquivalence, SameObservationsBothSchemes)
 
 TEST_P(LazyEagerEquivalence, AbortRollbackIdenticalBothSchemes)
 {
-    const std::uint64_t seed = GetParam() * 31 + 7;
+    const std::uint64_t seed = std::get<0>(GetParam()) * 31 + 7;
+    const Fabric fabric = std::get<1>(GetParam());
     Rng rng(seed);
 
     for (bool lazyMode : {true, false}) {
         EventQueue eq;
-        CacheSystem sys(eq, config(lazyMode, false));
+        CacheSystem sys(eq, config(lazyMode, false, fabric));
         for (unsigned i = 0; i < 8; ++i)
             sys.memory().write(0x50000 + i * 64, 100 + i, 8);
         // Commit one transaction, leave two live, then abort.
@@ -158,23 +166,30 @@ TEST_P(LazyEagerEquivalence, AbortRollbackIdenticalBothSchemes)
 
 TEST(LazyEager, EagerChargesPerLineCost)
 {
-    EventQueue eq;
-    CacheSystem eager(eq, config(false, false));
-    for (unsigned i = 0; i < 32; ++i)
-        eager.store(0, 0x60000 + i * 64, i, 8, 1);
-    Cycles c = eager.commit(1);
-    // 32 speculative lines at eagerPerLineCycles each, plus the bus.
-    EXPECT_GE(c, 32 * eager.config().eagerPerLineCycles);
+    // The eager-commit cost dominates under either fabric.
+    for (Fabric fabric : {Fabric::SnoopBus, Fabric::Directory}) {
+        EventQueue eq;
+        CacheSystem eager(eq, config(false, false, fabric));
+        for (unsigned i = 0; i < 32; ++i)
+            eager.store(0, 0x60000 + i * 64, i, 8, 1);
+        Cycles c = eager.commit(1);
+        // 32 speculative lines at eagerPerLineCycles each, plus the
+        // interconnect broadcast.
+        EXPECT_GE(c, 32 * eager.config().eagerPerLineCycles);
 
-    EventQueue eq2;
-    CacheSystem lazy(eq2, config(true, false));
-    for (unsigned i = 0; i < 32; ++i)
-        lazy.store(0, 0x60000 + i * 64, i, 8, 1);
-    EXPECT_LT(lazy.commit(1), c);
+        EventQueue eq2;
+        CacheSystem lazy(eq2, config(true, false, fabric));
+        for (unsigned i = 0; i < 32; ++i)
+            lazy.store(0, 0x60000 + i * 64, i, 8, 1);
+        EXPECT_LT(lazy.commit(1), c);
+    }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, LazyEagerEquivalence,
-                         ::testing::Range<std::uint64_t>(1, 9));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, LazyEagerEquivalence,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 9),
+                       ::testing::Values(Fabric::SnoopBus,
+                                         Fabric::Directory)));
 
 } // namespace
 } // namespace hmtx::sim

@@ -268,6 +268,35 @@ TEST_F(SpecFixture, VidResetAllowsWindowReuse)
     sys.checkInvariants();
 }
 
+/**
+ * The §4.6 reset protocol is interconnect traffic like any other
+ * broadcast: replay the window-reuse sequence on the directory
+ * fabric and require the same architectural outcome, with the lazy
+ * LC watermark (§5.3) back at zero.
+ */
+TEST(VidResetDirectory, WindowReuseOnDirectoryFabric)
+{
+    MachineConfig cfg = smallConfig();
+    cfg.fabric = Fabric::Directory;
+    cfg.dirBanks = 8;
+    EventQueue eq;
+    CacheSystem sys(eq, cfg);
+
+    sys.store(0, 0x700, 1, 8, 1);
+    sys.commit(1);
+    sys.store(0, 0x740, 2, 8, 2);
+    sys.commit(2);
+
+    sys.vidReset();
+    EXPECT_EQ(sys.lcVid(), 0u);
+    EXPECT_EQ(sys.load(1, 0x700, 8, 1).value, 1u);
+    EXPECT_FALSE(sys.store(1, 0x700, 9, 8, 1).aborted);
+    sys.commit(1);
+    EXPECT_EQ(sys.load(2, 0x700, 8, 0).value, 9u);
+    EXPECT_GT(sys.stats().dirLookups, 0u);
+    sys.checkInvariants();
+}
+
 // --- Figure 5 walkthrough --------------------------------------------------------
 
 /**
