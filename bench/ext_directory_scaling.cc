@@ -12,6 +12,10 @@
  * harness.
  */
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "bench/common.hh"
 
 using namespace hmtx;
@@ -28,6 +32,46 @@ struct Sample
     runtime::ExecResult r;
     double speedup;
 };
+
+/** One cell of the host-throughput shard sweep. */
+struct ShardSample
+{
+    unsigned cores;
+    unsigned shards;
+    double wallMs;
+    runtime::ExecResult r;
+};
+
+/** Best-of-3 host wall clock around one HMTX run. */
+ShardSample
+timeShardRun(const char* name, unsigned cores, unsigned shards)
+{
+    ShardSample s{cores, shards, 0.0, {}};
+    for (int rep = 0; rep < 3; ++rep) {
+        sim::MachineConfig cfg;
+        cfg.numCores = cores;
+        cfg.fabric = sim::Fabric::Directory;
+        cfg.dirBanks = 16;
+        cfg.dirLookup = 10;
+        cfg.dirHop = 10;
+        // Naive SS 4.4 commit processing: every commit/abort walks the
+        // speculative lines, which is exactly the bulk work the
+        // sharded engine parallelizes.
+        cfg.lazyCommit = false;
+        cfg.shards = shards;
+        auto wl = workloads::makeByName(name);
+        const auto t0 = std::chrono::steady_clock::now();
+        runtime::ExecResult r = runtime::Runner::runHmtx(*wl, cfg);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (rep == 0 || ms < s.wallMs) {
+            s.wallMs = ms;
+            s.r = std::move(r);
+        }
+    }
+    return s;
+}
 
 } // namespace
 
@@ -126,10 +170,96 @@ main(int argc, char** argv)
                      w + 1 < benches.size() ? "," : "");
     }
 
-    std::fprintf(js, " },\n \"directory_wins_at_8plus_cores\": %s\n}\n",
+    // --- sharded-engine host-throughput sweep --------------------------
+    // Simulated results are bit-identical at any shard count (the
+    // differential tests enforce that); this sweep measures the *host*
+    // wall clock of the banked walk engine at the many-core configs
+    // where bulk commit/abort walks dominate. shards=1 runs the
+    // sequential engine; shards=hostShards runs one worker thread per
+    // bank. On a single-CPU host the threads time-slice, so the ratio
+    // is reported but only gated when the host can actually run them
+    // in parallel.
+    const unsigned hostCpus =
+        std::max(1u, std::thread::hardware_concurrency());
+    const unsigned hostShards = std::max(2u, hostCpus);
+    const char* shardBench = "456.hmmer";
+    std::printf("\nsharded engine, %s, directory fabric, eager commit "
+                "(host CPUs: %u)\n",
+                shardBench, hostCpus);
+    rule(88);
+    std::printf("%-7s | %-7s %-6s %-9s | %-10s %-9s\n", "cores",
+                "shards", "banks", "threaded", "wall ms", "speedup");
+    rule(88);
+
+    auto shardSeqWl = workloads::makeByName(shardBench);
+    sim::MachineConfig shardSeqCfg;
+    runtime::ExecResult shardSeq =
+        runtime::Runner::runSequential(*shardSeqWl, shardSeqCfg);
+
+    bool shardSpeedupMet = true;
+    std::vector<ShardSample> shardSamples;
+    for (unsigned cores : {16u, 32u}) {
+        ShardSample base = timeShardRun(shardBench, cores, 1);
+        requireChecksum(shardBench, shardSeq, base.r);
+        ShardSample wide = timeShardRun(shardBench, cores, hostShards);
+        requireChecksum(shardBench, shardSeq, wide.r);
+        if (base.r.cycles != wide.r.cycles) {
+            std::fprintf(stderr,
+                         "FATAL: shard count changed simulated time\n");
+            return 1;
+        }
+        for (const ShardSample* s : {&base, &wide}) {
+            std::printf("%-7u | %-7u %-6llu %-9s | %9.2f %8.2fx\n",
+                        s->cores, s->shards,
+                        static_cast<unsigned long long>(
+                            s->r.shardStats.banks),
+                        s->r.shardStats.threaded ? "yes" : "no",
+                        s->wallMs, base.wallMs / s->wallMs);
+        }
+        if (hostCpus > 1 && wide.wallMs * 1.5 > base.wallMs)
+            shardSpeedupMet = false;
+        shardSamples.push_back(std::move(base));
+        shardSamples.push_back(std::move(wide));
+    }
+    rule(88);
+
+    std::fprintf(js, " },\n \"host_cpus\": %u,\n \"shard_sweep\": [\n",
+                 hostCpus);
+    for (std::size_t i = 0; i < shardSamples.size(); ++i) {
+        const ShardSample& s = shardSamples[i];
+        const ShardSample& base = shardSamples[i & ~std::size_t{1}];
+        std::fprintf(
+            js,
+            "  {\"workload\": \"%s\", \"cores\": %u, \"shards\": %u, "
+            "\"banks\": %llu, \"threaded\": %s, \"wall_ms\": %.3f, "
+            "\"speedup_vs_1shard\": %.4f, \"epochs\": %llu, "
+            "\"bank_cmds\": %llu, \"ring_high_water\": %llu, "
+            "\"push_stalls\": %llu, \"barrier_stalls\": %llu}%s\n",
+            shardBench, s.cores, s.shards,
+            static_cast<unsigned long long>(s.r.shardStats.banks),
+            s.r.shardStats.threaded ? "true" : "false", s.wallMs,
+            base.wallMs / s.wallMs,
+            static_cast<unsigned long long>(s.r.shardStats.epochs),
+            static_cast<unsigned long long>(s.r.shardStats.totalCmds()),
+            static_cast<unsigned long long>(
+                s.r.shardStats.ringHighWater),
+            static_cast<unsigned long long>(s.r.shardStats.pushStalls),
+            static_cast<unsigned long long>(
+                s.r.shardStats.barrierStalls),
+            i + 1 < shardSamples.size() ? "," : "");
+    }
+    std::fprintf(js,
+                 " ],\n \"shard_speedup_gate_active\": %s,\n"
+                 " \"shard_speedup_met\": %s,\n"
+                 " \"directory_wins_at_8plus_cores\": %s\n}\n",
+                 hostCpus > 1 ? "true" : "false",
+                 shardSpeedupMet ? "true" : "false",
                  dirWinsAtScale ? "true" : "false");
     std::fclose(js);
     std::printf("\nwrote %s\n", outPath);
+    if (hostCpus == 1)
+        std::printf("note: single-CPU host, shard threads time-slice; "
+                    "speedup gate inactive\n");
 
     std::printf(
         "\nThe HMTX version rules are fabric-independent; only the "
@@ -137,5 +267,5 @@ main(int argc, char** argv)
         "core count) saturates as cores multiply,\nwhile directory "
         "banks let transactions to independent lines proceed "
         "concurrently.\n");
-    return dirWinsAtScale ? 0 : 2;
+    return dirWinsAtScale && shardSpeedupMet ? 0 : 2;
 }

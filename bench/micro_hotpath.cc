@@ -229,6 +229,13 @@ main(int argc, char** argv)
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
+    // Build type of *this tree*, not of the benchmark library; the
+    // harness gates on it to keep debug timings out of the baselines.
+#ifdef HMTX_BUILD_TYPE
+    benchmark::AddCustomContext("hmtx_build_type", HMTX_BUILD_TYPE);
+#else
+    benchmark::AddCustomContext("hmtx_build_type", "unknown");
+#endif
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

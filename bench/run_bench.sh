@@ -6,9 +6,13 @@
 #                       geometries) plus end-to-end fig8_speedup
 #                       timings.
 #   BENCH_scaling.json  ext_directory_scaling cores x fabric sweep
-#                       (snoop bus vs directory, 2-32 cores); the run
-#                       fails if the directory fabric is not at least
-#                       as fast as the bus from 8 cores up.
+#                       (snoop bus vs directory, 2-32 cores) plus the
+#                       sharded-engine host-throughput sweep (shards=1
+#                       vs shards=host CPUs at 16/32 simulated cores);
+#                       the run fails if the directory fabric is not at
+#                       least as fast as the bus from 8 cores up, or if
+#                       (on a multi-CPU host) the sharded engine falls
+#                       short of 1.5x on the bulk-walk-heavy config.
 #
 # Run from the repository root:
 #
@@ -26,7 +30,16 @@ OUT=${2:-"$ROOT/BENCH_hotpath.json"}
 SCALING_OUT=${3:-"$ROOT/BENCH_scaling.json"}
 RUNS=${FIG8_RUNS:-3}
 
-cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+# Configure through the release preset so the benchmark binaries get
+# the same flags as CI; a custom build dir falls back to an explicit
+# Release configure. Either way micro_hotpath bakes in its build type
+# and the JSON gate below rejects anything but "Release" — a debug
+# binary here once produced plausible-looking but 10x-slow baselines.
+if [[ "$BUILD" == "$ROOT/build-release" ]]; then
+    (cd "$ROOT" && cmake --preset release)
+else
+    cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+fi
 cmake --build "$BUILD" -j \
     --target micro_hotpath fig8_speedup ext_directory_scaling
 
@@ -59,6 +72,14 @@ import sys
 micro_path, out_path, *times = sys.argv[1:]
 with open(micro_path) as f:
     micro = json.load(f)
+
+# Never record debug-build timings: micro_hotpath exports the build
+# type of this tree (the library's own "library_build_type" context
+# field describes the system libbenchmark, not us).
+build_type = micro.get("context", {}).get("hmtx_build_type")
+if build_type != "Release":
+    sys.exit(f"FATAL: micro_hotpath built as {build_type!r}, "
+             "expected 'Release'; refusing to write baselines")
 
 # Summarize the indexed vs full-scan ratios at Table 2 geometry
 # (benchmark args are /<table2>/<fullscan>).

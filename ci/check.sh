@@ -31,4 +31,59 @@ for preset in "${PRESETS[@]}"; do
         ctest --preset "$preset" -j "$JOBS"
 done
 
+# Bench smoke + hot-path regression gate (Release timings only; the
+# sanitizer build's numbers are meaningless). Compares the indexed
+# Table-2-geometry bulk ops against the committed baseline and fails
+# on a >25% slowdown.
+if printf '%s\n' "${PRESETS[@]}" | grep -qx release \
+    && [ -f "$ROOT/BENCH_hotpath.json" ]; then
+    echo "==== bench: hot-path regression gate ===="
+    cmake --build --preset release -j "$JOBS" --target micro_hotpath
+    "$ROOT/build-release/bench/micro_hotpath" --smoke
+    CI_MICRO_JSON=$(mktemp)
+    "$ROOT/build-release/bench/micro_hotpath" \
+        --benchmark_filter='BM_(EagerCommit|AbortAll)/1/0' \
+        --benchmark_out="$CI_MICRO_JSON" \
+        --benchmark_out_format=json --benchmark_min_time=0.2
+    python3 - "$CI_MICRO_JSON" "$ROOT/BENCH_hotpath.json" <<'EOF'
+import json
+import sys
+
+cur_path, base_path = sys.argv[1:]
+with open(cur_path) as f:
+    cur = json.load(f)
+with open(base_path) as f:
+    base = json.load(f)
+
+if cur.get("context", {}).get("hmtx_build_type") != "Release":
+    sys.exit("FATAL: regression gate ran on a non-Release build")
+
+def times(report):
+    return {b["name"]: (b["real_time"], b.get("time_unit", "ns"))
+            for b in report.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"}
+
+cur_t = times(cur)
+base_t = times(base.get("micro_hotpath", {}))
+failed = False
+for name in ("BM_EagerCommit/1/0", "BM_AbortAll/1/0"):
+    c, b = cur_t.get(name), base_t.get(name)
+    if c is None or b is None:
+        sys.exit(f"FATAL: {name} missing from current run or baseline")
+    if c[1] != b[1]:
+        sys.exit(f"FATAL: {name} time units differ "
+                 f"({c[1]} vs {b[1]})")
+    ratio = c[0] / b[0]
+    verdict = "FAIL" if ratio > 1.25 else "ok"
+    print(f"  {name}: {c[0]:.1f}{c[1]} vs baseline {b[0]:.1f}{b[1]} "
+          f"({ratio:.2f}x) {verdict}")
+    if ratio > 1.25:
+        failed = True
+if failed:
+    sys.exit("FATAL: hot-path benchmarks regressed >25% vs "
+             "BENCH_hotpath.json")
+print("bench regression gate: ok")
+EOF
+fi
+
 echo "All presets green."

@@ -322,6 +322,7 @@ collect(Machine& m, LoopWorkload& wl, Shared* sh, std::string model)
     r.checksum = wl.checksum(m);
     r.stats = m.sys().stats();
     r.indexStats = m.sys().indexStats();
+    r.shardStats = m.sys().shardStats();
     r.transactions = r.stats.committedTxs;
     for (CoreId c = 0; c < m.config().numCores; ++c) {
         r.instructions += m.ctx(c).instructions();

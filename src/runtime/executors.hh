@@ -44,6 +44,8 @@ struct ExecResult
     sim::SysStats stats;
     /** Simulator-side index diagnostics (not architectural). */
     sim::IndexStats indexStats;
+    /** Sharded-engine diagnostics (simulator-side, like indexStats). */
+    sim::ShardStats shardStats;
     /** SMTX runs only: value-validation failures detected by the
      *  commit process (0 for every abort-free run). */
     std::uint64_t smtxMisspeculations = 0;

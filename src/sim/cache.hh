@@ -1,6 +1,14 @@
 /**
  * @file
  * Set-associative cache storage holding versioned lines.
+ *
+ * Storage is split into two planes per set (the SoA layout the sharded
+ * engine scans): a contiguous *metadata* plane of compact Line records
+ * (base/state/VID tags/flags — what every probe, snoop and bulk walk
+ * reads) and a parallel *data* plane of 64-byte line payloads that only
+ * actual data movement touches. A set probe therefore streams a few
+ * host cache lines of metadata instead of striding through payload-
+ * laden line objects.
  */
 
 #ifndef HMTX_SIM_CACHE_HH
@@ -42,10 +50,14 @@ struct LineBookkeeping
 };
 
 /**
- * One physical cache line slot. Multiple versions of the same address
- * may occupy slots of the same set, distinguished by their VersionTag
- * (§4.1). Invalid slots are reused rather than erased so references
- * into a set stay valid across protocol actions.
+ * One physical cache line slot's *metadata*. Multiple versions of the
+ * same address may occupy slots of the same set, distinguished by
+ * their VersionTag (§4.1). Invalid slots are reused rather than erased
+ * so references into a set stay valid across protocol actions.
+ *
+ * The 64-byte payload lives in the owning set's parallel data plane
+ * (Cache::dataOf); detached copies (overflow-table spills) carry their
+ * payload separately.
  *
  * Copying a Line copies only the architectural payload; the `bk`
  * bookkeeping stays with the destination slot (see LineBookkeeping).
@@ -56,8 +68,6 @@ struct Line
     Addr base = 0;
     /** Coherence state, including the speculative states. */
     State state = State::Invalid;
-    /** (modVID, highVID) version tags (§4.1). */
-    VersionTag tag{};
     /** True when the data differs from main memory. */
     bool dirty = false;
     /**
@@ -81,10 +91,22 @@ struct Line
      * possible with SLAs disabled); used to classify false aborts.
      */
     bool highFromWrongPath = false;
+    /** (modVID, highVID) version tags (§4.1). */
+    VersionTag tag{};
+    /**
+     * Read/write-set recording marks (simulator-side dedup, not
+     * architectural): the last VID whose read (resp. write) of this
+     * line was entered into the per-VID set accounting, valid only
+     * while `rwGen` matches CacheSystem's current LC generation (the
+     * generation bumps on every commit/abort/VID reset). Lets the
+     * per-access hot path skip the hash-set insert for the common
+     * re-touch of a line the transaction already recorded.
+     */
+    Vid rwReadVid = kNonSpecVid;
+    Vid rwWriteVid = kNonSpecVid;
+    std::uint32_t rwGen = 0;
     /** LRU timestamp. */
     Tick lastUse = 0;
-    /** Line contents. */
-    LineData data{};
     /** Index bookkeeping; slot identity, excluded from copies. */
     LineBookkeeping bk{};
 
@@ -119,9 +141,22 @@ struct Line
         mayHaveSharers = o.mayHaveSharers;
         latestCopy = o.latestCopy;
         highFromWrongPath = o.highFromWrongPath;
+        rwReadVid = o.rwReadVid;
+        rwWriteVid = o.rwWriteVid;
+        rwGen = o.rwGen;
         lastUse = o.lastUse;
-        data = o.data;
     }
+};
+
+/**
+ * One set's two storage planes. `lines[i]`'s payload is `data[i]`;
+ * the vectors grow in lockstep (up to the associativity limit) so
+ * pointers into both stay stable.
+ */
+struct LineSet
+{
+    std::vector<Line> lines;
+    std::vector<LineData> data;
 };
 
 /**
@@ -142,13 +177,42 @@ class Cache
     Cache(std::string name, unsigned sets, unsigned assoc,
           std::uint32_t id = kNoCacheId)
         : name_(std::move(name)), id_(id), setCount_(sets),
-          assoc_(assoc), sets_(sets)
+          assoc_(assoc), sets_(sets), registries_(1)
     {}
 
     const std::string& name() const { return name_; }
     std::uint32_t id() const { return id_; }
     unsigned assoc() const { return assoc_; }
     unsigned setCount() const { return setCount_; }
+
+    /**
+     * Partitions the registry into @p banks address-hashed banks for
+     * the sharded engine. @p banks must be a power of two dividing the
+     * set count — then a set (and so a slot, whatever address it is
+     * reused for) belongs to exactly one bank forever, and bank-local
+     * walks may run concurrently. Call before any line turns
+     * interesting.
+     */
+    void
+    setBanks(unsigned banks)
+    {
+        if (banks < 1 || setCount_ % banks != 0 ||
+            (banks & (banks - 1)) != 0) {
+            banks = 1;
+        }
+        registries_.assign(banks, {});
+        bankMask_ = banks - 1;
+    }
+
+    /** Number of registry banks. */
+    unsigned bankCount() const { return bankMask_ + 1; }
+
+    /** Bank owning the set of @p a (== bank owning the slot). */
+    unsigned
+    bankOf(Addr a) const
+    {
+        return static_cast<unsigned>((a >> kLineShift) & bankMask_);
+    }
 
     /**
      * True when @p l needs to be visited by the bulk protocol walks
@@ -166,14 +230,16 @@ class Cache
      * Puts @p l on this cache's registry of interesting lines (the ORB
      * analog, §4.4) if it is not already there. Slots are never
      * removed eagerly; forEachInteresting() purges stale entries
-     * lazily. @p l must be a slot of this cache.
+     * lazily. @p l must be a slot of this cache. The entry lands on
+     * the bank owning the slot's set, so concurrent bank-local walks
+     * touch disjoint registry storage.
      */
     void
     noteInteresting(Line& l)
     {
         if (!l.bk.onRegistry) {
             l.bk.onRegistry = true;
-            registry_.push_back(&l);
+            registries_[bankOf(l.base)].push_back(&l);
         }
     }
 
@@ -183,25 +249,41 @@ class Cache
      * added. Entries whose line @p fn itself retires (e.g. a commit
      * walk reconciling a line to non-spec clean) are also dropped, so
      * repeated walks stay proportional to live speculative state.
+     * Banks are visited in ascending order.
      */
     template <typename Fn>
     void
     forEachInteresting(Fn&& fn)
     {
+        for (unsigned b = 0; b < bankCount(); ++b)
+            forEachInterestingInBank(b, fn);
+    }
+
+    /**
+     * Bank-local variant of forEachInteresting(): walks (and lazily
+     * purges) only bank @p b's registry. Safe to run concurrently for
+     * distinct banks as long as @p fn itself only touches bank-local
+     * state.
+     */
+    template <typename Fn>
+    void
+    forEachInterestingInBank(unsigned b, Fn&& fn)
+    {
+        auto& reg = registries_[b];
         std::size_t i = 0;
-        while (i < registry_.size()) {
-            Line& l = *registry_[i];
+        while (i < reg.size()) {
+            Line& l = *reg[i];
             if (!interesting(l)) {
                 l.bk.onRegistry = false;
-                registry_[i] = registry_.back();
-                registry_.pop_back();
+                reg[i] = reg.back();
+                reg.pop_back();
                 continue;
             }
             fn(l);
             if (!interesting(l)) {
                 l.bk.onRegistry = false;
-                registry_[i] = registry_.back();
-                registry_.pop_back();
+                reg[i] = reg.back();
+                reg.pop_back();
                 continue;
             }
             ++i;
@@ -209,10 +291,25 @@ class Cache
     }
 
     /** Current registry length, stale entries included (diagnostics). */
-    std::size_t registrySize() const { return registry_.size(); }
+    std::size_t
+    registrySize() const
+    {
+        std::size_t n = 0;
+        for (const auto& r : registries_)
+            n += r.size();
+        return n;
+    }
 
-    /** Raw registry entries, for the index cross-check. */
-    const std::vector<Line*>& registry() const { return registry_; }
+    /** Applies @p fn(const Line*) to every raw registry entry, banks
+     *  in ascending order (index cross-check). */
+    template <typename Fn>
+    void
+    forEachRegistryEntry(Fn&& fn) const
+    {
+        for (const auto& r : registries_)
+            for (const Line* l : r)
+                fn(l);
+    }
 
     /** Set index for an address. */
     std::size_t
@@ -221,16 +318,49 @@ class Cache
         return (a >> kLineShift) % setCount_;
     }
 
-    /** All slots of the set containing @p a. */
-    std::vector<Line>& set(Addr a) { return sets_[setIndex(a)]; }
+    /** Both planes of the set containing @p a. */
+    LineSet& set(Addr a) { return sets_[setIndex(a)]; }
 
-    /** Applies @p fn to every slot in the cache. */
+    /**
+     * Payload of cache-resident line @p l (which must be a slot of
+     * this cache, with its base set).
+     */
+    LineData&
+    dataOf(Line& l)
+    {
+        LineSet& s = sets_[setIndex(l.base)];
+        return s.data[static_cast<std::size_t>(&l - s.lines.data())];
+    }
+    const LineData&
+    dataOf(const Line& l) const
+    {
+        const LineSet& s = sets_[setIndex(l.base)];
+        return s.data[static_cast<std::size_t>(&l - s.lines.data())];
+    }
+
+    /** Applies @p fn to every metadata slot in the cache. */
     template <typename Fn>
     void
     forEachLine(Fn&& fn)
     {
         for (auto& s : sets_)
-            for (auto& l : s)
+            for (auto& l : s.lines)
+                fn(l);
+    }
+
+    /**
+     * Applies @p fn to every metadata slot whose set belongs to bank
+     * @p b (the full-scan analog of forEachInterestingInBank). Because
+     * the bank count divides the set count, this visits sets
+     * b, b+banks, b+2*banks, ...
+     */
+    template <typename Fn>
+    void
+    forEachLineInBank(unsigned b, Fn&& fn)
+    {
+        const unsigned step = bankCount();
+        for (std::size_t si = b; si < sets_.size(); si += step)
+            for (auto& l : sets_[si].lines)
                 fn(l);
     }
 
@@ -240,7 +370,7 @@ class Cache
     {
         std::size_t n = 0;
         for (const auto& s : sets_)
-            for (const auto& l : s)
+            for (const auto& l : s.lines)
                 if (l.state != State::Invalid)
                     ++n;
         return n;
@@ -258,15 +388,18 @@ class Cache
         // Reserve up front on first touch so growth never reallocates:
         // protocol code holds Line* across slot allocations in the
         // same set.
-        if (s.capacity() < assoc_)
-            s.reserve(assoc_);
-        for (auto& l : s)
+        if (s.lines.capacity() < assoc_) {
+            s.lines.reserve(assoc_);
+            s.data.reserve(assoc_);
+        }
+        for (auto& l : s.lines)
             if (l.state == State::Invalid)
                 return &l;
-        if (s.size() < assoc_) {
-            s.emplace_back();
-            s.back().bk.cacheId = id_;
-            return &s.back();
+        if (s.lines.size() < assoc_) {
+            s.lines.emplace_back();
+            s.data.emplace_back();
+            s.lines.back().bk.cacheId = id_;
+            return &s.lines.back();
         }
         return nullptr;
     }
@@ -276,9 +409,12 @@ class Cache
     std::uint32_t id_;
     unsigned setCount_;
     unsigned assoc_;
-    std::vector<std::vector<Line>> sets_;
-    /** Slots that were interesting when last touched (lazily purged). */
-    std::vector<Line*> registry_;
+    std::vector<LineSet> sets_;
+    /** Per-bank registries of slots that were interesting when last
+     *  touched (lazily purged); single bank unless setBanks() ran. */
+    std::vector<std::vector<Line*>> registries_;
+    /** bankCount() - 1; bank of a set = setIndex & bankMask_. */
+    unsigned bankMask_ = 0;
 };
 
 } // namespace hmtx::sim

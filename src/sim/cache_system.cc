@@ -14,8 +14,20 @@ namespace hmtx::sim
 {
 
 CacheSystem::CacheSystem(EventQueue& eq, const MachineConfig& cfg)
-    : eq_(eq), cfg_(cfg), cmp_(cfg.vidBits), trace_(cfg.traceFlags)
+    : eq_(eq), cfg_(cfg), mem_(cfg.shardBanks()), cmp_(cfg.vidBits),
+      trace_(cfg.traceFlags)
 {
+    const unsigned banks = cfg.shardBanks();
+    bankMask_ = banks - 1;
+    // Worker threads only pay off with real banks, host parallelism,
+    // and no explicit opt-out; tests force them on via shardThreads.
+    const bool threaded = banks > 1 &&
+        (cfg.shardThreads >= 2 ||
+         (cfg.shardThreads == 0 &&
+          std::thread::hardware_concurrency() > 1));
+    shard_ = std::make_unique<ShardEngine>(banks, threaded);
+    overflow_.setBanks(banks);
+
     caches_.reserve(cfg.numCores + 1);
     for (CoreId c = 0; c < cfg.numCores; ++c) {
         caches_.emplace_back("L1." + std::to_string(c), cfg.l1Sets(),
@@ -23,16 +35,21 @@ CacheSystem::CacheSystem(EventQueue& eq, const MachineConfig& cfg)
     }
     caches_.emplace_back("L2", cfg.l2Sets(), cfg.l2Assoc,
                          cfg.numCores);
+    for (auto& c : caches_)
+        c.setBanks(banks);
     // The presence mask is one bit per cache; fall back to full snoops
     // beyond 64 caches (far above any modeled configuration).
     filterEnabled_ = caches_.size() <= 64;
+    presence_.resize(banks);
     if (filterEnabled_) {
         // Pre-size for the L1 working sets so steady-state traffic
         // does not rehash; larger footprints grow amortized.
         const std::size_t l1Slots = std::size_t{cfg.numCores} *
             cfg.l1Sets() * cfg.l1Assoc;
-        presence_.reserve(std::min<std::size_t>(
-            std::max<std::size_t>(l1Slots, 1024), 1u << 16));
+        const std::size_t total = std::min<std::size_t>(
+            std::max<std::size_t>(l1Slots, 1024), 1u << 16);
+        for (auto& p : presence_)
+            p.reserve(std::max<std::size_t>(total / banks, 64));
     }
     net_ = makeInterconnect(cfg_, stats_);
 }
@@ -42,27 +59,25 @@ CacheSystem::CacheSystem(EventQueue& eq, const MachineConfig& cfg)
 void
 CacheSystem::presenceAdd(std::uint32_t ci, Addr la)
 {
-    Presence& p = presence_[la];
-    if (p.count.empty())
-        p.count.resize(caches_.size(), 0);
-    if (p.count[ci]++ == 0)
-        p.mask |= std::uint64_t{1} << ci;
+    presenceBank(la)[la] |= std::uint64_t{1} << ci;
 }
 
 void
 CacheSystem::presenceRemove(std::uint32_t ci, Addr la)
 {
-    auto it = presence_.find(la);
-    if (it == presence_.end())
+    auto& bank = presenceBank(la);
+    auto it = bank.find(la);
+    if (it == bank.end())
         return; // unreachable while bookkeeping is sound
-    Presence& p = it->second;
-    if (--p.count[ci] == 0) {
-        p.mask &= ~(std::uint64_t{1} << ci);
-        // count > 0 iff the bit is set, so a zero mask means no cache
-        // holds the address at all.
-        if (p.mask == 0)
-            presence_.erase(it);
-    }
+    // The mask carries no per-cache counts: rescan the (tiny) owning
+    // set to learn whether another version of la keeps the bit alive.
+    // The caller already cleared the departing line's `present` flag.
+    for (const auto& l : caches_[ci].set(la).lines)
+        if (l.bk.present && l.bk.presentAddr == la)
+            return;
+    it->second &= ~(std::uint64_t{1} << ci);
+    if (it->second == 0)
+        bank.erase(it);
 }
 
 void
@@ -74,8 +89,10 @@ CacheSystem::syncLine(Line& l)
     const bool valid = l.state != State::Invalid;
     if (filterEnabled_) {
         if (l.bk.present && (!valid || l.bk.presentAddr != l.base)) {
-            presenceRemove(ci, l.bk.presentAddr);
+            // Clear the flag before the rescan in presenceRemove so
+            // this line no longer counts for its old address.
             l.bk.present = false;
+            presenceRemove(ci, l.bk.presentAddr);
         }
         if (valid && !l.bk.present) {
             presenceAdd(ci, l.base);
@@ -109,9 +126,9 @@ CacheSystem::checkInvariants()
     // is disabled.
     std::unordered_set<Addr> addrs;
     if (filterEnabled_) {
-        addrs.reserve(presence_.size());
-        for (const auto& [la, p] : presence_)
-            addrs.insert(la);
+        for (const auto& bank : presence_)
+            for (const auto& [la, p] : bank)
+                addrs.insert(la);
     } else {
         for (auto& c : caches_) {
             c.forEachLine([&](Line& l) {
@@ -127,7 +144,7 @@ CacheSystem::checkInvariants()
         // itself stays untouched (this check is read-only).
         std::vector<Line> live;
         for (auto& c : caches_) {
-            for (auto& l : c.set(la)) {
+            for (auto& l : c.set(la).lines) {
                 if (l.state == State::Invalid || l.base != la)
                     continue;
                 Line s = l;
@@ -174,9 +191,9 @@ void
 CacheSystem::verifyIndexes()
 {
     ++idxStats_.crossChecks;
-    // Rebuild the expected presence counts from a full scan and check
+    // Rebuild the expected presence masks from a full scan and check
     // the per-slot bookkeeping along the way.
-    std::unordered_map<Addr, std::vector<std::uint16_t>> want;
+    std::unordered_map<Addr, std::uint64_t> want;
     for (std::size_t ci = 0; ci < caches_.size(); ++ci) {
         caches_[ci].forEachLine([&](Line& l) {
             if (l.bk.cacheId != ci) {
@@ -203,50 +220,41 @@ CacheSystem::verifyIndexes()
                     "index check: spec/dirty line missing from the "
                     "registry of " + caches_[ci].name());
             }
-            if (filterEnabled_) {
-                auto& v = want[l.base];
-                if (v.empty())
-                    v.resize(caches_.size(), 0);
-                ++v[ci];
-            }
+            if (filterEnabled_)
+                want[l.base] |= std::uint64_t{1} << ci;
         });
     }
     if (filterEnabled_) {
-        if (want.size() != presence_.size()) {
+        std::size_t tracked = 0;
+        for (const auto& bank : presence_)
+            tracked += bank.size();
+        if (want.size() != tracked) {
             throw std::logic_error(
                 "index check: presence filter tracks " +
-                std::to_string(presence_.size()) + " addresses, scan "
-                "found " + std::to_string(want.size()));
+                std::to_string(tracked) + " addresses, scan found " +
+                std::to_string(want.size()));
         }
-        for (const auto& [la, counts] : want) {
-            auto it = presence_.find(la);
-            if (it == presence_.end()) {
+        for (const auto& [la, mask] : want) {
+            auto& bank = presenceBank(la);
+            auto it = bank.find(la);
+            if (it == bank.end()) {
                 throw std::logic_error(
                     "index check: cached address missing from the "
                     "presence filter");
             }
-            std::uint64_t mask = 0;
-            for (std::size_t ci = 0; ci < counts.size(); ++ci)
-                if (counts[ci] != 0)
-                    mask |= std::uint64_t{1} << ci;
-            if (it->second.mask != mask) {
+            if (it->second != mask) {
                 throw std::logic_error(
                     "index check: presence mask mismatch");
-            }
-            for (std::size_t ci = 0; ci < counts.size(); ++ci) {
-                if (it->second.count[ci] != counts[ci]) {
-                    throw std::logic_error(
-                        "index check: presence count mismatch");
-                }
             }
         }
     }
     // Registries may hold stale (no longer interesting) entries, but
     // every entry must be flagged and unique so lazy purging stays
-    // linear.
+    // linear. Entries must also sit on the bank owning their slot's
+    // set, or concurrent bank walks would race.
     for (auto& c : caches_) {
         std::unordered_set<const Line*> seen;
-        for (const Line* l : c.registry()) {
+        c.forEachRegistryEntry([&](const Line* l) {
             if (!l->bk.onRegistry) {
                 throw std::logic_error(
                     "index check: unflagged registry entry in " +
@@ -257,7 +265,7 @@ CacheSystem::verifyIndexes()
                     "index check: duplicate registry entry in " +
                     c.name());
             }
-        }
+        });
     }
 }
 

@@ -39,6 +39,7 @@
 #include "sim/interconnect.hh"
 #include "sim/memory.hh"
 #include "sim/overflow_table.hh"
+#include "sim/shard.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 
@@ -190,6 +191,9 @@ class CacheSystem
     /** Index diagnostics (simulator-side, not architectural). */
     const IndexStats& indexStats() const { return idxStats_; }
 
+    /** Sharded-engine diagnostics (simulator-side). */
+    const ShardStats& shardStats() const { return shard_->stats(); }
+
   private:
     // --- protocol-engine bridge ---------------------------------------
     /** Architectural payload of @p l as the protocol engine sees it. */
@@ -281,6 +285,23 @@ class CacheSystem
     void triggerAbort(const Line* offender);
 
     // --- data movement -------------------------------------------------
+    /**
+     * Payload of cache-resident line @p l, found through the owning
+     * cache recorded in its slot bookkeeping (works for any cache in
+     * the system, not just the local L1). Must not be called on
+     * detached copies (overflow entries carry their payload
+     * explicitly).
+     */
+    LineData&
+    dataOf(Line& l)
+    {
+        return caches_[l.bk.cacheId].dataOf(l);
+    }
+    const LineData&
+    dataOf(const Line& l) const
+    {
+        return caches_[l.bk.cacheId].dataOf(l);
+    }
     std::uint64_t readData(const Line& l, Addr a, unsigned size) const;
     void writeData(Line& l, Addr a, std::uint64_t v, unsigned size);
     /**
@@ -317,11 +338,11 @@ class CacheSystem
                 fn(ci);
             return;
         }
-        auto it = presence_.find(la);
+        auto& bank = presenceBank(la);
+        auto it = bank.find(la);
         // Snapshot the holder mask: fn may invalidate lines and
         // thereby shrink (or erase) the filter entry while we iterate.
-        const std::uint64_t mask =
-            it == presence_.end() ? 0 : it->second.mask;
+        const std::uint64_t mask = it == bank.end() ? 0 : it->second;
         const auto holders =
             static_cast<std::uint64_t>(std::popcount(mask));
         idxStats_.snoopsVisited += holders;
@@ -330,39 +351,94 @@ class CacheSystem
             fn(static_cast<std::size_t>(std::countr_zero(m)));
     }
     /**
-     * Applies @p fn to every line that can need bulk processing —
-     * speculative or dirty — via the per-cache registries (or a full
-     * scan under forceFullScan). Caches are visited in ascending
-     * order, exactly like the historical full scans.
+     * Where a bulk walk's overflow-table fold sits relative to its
+     * cache segments — the sequential phase order each bank's FIFO
+     * ring reproduces (same-address entries must keep their order;
+     * see shard.hh).
      */
-    template <typename Fn>
-    void
-    forEachCandidateLine(Fn&& fn)
+    enum class OvPhase
     {
-        if (cfg_.forceFullScan) {
+        None,
+        BeforeLines,
+        AfterLines,
+    };
+
+    /**
+     * Runs one bulk protocol walk on the shard engine: compiles the
+     * phase-ordered per-bank command list (cache registry/full-scan
+     * segments, plus an optional overflow fold per @p ov), dispatches
+     * a single epoch, and returns the per-bank scratches folded in
+     * ascending bank order.
+     *
+     * @p lineFn(Line&, WalkScratch&) runs for every interesting line
+     * (scratch slots 0-2 are the caller's; slot 3 counts registry
+     * lines); @p ovFn(Line&, LineData&, WalkScratch&) for every
+     * overflow entry. Both MUST touch only bank-local state — the
+     * line/entry itself, its set, its bank's presence, registry,
+     * memory, and overflow partitions — because with worker threads
+     * they run concurrently across banks.
+     */
+    template <typename LineFn, typename OvFn>
+    WalkScratch
+    shardedWalk(OvPhase ov, LineFn&& lineFn, OvFn&& ovFn)
+    {
+        std::vector<BankCmd> cmds;
+        if (ov == OvPhase::BeforeLines)
+            cmds.push_back({BankCmd::Op::OverflowSegment, 0});
+        for (std::uint32_t ci = 0; ci < caches_.size(); ++ci)
+            cmds.push_back({BankCmd::Op::CacheSegment, ci});
+        if (ov == OvPhase::AfterLines)
+            cmds.push_back({BankCmd::Op::OverflowSegment, 0});
+        if (cfg_.forceFullScan)
             ++idxStats_.fullScanWalks;
-            for (auto& c : caches_) {
-                c.forEachLine([&](Line& l) {
-                    if (Cache::interesting(l))
-                        fn(l);
+        else
+            ++idxStats_.registryWalks;
+
+        ShardEngine::Exec exec = [&](unsigned b, const BankCmd& c,
+                                     WalkScratch& s) {
+            if (c.op == BankCmd::Op::CacheSegment) {
+                Cache& cc = caches_[c.arg];
+                if (cfg_.forceFullScan) {
+                    cc.forEachLineInBank(b, [&](Line& l) {
+                        if (Cache::interesting(l))
+                            lineFn(l, s);
+                    });
+                } else {
+                    cc.forEachInterestingInBank(b, [&](Line& l) {
+                        ++s.n[3];
+                        lineFn(l, s);
+                    });
+                }
+            } else {
+                overflow_.forEachInBank(b, [&](Line& l, LineData& d) {
+                    ovFn(l, d, s);
                 });
             }
-            return;
-        }
-        ++idxStats_.registryWalks;
-        for (auto& c : caches_) {
-            c.forEachInteresting([&](Line& l) {
-                ++idxStats_.registryWalkLines;
-                fn(l);
-            });
-        }
+        };
+        shard_->runEpoch(exec, cmds);
+
+        WalkScratch agg;
+        for (unsigned b = 0; b < shard_->banks(); ++b)
+            for (std::size_t i = 0; i < agg.n.size(); ++i)
+                agg.n[i] += shard_->scratch(b).n[i];
+        if (!cfg_.forceFullScan)
+            idxStats_.registryWalkLines += agg.n[3];
+        return agg;
     }
     /** Runs verifyIndexes() when MachineConfig::indexCrossCheck. */
     void maybeCrossCheck();
 
     // --- bookkeeping ----------------------------------------------------
-    void recordRead(Vid vid, Addr la);
-    void recordWrite(Vid vid, Addr la);
+    /**
+     * Record (vid, la) in the per-VID read/write sets. @p l, when
+     * given, is a cache-resident line of address @p la: its rw marks
+     * (Line::rwReadVid/rwWriteVid/rwGen) let the common re-touch of an
+     * already-recorded line skip the hash-set insert entirely. Marks
+     * are validated against rwGen_, which bumps whenever rw_ is
+     * cleared wholesale (abort, VID reset).
+     */
+    void recordRead(Vid vid, Addr la, Line* l = nullptr);
+    void recordWrite(Vid vid, Addr la, Line* l = nullptr);
     void noteShadowWrongPath(Addr la, Vid vid);
     void checkShadowAvoided(Addr la, Vid storeVid);
 
@@ -387,20 +463,39 @@ class CacheSystem
 
     /**
      * Address presence filter: for each cached line address, a bitmask
-     * and per-cache copy counts of the caches holding a version of it.
-     * Purely a performance cache over Line state (the snoop-filter /
-     * sharer-vector analog); maintained by syncLine() and consulted by
-     * forEachSnoopTarget(). Empty-masked entries are erased eagerly.
+     * of the caches holding a version of it. Purely a performance
+     * cache over Line state (the snoop-filter / sharer-vector analog);
+     * maintained by syncLine() and consulted by forEachSnoopTarget().
+     * Mask-only: when a cache drops its last counted copy the owning
+     * set is rescanned to decide whether the bit survives (sets are
+     * tiny, and removals are far rarer than the adds/probes the
+     * per-cache count vectors used to tax). Empty-masked entries are
+     * erased eagerly. Partitioned into the engine's address-hashed
+     * banks so concurrent bank walks update disjoint maps.
      */
-    struct Presence
-    {
-        std::uint64_t mask = 0;
-        std::vector<std::uint16_t> count;
-    };
-    std::unordered_map<Addr, Presence> presence_;
+    std::vector<std::unordered_map<Addr, std::uint64_t>> presence_;
     /** False when caches_.size() > 64 bits of mask; filter disabled. */
     bool filterEnabled_ = true;
     IndexStats idxStats_;
+
+    /** The sharded bulk-walk engine (banks, rings, epoch barrier). */
+    std::unique_ptr<ShardEngine> shard_;
+    /** Engine bank count minus one; bankOf(la) masks with this. */
+    std::uint64_t bankMask_ = 0;
+
+    /** Engine bank owning line address @p la. */
+    std::size_t
+    bankOf(Addr la) const
+    {
+        return static_cast<std::size_t>((la >> kLineShift) & bankMask_);
+    }
+
+    /** Presence-filter partition owning @p la. */
+    std::unordered_map<Addr, std::uint64_t>&
+    presenceBank(Addr la)
+    {
+        return presence_[bankOf(la)];
+    }
 
     /** Wrong-path shadow marks: line -> highest wrong-path VID (§5.1
      *  "aborts avoided via SLA" accounting). */
@@ -418,6 +513,13 @@ class CacheSystem
     /** Last VID whose sets were looked up (see rwFor). */
     Vid rwCachedVid_ = 0;
     RwSets* rwCached_ = nullptr;
+    /**
+     * Generation validating Line rw marks; bumped whenever rw_ is
+     * cleared wholesale (abort, VID reset) so stale marks from a
+     * previous transaction era can never suppress a fresh insert.
+     * Starts at 1: default-initialized lines (rwGen = 0) are stale.
+     */
+    std::uint32_t rwGen_ = 1;
 };
 
 } // namespace hmtx::sim

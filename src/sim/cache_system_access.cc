@@ -48,7 +48,7 @@ void
 CacheSystem::fixPeersForNewVersion(Addr la, const Line* owner, Vid y)
 {
     forEachSnoopTarget(la, [&](std::size_t ci) {
-        for (auto& l : caches_[ci].set(la)) {
+        for (auto& l : caches_[ci].set(la).lines) {
             if (&l == owner || l.state == State::Invalid || l.base != la)
                 continue;
             reconcile(l);
@@ -87,7 +87,7 @@ void
 CacheSystem::invalidatePeerSpecShared(Addr la, const Line* keep, Vid mod)
 {
     forEachSnoopTarget(la, [&](std::size_t ci) {
-        for (auto& l : caches_[ci].set(la)) {
+        for (auto& l : caches_[ci].set(la).lines) {
             if (&l == keep || l.state != State::SpecShared ||
                 l.base != la) {
                 continue;
@@ -107,7 +107,7 @@ CacheSystem::anyNonSpecDirty(Addr la, const Line* except)
     forEachSnoopTarget(la, [&](std::size_t ci) {
         if (dirty)
             return;
-        for (auto& l : caches_[ci].set(la)) {
+        for (auto& l : caches_[ci].set(la).lines) {
             if (&l == except || l.state == State::Invalid ||
                 l.base != la) {
                 continue;
@@ -125,7 +125,7 @@ void
 CacheSystem::invalidateNonSpecPeers(Addr la, const Line* keep)
 {
     forEachSnoopTarget(la, [&](std::size_t ci) {
-        for (auto& l : caches_[ci].set(la)) {
+        for (auto& l : caches_[ci].set(la).lines) {
             if (&l == keep || l.state == State::Invalid || l.base != la)
                 continue;
             if (!isSpec(l.state)) {
@@ -177,15 +177,35 @@ CacheSystem::rwFor(Vid vid)
 }
 
 void
-CacheSystem::recordRead(Vid vid, Addr la)
+CacheSystem::recordRead(Vid vid, Addr la, Line* l)
 {
+    if (l && l->rwGen == rwGen_ && l->rwReadVid == vid)
+        return; // this line's read is already in vid's set
     rwFor(vid).reads.insert(la);
+    if (l) {
+        if (l->rwGen != rwGen_) {
+            // Entering the current generation invalidates whatever
+            // the other mark said in the previous one.
+            l->rwGen = rwGen_;
+            l->rwWriteVid = kNonSpecVid;
+        }
+        l->rwReadVid = vid;
+    }
 }
 
 void
-CacheSystem::recordWrite(Vid vid, Addr la)
+CacheSystem::recordWrite(Vid vid, Addr la, Line* l)
 {
+    if (l && l->rwGen == rwGen_ && l->rwWriteVid == vid)
+        return; // this line's write is already in vid's set
     rwFor(vid).writes.insert(la);
+    if (l) {
+        if (l->rwGen != rwGen_) {
+            l->rwGen = rwGen_;
+            l->rwReadVid = kNonSpecVid;
+        }
+        l->rwWriteVid = vid;
+    }
 }
 
 void
@@ -285,7 +305,7 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
                            cfg_.slaEnabled) {
                     noteShadowWrongPath(la, vid);
                 }
-                LineData d = o.data;
+                LineData d = dataOf(o);
                 bool latest = isSpecLatest(o.state);
                 // Latest-version copies carry a local read mark —
                 // zero for non-marking requests (wrong-path loads
@@ -299,14 +319,14 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
                     nl->state = State::SpecShared;
                     nl->tag = t;
                     nl->latestCopy = latest;
-                    nl->data = d;
+                    dataOf(*nl) = d;
                     syncLine(*nl);
                 }
             } else if (mark) {
                 // First speculative access: gain writable access and
                 // migrate ownership to the requesting core (§4.2).
                 bool dirty = o.dirty || anyNonSpecDirty(la, &o);
-                LineData d = o.data;
+                LineData d = dataOf(o);
                 invalidateNonSpecPeers(la, nullptr);
                 Line* nl = allocate(l1, la);
                 if (!nl) {
@@ -317,7 +337,7 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
                 nl->tag = {kNonSpecVid, vid};
                 nl->dirty = dirty;
                 nl->highFromWrongPath = wrongPath;
-                nl->data = d;
+                dataOf(*nl) = d;
                 syncLine(*nl);
                 r.needSla = true;
             } else {
@@ -327,14 +347,14 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
                 else if (o.state == State::Exclusive)
                     o.state = State::Shared;
                 syncLine(o);
-                LineData d = o.data;
+                LineData d = dataOf(o);
                 Line* nl = allocate(l1, la);
                 if (!nl) {
                     r.aborted = true;
                     return r;
                 }
                 nl->state = State::Shared;
-                nl->data = d;
+                dataOf(*nl) = d;
                 syncLine(*nl);
                 if (wrongPath && spec && cfg_.slaEnabled)
                     noteShadowWrongPath(la, vid);
@@ -352,7 +372,7 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
                 // Merge with an existing local copy of the pristine
                 // version, if any, to keep responder hits unambiguous.
                 Line* exist = nullptr;
-                for (auto& l : l1.set(la)) {
+                for (auto& l : l1.set(la).lines) {
                     if (l.state != State::Invalid && l.base == la &&
                         isSpec(l.state) && l.tag.mod == kNonSpecVid &&
                         isSpecSuperseded(l.state)) {
@@ -370,7 +390,7 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
                     // caught conservatively by the §5.4 assertion.
                     nl->state = State::SpecOwned;
                     nl->tag = {kNonSpecVid, reqVid + 1};
-                    nl->data = d;
+                    dataOf(*nl) = d;
                     syncLine(*nl);
                 }
                 if (mark)
@@ -381,7 +401,7 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
                     r.aborted = true;
                     return r;
                 }
-                nl->data = d;
+                dataOf(*nl) = d;
                 if (mark) {
                     nl->state = State::SpecExclusive;
                     nl->tag = {kNonSpecVid, vid};
@@ -403,7 +423,9 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
     }
 
     if (spec && !wrongPath) {
-        recordRead(vid, la);
+        // The local L1 hit is the only path hot enough to warrant the
+        // rw-mark fast path; misses always pay the set insert.
+        recordRead(vid, la, r.l1Hit ? v : nullptr);
         if (r.needSla) {
             // SLA sent once the load retires; occupies the fabric but
             // does not stall the core (§5.1).
@@ -462,7 +484,7 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
         v->lastUse = eq_.curTick();
         r.l1Hit = true;
         ++stats_.l1Hits;
-        recordWrite(vid, la);
+        recordWrite(vid, la, v);
         checkShadowAvoided(la, vid);
         return r;
     }
@@ -500,7 +522,7 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
         nl->state = State::SpecModified;
         nl->tag = {vid, vid};
         nl->dirty = true;
-        nl->data = d;
+        dataOf(*nl) = d;
         writeData(*nl, a, value, size);
         syncLine(*nl);
         ++stats_.newVersions;
@@ -509,7 +531,7 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
                      "(cold)",
                      vid, vid, static_cast<unsigned long long>(la),
                      core);
-        recordWrite(vid, la);
+        recordWrite(vid, la, nl);
         checkShadowAvoided(la, vid);
         return r;
     }
@@ -522,7 +544,7 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
     if (!isSpecSuperseded(owner->state)) {
         net_->post(eq_.curTick(), FabricOp::StoreAggregate, la);
         forEachSnoopTarget(la, [&](std::size_t ci) {
-            for (auto& l : caches_[ci].set(la)) {
+            for (auto& l : caches_[ci].set(la).lines) {
                 if (l.state == State::SpecShared && l.base == la &&
                     l.latestCopy) {
                     eff.high = std::max(eff.high, l.tag.high);
@@ -547,6 +569,7 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
         invalidatePeerSpecShared(la, owner, vid);
         if (ownerCache != &l1) {
             Line copy = *owner;
+            LineData d = dataOf(*owner);
             owner->state = State::Invalid;
             syncLine(*owner);
             Line* nl = allocate(l1, la);
@@ -555,6 +578,7 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
                 return r;
             }
             *nl = copy;
+            dataOf(*nl) = d;
             owner = nl;
         }
         owner->mayHaveSharers = false;
@@ -562,13 +586,13 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
         owner->dirty = true;
         syncLine(*owner);
         owner->lastUse = eq_.curTick();
-        recordWrite(vid, la);
+        recordWrite(vid, la, owner);
         checkShadowAvoided(la, vid);
         return r;
     }
 
     // NewVersion: keep the pristine copy in S-O and create S-M(y,y).
-    LineData base = owner->data;
+    LineData base = dataOf(*owner);
     if (isSpec(owner->state)) {
         owner->state = State::SpecOwned;
         owner->tag.high = vid;
@@ -592,14 +616,14 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
     nl->state = State::SpecModified;
     nl->tag = {vid, vid};
     nl->dirty = true;
-    nl->data = base;
+    dataOf(*nl) = base;
     writeData(*nl, a, value, size);
     syncLine(*nl);
     ++stats_.newVersions;
     trace_.event(TraceProtocol, eq_.curTick(),
                  "new version S-M(%u,%u) of %#llx at core %u", vid,
                  vid, static_cast<unsigned long long>(la), core);
-    recordWrite(vid, la);
+    recordWrite(vid, la, nl);
     checkShadowAvoided(la, vid);
     return r;
 }
@@ -651,7 +675,7 @@ CacheSystem::nonSpecStore(CoreId core, Addr a, std::uint64_t value,
     forEachSnoopTarget(la, [&](std::size_t ci) {
         if (offender)
             return;
-        for (auto& l : caches_[ci].set(la)) {
+        for (auto& l : caches_[ci].set(la).lines) {
             if (l.state == State::SpecShared && l.base == la &&
                 l.latestCopy && l.tag.high > lcVid_) {
                 offender = &l;
@@ -667,7 +691,7 @@ CacheSystem::nonSpecStore(CoreId core, Addr a, std::uint64_t value,
 
     LineData d;
     if (owner) {
-        d = owner->data;
+        d = dataOf(*owner);
     } else {
         if (rh.assertModified) {
             triggerAbort(nullptr);
@@ -687,7 +711,7 @@ CacheSystem::nonSpecStore(CoreId core, Addr a, std::uint64_t value,
     }
     nl->state = State::Modified;
     nl->dirty = true;
-    nl->data = d;
+    dataOf(*nl) = d;
     writeData(*nl, a, value, size);
     syncLine(*nl);
     return r;

@@ -55,14 +55,16 @@ CacheSystem::commit(Vid vid)
         // a full cache walk would cost one cycle per cache line,
         // >500k cycles per commit with Table 2's 32 MB L2. The walk
         // occupies the memory system, stalling every core's misses.
-        std::uint64_t touched = 0;
-        forEachCandidateLine([&](Line& l) {
-            if (isSpec(l.state)) {
-                ++touched;
-                reconcile(l);
-            }
-        });
-        cost += touched * cfg_.eagerPerLineCycles;
+        WalkScratch agg = shardedWalk(
+            OvPhase::None,
+            [&](Line& l, WalkScratch& s) {
+                if (isSpec(l.state)) {
+                    ++s.n[0];
+                    reconcile(l);
+                }
+            },
+            [](Line&, LineData&, WalkScratch&) {});
+        cost += agg.n[0] * cfg_.eagerPerLineCycles;
         net_->occupy(eq_.curTick(), cost);
     }
     stats_.commitProcessingCycles += cost;
@@ -75,29 +77,34 @@ CacheSystem::abortAll()
 {
     ++abortGen_;
     ++stats_.aborts;
-    std::uint64_t touched = 0;
-    forEachCandidateLine([&](Line& l) {
-        if (!isSpec(l.state))
-            return; // dirty committed lines are untouched by aborts
-        ++touched;
-        applyView(l, abortVersion(viewOf(l), lcVid_));
-        syncLine(l);
-    });
-    overflow_.forEach([&](Line& l) {
-        LineTransition tr =
-            commitLine(l.state, l.tag, lcVid_, l.dirty);
-        tr = abortLine(tr.state, tr.tag, lcVid_, l.dirty);
-        if (tr.state != State::Invalid && l.dirty) {
-            // Committed data survives the abort: fold it back into
-            // memory rather than keeping a nonspec entry spilled.
-            mem_.writeLine(l.base, l.data);
-            ++stats_.writebacks;
-        }
-        l.state = State::Invalid;
-        l.tag = {};
-    });
+    WalkScratch agg = shardedWalk(
+        OvPhase::AfterLines,
+        [&](Line& l, WalkScratch& s) {
+            if (!isSpec(l.state))
+                return; // dirty committed lines survive aborts
+            ++s.n[0];
+            applyView(l, abortVersion(viewOf(l), lcVid_));
+            syncLine(l);
+        },
+        [&](Line& l, LineData& d, WalkScratch& s) {
+            LineTransition tr =
+                commitLine(l.state, l.tag, lcVid_, l.dirty);
+            tr = abortLine(tr.state, tr.tag, lcVid_, l.dirty);
+            if (tr.state != State::Invalid && l.dirty) {
+                // Committed data survives the abort: fold it back
+                // into memory rather than keeping a nonspec entry
+                // spilled.
+                mem_.writeLine(l.base, d);
+                ++s.n[1];
+            }
+            l.state = State::Invalid;
+            l.tag = {};
+        });
+    const std::uint64_t touched = agg.n[0];
+    stats_.writebacks += agg.n[1];
     rwCached_ = nullptr;
     rw_.clear();
+    ++rwGen_; // stale Line rw marks must not suppress future inserts
     shadow_.clear();
     Cycles cost =
         net_->post(eq_.curTick(), FabricOp::GroupAbort, 0);
@@ -113,33 +120,36 @@ CacheSystem::abortAll()
 Cycles
 CacheSystem::vidReset()
 {
-    std::uint64_t specLeft = 0;
-    overflow_.forEach([&](Line& l) {
-        reconcile(l);
-        if (l.state == State::Invalid)
-            return;
-        // All transactions committed (precondition): spilled data is
-        // committed; fold dirty survivors back into memory.
-        if (l.dirty && !isSpecSuperseded(l.state)) {
-            mem_.writeLine(l.base, l.data);
-            ++stats_.writebacks;
-        }
-        l.state = State::Invalid;
-    });
-    forEachCandidateLine([&](Line& l) {
-        reconcile(l);
-        if (isSpec(l.state)) {
-            applyView(l, resetVersion(viewOf(l)));
-            syncLine(l);
-            ++specLeft;
-        }
-    });
+    WalkScratch agg = shardedWalk(
+        OvPhase::BeforeLines,
+        [&](Line& l, WalkScratch& s) {
+            reconcile(l);
+            if (isSpec(l.state)) {
+                applyView(l, resetVersion(viewOf(l)));
+                syncLine(l);
+                ++s.n[0];
+            }
+        },
+        [&](Line& l, LineData& d, WalkScratch& s) {
+            reconcile(l);
+            if (l.state == State::Invalid)
+                return;
+            // All transactions committed (precondition): spilled
+            // data is committed; fold dirty survivors back into
+            // memory.
+            if (l.dirty && !isSpecSuperseded(l.state)) {
+                mem_.writeLine(l.base, d);
+                ++s.n[1];
+            }
+            l.state = State::Invalid;
+        });
+    stats_.writebacks += agg.n[1];
     if (!rw_.empty()) {
         throw std::logic_error(
             "vidReset with outstanding uncommitted transactions");
     }
-    (void)specLeft;
     lcVid_ = kNonSpecVid;
+    ++rwGen_; // VIDs recycle after the reset; invalidate rw marks
     shadow_.clear();
     ++stats_.vidResets;
     trace_.event(TraceCommit, eq_.curTick(), "VID reset");
@@ -150,34 +160,38 @@ CacheSystem::vidReset()
 void
 CacheSystem::flushDirtyToMemory()
 {
-    overflow_.forEach([&](Line& l) {
-        reconcile(l);
-        if (l.state == State::Invalid)
-            return;
-        if (!isSpec(l.state)) {
-            // The spilled version retired: its data is committed.
-            if (l.dirty) {
-                mem_.writeLine(l.base, l.data);
-                ++stats_.writebacks;
+    WalkScratch agg = shardedWalk(
+        OvPhase::BeforeLines,
+        [&](Line& l, WalkScratch& s) {
+            reconcile(l);
+            // Reconciliation may retire a superseded version to
+            // Invalid; its stale data must not reach memory.
+            if (l.state == State::Invalid)
+                return;
+            if (!isSpec(l.state) && l.dirty) {
+                mem_.writeLine(l.base, dataOf(l));
+                l.dirty = false;
+                ++s.n[0];
+                l.state = l.state == State::Modified
+                    ? State::Exclusive
+                    : State::Shared;
+                syncLine(l);
             }
-            l.state = State::Invalid;
-        }
-    });
-    forEachCandidateLine([&](Line& l) {
-        reconcile(l);
-        // Reconciliation may retire a superseded version to
-        // Invalid; its stale data must not reach memory.
-        if (l.state == State::Invalid)
-            return;
-        if (!isSpec(l.state) && l.dirty) {
-            mem_.writeLine(l.base, l.data);
-            l.dirty = false;
-            ++stats_.writebacks;
-            l.state = l.state == State::Modified ? State::Exclusive
-                                                 : State::Shared;
-            syncLine(l);
-        }
-    });
+        },
+        [&](Line& l, LineData& d, WalkScratch& s) {
+            reconcile(l);
+            if (l.state == State::Invalid)
+                return;
+            if (!isSpec(l.state)) {
+                // The spilled version retired: its data is committed.
+                if (l.dirty) {
+                    mem_.writeLine(l.base, d);
+                    ++s.n[0];
+                }
+                l.state = State::Invalid;
+            }
+        });
+    stats_.writebacks += agg.n[0];
     maybeCrossCheck();
 }
 

@@ -35,7 +35,7 @@ CacheSystem::reconcile(Line& l)
 void
 CacheSystem::reconcileAddr(Cache& c, Addr la)
 {
-    for (auto& l : c.set(la))
+    for (auto& l : c.set(la).lines)
         if (l.state != State::Invalid && l.base == la)
             reconcile(l);
 }
@@ -62,7 +62,7 @@ CacheSystem::findLocal(Cache& c, Addr la, Vid a, bool forStore)
     // probes is equivalent to reconcileAddr() followed by a second
     // scan, at roughly half the cost.
     Line* hit = nullptr;
-    for (auto& l : c.set(la)) {
+    for (auto& l : c.set(la).lines) {
         if (l.state != State::Invalid && l.base == la)
             reconcile(l);
         if (hit)
@@ -83,7 +83,7 @@ CacheSystem::findRemote(CoreId self, Addr la, Vid a, bool forStore)
     forEachSnoopTarget(la, [&](std::size_t ci) {
         Cache& c = caches_[ci];
         const bool isSelf = (ci == self);
-        for (auto& l : c.set(la)) {
+        for (auto& l : c.set(la).lines) {
             if (l.state == State::Invalid || l.base != la)
                 continue;
             reconcile(l);
@@ -109,19 +109,29 @@ CacheSystem::findRemote(CoreId self, Addr la, Vid a, bool forStore)
         // the hardware walk engine searches the overflow table
         // (§8 / [27]).
         if (auto* vs = overflow_.versionsOf(la)) {
-            for (auto& l : *vs)
+            for (auto& l : vs->lines)
                 reconcile(l);
-            std::erase_if(*vs, [](const Line& l) {
-                return l.state == State::Invalid;
-            });
-            for (std::size_t i = 0; i < vs->size(); ++i) {
-                Line& l = (*vs)[i];
+            // Erase reconciled-away versions, keeping metadata and
+            // payload planes in lockstep.
+            for (std::size_t i = vs->lines.size(); i-- > 0;) {
+                if (vs->lines[i].state == State::Invalid) {
+                    vs->lines.erase(vs->lines.begin() +
+                                    static_cast<std::ptrdiff_t>(i));
+                    vs->data.erase(vs->data.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
+                }
+            }
+            for (std::size_t i = 0; i < vs->lines.size(); ++i) {
+                Line& l = vs->lines[i];
                 if (isSpecResponder(l.state) && l.tag.mod > a)
                     rh.assertModified = true;
                 if (!rh.line && hits(l, la, a)) {
                     // Refill the version into the requester's L1 and
-                    // continue as a normal remote hit.
+                    // continue as a normal remote hit. Copy meta and
+                    // payload out first: allocate() may evict-spill
+                    // and rehash the overflow table under vs.
                     Line copy = l;
+                    LineData d = vs->data[i];
                     overflow_.remove(la, i);
                     rh.extraLatency = OverflowTable::kWalkCycles +
                         cfg_.memLatency;
@@ -130,6 +140,7 @@ CacheSystem::findRemote(CoreId self, Addr la, Vid a, bool forStore)
                     if (!slot)
                         return rh; // capacity abort during refill
                     *slot = copy;
+                    caches_[self].dataOf(*slot) = d;
                     syncLine(*slot);
                     rh.line = slot;
                     rh.cache = &caches_[self];
@@ -179,7 +190,7 @@ CacheSystem::evict(Cache& c, Line& victim)
       case State::Modified:
       case State::Owned:
         if (isL2) {
-            mem_.writeLine(la, victim.data);
+            mem_.writeLine(la, c.dataOf(victim));
             ++stats_.writebacks;
             drop();
             return true;
@@ -192,7 +203,7 @@ CacheSystem::evict(Cache& c, Line& victim)
             // must not displace S-M/S-E lines, whose loss aborts); an
             // S-M line's snoop assertion recovers it later.
             if (victim.dirty) {
-                mem_.writeLine(la, victim.data);
+                mem_.writeLine(la, c.dataOf(victim));
                 ++stats_.writebacks;
             }
             ++stats_.soOverflowWritebacks;
@@ -201,7 +212,7 @@ CacheSystem::evict(Cache& c, Line& victim)
         }
         if (isL2) {
             if (cfg_.unboundedSpecSets) {
-                overflow_.spill(victim);
+                overflow_.spill(victim, c.dataOf(victim));
                 ++stats_.specSpills;
                 drop();
                 return true;
@@ -223,7 +234,7 @@ CacheSystem::evict(Cache& c, Line& victim)
                                  .c_str(),
                              victim.tag.mod, victim.tag.high,
                              static_cast<unsigned long long>(la));
-                overflow_.spill(victim);
+                overflow_.spill(victim, c.dataOf(victim));
                 ++stats_.specSpills;
                 drop();
                 return true;
@@ -241,11 +252,13 @@ CacheSystem::evict(Cache& c, Line& victim)
 
     // Move the line from an L1 into the shared L2.
     Line copy = victim;
+    LineData d = c.dataOf(victim);
     drop();
     Line* slot = allocate(caches_.back(), la);
     if (!slot)
         return false;
     *slot = copy;
+    caches_.back().dataOf(*slot) = d;
     syncLine(*slot);
     return true;
 }
@@ -259,7 +272,7 @@ CacheSystem::allocateOpt(Cache& c, Addr la)
     // refetchable copy would risk capacity aborts.
     Line* slot = c.freeSlot(la);
     if (!slot) {
-        auto& s = c.set(la);
+        auto& s = c.set(la).lines;
         for (auto& l : s)
             reconcile(l);
         slot = c.freeSlot(la);
@@ -285,6 +298,7 @@ CacheSystem::allocateOpt(Cache& c, Addr la)
     *slot = Line{};
     slot->base = la;
     slot->lastUse = eq_.curTick();
+    c.dataOf(*slot).fill(0);
     return slot;
 }
 
@@ -293,7 +307,7 @@ CacheSystem::allocate(Cache& c, Addr la)
 {
     Line* slot = c.freeSlot(la);
     if (!slot) {
-        auto& s = c.set(la);
+        auto& s = c.set(la).lines;
         for (auto& l : s)
             reconcile(l);
         slot = c.freeSlot(la);
@@ -317,6 +331,7 @@ CacheSystem::allocate(Cache& c, Addr la)
     *slot = Line{};
     slot->base = la;
     slot->lastUse = eq_.curTick();
+    c.dataOf(*slot).fill(0);
     return slot;
 }
 
@@ -325,19 +340,21 @@ CacheSystem::allocate(Cache& c, Addr la)
 std::uint64_t
 CacheSystem::readData(const Line& l, Addr a, unsigned size) const
 {
+    const LineData& d = dataOf(l);
     std::uint64_t v = 0;
     unsigned off = lineOffset(a);
     for (unsigned i = 0; i < size; ++i)
-        v |= static_cast<std::uint64_t>(l.data[off + i]) << (8 * i);
+        v |= static_cast<std::uint64_t>(d[off + i]) << (8 * i);
     return v;
 }
 
 void
 CacheSystem::writeData(Line& l, Addr a, std::uint64_t v, unsigned size)
 {
+    LineData& d = dataOf(l);
     unsigned off = lineOffset(a);
     for (unsigned i = 0; i < size; ++i)
-        l.data[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+        d[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
 
 void

@@ -146,6 +146,31 @@ struct MachineConfig
      */
     bool indexCrossCheck = false;
 
+    /**
+     * Sharded simulation engine (simulator-side, not architectural):
+     * requested number of address-hashed banks the directory slices,
+     * main memory, the overflow table, and the per-cache spec-line
+     * registries are partitioned into. Bulk protocol operations
+     * (commit walks, global aborts, VID resets, flushes) then run
+     * bank-parallel behind deterministic epoch barriers. The value is
+     * clamped to the largest power of two that divides both cache set
+     * counts (see shardBanks()), so a cache slot's set decides its
+     * bank once and for all and slots never migrate between banks.
+     * 1 = classic single-banked engine. Simulated behaviour (stats,
+     * timings, memory images) is bit-identical for every value.
+     */
+    unsigned shards = 1;
+
+    /**
+     * Worker threading for the sharded engine: 0 = auto (dedicated
+     * worker threads when more than one bank is configured and the
+     * host has more than one CPU), 1 = always inline on the calling
+     * thread (banked data structures, sequential walks), >=2 = force
+     * dedicated worker threads (one per bank) regardless of host CPU
+     * count — used by tests to exercise the concurrent paths.
+     */
+    unsigned shardThreads = 0;
+
     /** Largest usable VID for this configuration. */
     Vid maxVid() const { return (Vid{1} << vidBits) - 1; }
 
@@ -161,6 +186,26 @@ struct MachineConfig
     l2Sets() const
     {
         return l2SizeKB * 1024 / kLineBytes / l2Assoc;
+    }
+
+    /**
+     * Effective bank count of the sharded engine: the largest power of
+     * two that is <= max(shards, 1) and divides both l1Sets() and
+     * l2Sets(). The divisibility constraint pins every cache set — and
+     * therefore every slot — to one bank for the lifetime of the run,
+     * which is what keeps the per-bank registries stable under slot
+     * reuse.
+     */
+    unsigned
+    shardBanks() const
+    {
+        unsigned b = 1;
+        const unsigned want = shards == 0 ? 1 : shards;
+        while (b * 2 <= want && l1Sets() % (b * 2) == 0 &&
+               l2Sets() % (b * 2) == 0) {
+            b *= 2;
+        }
+        return b;
     }
 };
 

@@ -6,6 +6,8 @@
 #ifndef HMTX_SIM_EVENT_QUEUE_HH
 #define HMTX_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <bit>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
@@ -26,6 +28,15 @@ namespace hmtx::sim
  * occupancy, core compute delays, coroutine wake-ups) is an event.
  * Events at the same tick fire in schedule order, so a run is fully
  * deterministic for a given workload and seed.
+ *
+ * Storage is a calendar wheel: events due within the next kWheelTicks
+ * cycles go into a per-tick bucket (O(1) push/pop, appends are already
+ * in schedule order), and the rare far-future event (saturated-fabric
+ * wake-ups, bulk-walk occupancy) waits in an overflow heap until its
+ * tick comes up. Firing order is exactly the (when, seq) order the
+ * classic binary-heap implementation produced: a bucket that receives
+ * migrated overflow events is re-sorted by sequence number before it
+ * drains.
  */
 class EventQueue
 {
@@ -36,10 +47,10 @@ class EventQueue
     Tick curTick() const { return now_; }
 
     /** True when no events are pending. */
-    bool empty() const { return events_.empty(); }
+    bool empty() const { return pending() == 0; }
 
     /** Number of pending events. */
-    std::size_t pending() const { return events_.size(); }
+    std::size_t pending() const { return wheelCount_ + far_.size(); }
 
     /** Total events ever executed. */
     std::uint64_t executed() const { return executed_; }
@@ -51,9 +62,8 @@ class EventQueue
     void
     schedule(Tick when, Callback cb)
     {
-        events_.push(
-            Event{when, seq_++, {},
-                  std::make_unique<Callback>(std::move(cb))});
+        push(Event{when, seq_++, {},
+                   std::make_unique<Callback>(std::move(cb))});
     }
 
     /** Schedules @p cb to run @p delay cycles from now. */
@@ -72,7 +82,7 @@ class EventQueue
     void
     scheduleResume(Tick when, std::coroutine_handle<> h)
     {
-        events_.push(Event{when, seq_++, h, {}});
+        push(Event{when, seq_++, h, {}});
     }
 
     /** Schedules a coroutine resumption @p delay cycles from now. */
@@ -89,16 +99,13 @@ class EventQueue
     bool
     step()
     {
-        if (events_.empty())
+        if (!advance())
             return false;
-        // Move the callback out before popping so that callbacks may
-        // schedule new events (and thus reallocate) safely. Moving
-        // (rather than copying) the top element is fine: the ordering
-        // keys (when, seq) are trivially copyable and stay valid in
-        // the moved-from element for the sift-down done by pop().
-        Event ev = std::move(const_cast<Event&>(events_.top()));
-        events_.pop();
-        now_ = ev.when;
+        auto& b = wheel_[bucketOf(now_)];
+        // Move the event out first: the callback may append to this
+        // very bucket (delay-0 schedules) and reallocate it.
+        Event ev = std::move(b[drainIdx_++]);
+        --wheelCount_;
         ++executed_;
         if (ev.h)
             ev.h.resume();
@@ -118,17 +125,22 @@ class EventQueue
     void
     runUntil(Tick limit)
     {
-        while (!events_.empty() && events_.top().when <= limit)
+        while (pending() != 0 && nextWhen() <= limit)
             step();
-        if (now_ < limit && events_.empty())
+        if (now_ < limit && pending() == 0)
             now_ = limit;
     }
 
   private:
+    /** Wheel span in ticks; latencies beyond this overflow to the
+     *  heap. Must be a power of two. */
+    static constexpr std::size_t kWheelTicks = 4096;
+    static constexpr std::size_t kMask = kWheelTicks - 1;
+
     // Coroutine wake-ups are the dominant event kind by orders of
     // magnitude, so the Event is kept small and trivially movable:
     // the handle is stored inline and the occasional general callback
-    // is boxed (heap sifts move Events O(log n) times per operation).
+    // is boxed.
     struct Event
     {
         Tick when;
@@ -143,7 +155,128 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+    static std::size_t bucketOf(Tick t) { return t & kMask; }
+
+    void
+    push(Event ev)
+    {
+        // Tolerate (documented-illegal) past ticks by firing asap
+        // instead of corrupting the wheel window.
+        if (ev.when < now_)
+            ev.when = now_;
+        if (ev.when - now_ < kWheelTicks) {
+            const std::size_t b = bucketOf(ev.when);
+            wheel_[b].push_back(std::move(ev));
+            occ_[b >> 6] |= std::uint64_t{1} << (b & 63);
+            ++wheelCount_;
+        } else {
+            far_.push(std::move(ev));
+        }
+    }
+
+    /**
+     * Earliest tick with pending wheel events strictly after now_'s
+     * bucket, or ~0 when none. The current bucket is excluded on
+     * purpose: its occupancy bit may be stale (set while its events
+     * have all been drained — the bit is only cleared when the bucket
+     * retires), and both callers handle in-flight current-tick events
+     * before calling.
+     */
+    Tick
+    nextWheelTick() const
+    {
+        if (wheelCount_ == 0)
+            return ~Tick{0};
+        // Circular bitmap scan starting just after now_'s bucket; the
+        // k-th bucket after it holds tick now_ + k (wheel events all
+        // lie in [now_, now_ + kWheelTicks)).
+        const std::size_t start = bucketOf(now_);
+        const std::size_t first = (start + 1) & kMask;
+        constexpr std::size_t words = kWheelTicks / 64;
+        std::size_t w = first >> 6;
+        std::uint64_t m = occ_[w] & (~std::uint64_t{0} << (first & 63));
+        for (std::size_t n = 0; n <= words; ++n) {
+            while (m != 0) {
+                const std::size_t b =
+                    (w << 6) | std::size_t(std::countr_zero(m));
+                const std::size_t k = (b - start) & kMask;
+                if (k != 0)
+                    return now_ + k;
+                m &= m - 1; // stale bit of the drained current bucket
+            }
+            w = (w + 1) & (words - 1);
+            m = occ_[w];
+        }
+        return ~Tick{0};
+    }
+
+    /** Tick of the next pending event (pending() must be nonzero). */
+    Tick
+    nextWhen() const
+    {
+        if (drainIdx_ < wheel_[bucketOf(now_)].size())
+            return now_;
+        const Tick wn = nextWheelTick();
+        const Tick fn = far_.empty() ? ~Tick{0} : far_.top().when;
+        return std::min(wn, fn);
+    }
+
+    /**
+     * Positions now_/drainIdx_ on the next due event: finishes the
+     * current tick's bucket, otherwise retires it, advances to the
+     * earliest pending tick, and folds due overflow events into that
+     * bucket (restoring global (when, seq) order by a seq sort).
+     * @return false when nothing is pending
+     */
+    bool
+    advance()
+    {
+        auto* b = &wheel_[bucketOf(now_)];
+        if (drainIdx_ < b->size())
+            return true;
+        if (drainIdx_ != 0) {
+            b->clear();
+            drainIdx_ = 0;
+            const std::size_t bi = bucketOf(now_);
+            occ_[bi >> 6] &= ~(std::uint64_t{1} << (bi & 63));
+        }
+        const Tick wn = nextWheelTick();
+        const Tick fn = far_.empty() ? ~Tick{0} : far_.top().when;
+        const Tick t = std::min(wn, fn);
+        if (t == ~Tick{0})
+            return false;
+        now_ = t;
+        b = &wheel_[bucketOf(now_)];
+        bool migrated = false;
+        while (!far_.empty() && far_.top().when == now_) {
+            // priority_queue::top is const; the move is safe because
+            // pop() only reads the ordering keys, which stay valid.
+            b->push_back(std::move(const_cast<Event&>(far_.top())));
+            far_.pop();
+            ++wheelCount_;
+            migrated = true;
+        }
+        if (migrated) {
+            const std::size_t bi = bucketOf(now_);
+            occ_[bi >> 6] |= std::uint64_t{1} << (bi & 63);
+            std::sort(b->begin(), b->end(),
+                      [](const Event& x, const Event& y) {
+                          return x.seq < y.seq;
+                      });
+        }
+        return true;
+    }
+
+    std::vector<std::vector<Event>> wheel_ =
+        std::vector<std::vector<Event>>(kWheelTicks);
+    /** One occupancy bit per bucket (cleared only on bucket retire). */
+    std::vector<std::uint64_t> occ_ =
+        std::vector<std::uint64_t>(kWheelTicks / 64, 0);
+    /** Events scheduled >= kWheelTicks ahead wait here. */
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> far_;
+    /** Next un-fired slot in the current tick's bucket. */
+    std::size_t drainIdx_ = 0;
+    std::size_t wheelCount_ = 0;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;

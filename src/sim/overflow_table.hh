@@ -32,24 +32,59 @@ namespace hmtx::sim
  * dirtiness), so a refilled line continues exactly where it left off;
  * commit/abort/VID-reset reconciliation is applied lazily by the
  * cache system when it touches an entry, and eagerly on aborts.
+ *
+ * Entries are partitioned into address-hashed banks (power-of-two
+ * count, single bank by default) so the sharded engine's bulk folds
+ * can process disjoint banks concurrently. Versions of one address
+ * always share a bank, preserving their relative order under any
+ * partitioning.
  */
 class OverflowTable
 {
   public:
-    /** Spills @p line into the table. */
+    OverflowTable() : banks_(1) {}
+
+    /**
+     * Re-partitions into @p banks banks (power of two). Only legal
+     * while the table is empty; the owning system banks it once at
+     * construction.
+     */
     void
-    spill(const Line& line)
+    setBanks(unsigned banks)
     {
-        entries_[line.base].push_back(line);
+        banks_.assign(banks < 1 ? 1 : banks, {});
+        mask_ = banks_.size() - 1;
+    }
+
+    /** Bank index owning address @p a. */
+    std::size_t
+    bankOf(Addr a) const
+    {
+        return static_cast<std::size_t>((a >> kLineShift) & mask_);
+    }
+
+    /**
+     * Spills @p line (metadata) with payload @p data into the table.
+     * Spilled entries are detached from any cache, so the table is
+     * where metadata and payload travel together.
+     */
+    void
+    spill(const Line& line, const LineData& data)
+    {
+        auto& v = banks_[bankOf(line.base)][line.base];
+        v.lines.push_back(line);
+        v.data.push_back(data);
         ++spills_;
     }
 
-    /** All spilled versions of @p la (mutable for reconciliation). */
-    std::vector<Line>*
+    /** All spilled versions of @p la (mutable for reconciliation);
+     *  `lines[i]`'s payload is `data[i]`. */
+    LineSet*
     versionsOf(Addr la)
     {
-        auto it = entries_.find(la);
-        return it == entries_.end() ? nullptr : &it->second;
+        auto& b = banks_[bankOf(la)];
+        auto it = b.find(la);
+        return it == b.end() ? nullptr : &it->second;
     }
 
     /**
@@ -59,49 +94,82 @@ class OverflowTable
     void
     remove(Addr la, std::size_t idx)
     {
-        auto it = entries_.find(la);
-        if (it == entries_.end())
+        auto& b = banks_[bankOf(la)];
+        auto it = b.find(la);
+        if (it == b.end())
             return;
-        it->second.erase(it->second.begin() +
-                         static_cast<std::ptrdiff_t>(idx));
-        if (it->second.empty())
-            entries_.erase(it);
+        auto& v = it->second;
+        v.lines.erase(v.lines.begin() + static_cast<std::ptrdiff_t>(idx));
+        v.data.erase(v.data.begin() + static_cast<std::ptrdiff_t>(idx));
+        if (v.lines.empty())
+            b.erase(it);
         ++refills_;
     }
 
-    /** Applies @p fn to every entry; entries left Invalid are erased. */
+    /** Applies @p fn(Line&, LineData&) to every entry, banks in
+     *  ascending order; entries left Invalid are erased. */
     template <typename Fn>
     void
     forEach(Fn&& fn)
     {
-        for (auto it = entries_.begin(); it != entries_.end();) {
+        for (std::size_t b = 0; b < banks_.size(); ++b)
+            forEachInBank(b, fn);
+    }
+
+    /**
+     * Bank-local variant of forEach(): folds only bank @p b. Safe to
+     * run concurrently for distinct banks as long as @p fn itself only
+     * touches bank-local state.
+     */
+    template <typename Fn>
+    void
+    forEachInBank(std::size_t bankIdx, Fn&& fn)
+    {
+        auto& bank = banks_[bankIdx];
+        for (auto it = bank.begin(); it != bank.end();) {
             auto& v = it->second;
-            for (auto& l : v)
-                fn(l);
-            std::erase_if(v, [](const Line& l) {
-                return l.state == State::Invalid;
-            });
-            if (v.empty())
-                it = entries_.erase(it);
+            for (std::size_t i = 0; i < v.lines.size(); ++i)
+                fn(v.lines[i], v.data[i]);
+            for (std::size_t i = v.lines.size(); i-- > 0;) {
+                if (v.lines[i].state == State::Invalid) {
+                    v.lines.erase(v.lines.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+                    v.data.erase(v.data.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+                }
+            }
+            if (v.lines.empty())
+                it = bank.erase(it);
             else
                 ++it;
         }
     }
+
+    /** Number of banks the entries are partitioned into. */
+    std::size_t bankCount() const { return banks_.size(); }
 
     /**
      * True when no versions are spilled. The snoop path checks this
      * before probing versionsOf() so runs that never overflow pay no
      * hash lookup at all.
      */
-    bool empty() const { return entries_.empty(); }
+    bool
+    empty() const
+    {
+        for (const auto& b : banks_)
+            if (!b.empty())
+                return false;
+        return true;
+    }
 
     /** Entries currently held. */
     std::size_t
     size() const
     {
         std::size_t n = 0;
-        for (auto& [a, v] : entries_)
-            n += v.size();
+        for (const auto& b : banks_)
+            for (const auto& [a, v] : b)
+                n += v.lines.size();
         return n;
     }
 
@@ -115,7 +183,8 @@ class OverflowTable
     static constexpr Cycles kWalkCycles = 60;
 
   private:
-    std::unordered_map<Addr, std::vector<Line>> entries_;
+    std::vector<std::unordered_map<Addr, LineSet>> banks_;
+    std::size_t mask_ = 0;
     std::uint64_t spills_ = 0;
     std::uint64_t refills_ = 0;
 };

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * ShardEngine: bank workers, SPSC command routing, and the epoch
+ * barrier. See shard.hh for the determinism argument.
+ */
+
+#include "sim/shard.hh"
+
+#include <algorithm>
+
+namespace hmtx::sim
+{
+
+ShardEngine::ShardEngine(unsigned banks, bool threaded)
+    : threaded_(threaded && banks > 0)
+{
+    if (banks < 1)
+        banks = 1;
+    for (unsigned b = 0; b < banks; ++b)
+        banks_.emplace_back(kRingCapacity);
+    stats_.banks = banks;
+    stats_.threaded = threaded_;
+    stats_.bankCmds.assign(banks, 0);
+    if (threaded_) {
+        for (unsigned b = 0; b < banks; ++b)
+            banks_[b].worker = std::thread(&ShardEngine::workerLoop,
+                                           this, b);
+    }
+}
+
+ShardEngine::~ShardEngine()
+{
+    if (!threaded_)
+        return;
+    for (unsigned b = 0; b < banks(); ++b)
+        push(b, {BankCmd::Op::Stop, 0});
+    for (auto& bank : banks_)
+        if (bank.worker.joinable())
+            bank.worker.join();
+}
+
+void
+ShardEngine::push(unsigned bank, const BankCmd& cmd)
+{
+    auto& ring = banks_[bank].ring;
+    if (ring.tryPush(cmd))
+        return;
+    // Back-pressure: the ring sized for the common case is full (wide
+    // machine, slow bank). Spin-yield until the consumer frees a slot;
+    // in inline mode this cannot happen (the caller drains between
+    // pushes).
+    ++stats_.pushStalls;
+    while (!ring.tryPush(cmd))
+        std::this_thread::yield();
+}
+
+void
+ShardEngine::workerLoop(unsigned bank)
+{
+    auto& ring = banks_[bank].ring;
+    for (;;) {
+        BankCmd cmd;
+        while (!ring.tryPop(cmd))
+            ring.waitNonEmpty();
+        switch (cmd.op) {
+        case BankCmd::Op::Stop:
+            return;
+        case BankCmd::Op::Barrier:
+            done_.fetch_add(1, std::memory_order_release);
+            done_.notify_one();
+            break;
+        default:
+            // exec_ was stored before the command was pushed; the
+            // ring's release/acquire pair makes it visible here.
+            (*exec_)(bank, cmd, banks_[bank].scratch);
+            break;
+        }
+    }
+}
+
+void
+ShardEngine::runEpoch(const Exec& exec, const std::vector<BankCmd>& cmds)
+{
+    ++stats_.epochs;
+    exec_ = &exec;
+    for (auto& bank : banks_)
+        bank.scratch = WalkScratch{};
+
+    if (threaded_) {
+        // Broadcast command-by-command across the banks so all workers
+        // start promptly and back-pressure on one ring cannot starve
+        // the others for long.
+        for (const BankCmd& cmd : cmds) {
+            for (unsigned b = 0; b < banks(); ++b) {
+                push(b, cmd);
+                ++stats_.bankCmds[b];
+            }
+        }
+        for (unsigned b = 0; b < banks(); ++b)
+            push(b, {BankCmd::Op::Barrier, 0});
+        doneTarget_ += banks();
+        std::uint64_t d = done_.load(std::memory_order_acquire);
+        if (d < doneTarget_)
+            ++stats_.barrierStalls;
+        while (d < doneTarget_) {
+            done_.wait(d, std::memory_order_acquire);
+            d = done_.load(std::memory_order_acquire);
+        }
+    } else {
+        // Inline schedule: same rings, same per-bank FIFO order, but
+        // the coordinator drains each bank itself, in ascending bank
+        // order, one command at a time.
+        for (unsigned b = 0; b < banks(); ++b) {
+            auto& bank = banks_[b];
+            for (const BankCmd& cmd : cmds) {
+                push(b, cmd);
+                ++stats_.bankCmds[b];
+                BankCmd c;
+                while (bank.ring.tryPop(c))
+                    exec(b, c, bank.scratch);
+            }
+        }
+    }
+
+    std::uint64_t hw = 0;
+    for (auto& bank : banks_)
+        hw = std::max<std::uint64_t>(hw, bank.ring.highWater());
+    stats_.ringHighWater = std::max(stats_.ringHighWater, hw);
+    exec_ = nullptr;
+}
+
+} // namespace hmtx::sim

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Sharded parallel execution engine for the simulator's bulk protocol
+ * operations (simulator-side machinery, not architectural).
+ *
+ * The memory system's heavyweight operations — group commit walks,
+ * global aborts, VID resets, dirty flushes — all reduce to "visit
+ * every interesting line and every overflow entry". The engine
+ * partitions that work into address-hashed *banks* (the same
+ * partition the per-cache registries, the presence filter, main
+ * memory, and the overflow table use), routes per-bank commands over
+ * host-side SPSC rings to dedicated worker threads, and synchronizes
+ * with a deterministic *epoch barrier*: an epoch's commands are
+ * enqueued to every bank, the coordinator blocks until all banks have
+ * drained, and only then does the bulk operation observe or publish
+ * cross-bank state.
+ *
+ * Determinism argument (why results are bit-identical to the
+ * sequential engine at any bank count):
+ *  - operations on the *same* line address always land in the same
+ *    bank, and each bank's ring is FIFO, so their relative order is
+ *    exactly the sequential phase order;
+ *  - operations on *different* addresses commute: a bulk walk's
+ *    per-line transition reads and writes only that line, its set,
+ *    its bank's presence/registry entries, and its bank's memory and
+ *    overflow banks;
+ *  - numeric walk outputs are accumulated per bank in a scratch area
+ *    and folded in ascending bank order after the barrier, so integer
+ *    sums see a fixed association order.
+ *
+ * With workers disabled (the default on single-CPU hosts) the same
+ * commands flow through the same rings but are drained inline by the
+ * coordinator, bank by bank — one code path, two schedules.
+ */
+
+#ifndef HMTX_SIM_SHARD_HH
+#define HMTX_SIM_SHARD_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "runtime/queue.hh"
+#include "sim/stats.hh"
+
+namespace hmtx::sim
+{
+
+/**
+ * One command routed to a bank worker. A bulk operation is compiled
+ * into a short phase-ordered command list that every bank receives;
+ * within a bank the FIFO ring preserves that order (e.g. a flush
+ * folds the overflow bank before walking cache segments, exactly like
+ * the sequential code).
+ */
+struct BankCmd
+{
+    enum class Op : std::uint8_t
+    {
+        /** Walk one cache's registry (or full-scan) slice: `arg` is
+         *  the cache index. */
+        CacheSegment,
+        /** Fold this bank's overflow-table partition. */
+        OverflowSegment,
+        /** End of epoch: report completion to the barrier. */
+        Barrier,
+        /** Shut the worker down (engine destruction). */
+        Stop,
+    };
+
+    Op op = Op::Barrier;
+    std::uint32_t arg = 0;
+};
+
+/**
+ * Per-bank scratch accumulators a walk writes instead of the shared
+ * stat counters. Slot meaning is per-operation (touched lines,
+ * writebacks, ...); slot 3 is reserved by the cache system for
+ * registry-walk line counts.
+ */
+struct WalkScratch
+{
+    std::array<std::uint64_t, 4> n{};
+};
+
+/**
+ * The bank scheduler: owns the rings, the workers, and the barrier.
+ * The embedding CacheSystem supplies an executor callback translating
+ * (bank, command) into actual walk work; the engine itself knows
+ * nothing about the protocol.
+ */
+class ShardEngine
+{
+  public:
+    using Exec =
+        std::function<void(unsigned bank, const BankCmd& cmd,
+                           WalkScratch& scratch)>;
+
+    /**
+     * @param banks    bank count (power of two, >= 1)
+     * @param threaded spawn one dedicated worker thread per bank;
+     *                 otherwise commands are drained inline
+     */
+    ShardEngine(unsigned banks, bool threaded);
+    ~ShardEngine();
+
+    ShardEngine(const ShardEngine&) = delete;
+    ShardEngine& operator=(const ShardEngine&) = delete;
+
+    unsigned banks() const { return unsigned(banks_.size()); }
+    bool threaded() const { return threaded_; }
+
+    /**
+     * Runs one epoch: broadcasts @p cmds (plus the trailing barrier
+     * command) to every bank's ring, executes them via @p exec — on
+     * the workers when threaded, inline otherwise — and returns once
+     * every bank has drained. Scratch areas are zeroed at epoch start;
+     * read them per bank with scratch() afterwards and fold in
+     * ascending bank order for deterministic sums.
+     */
+    void runEpoch(const Exec& exec, const std::vector<BankCmd>& cmds);
+
+    /** Bank @p b's scratch output of the last epoch. */
+    const WalkScratch& scratch(unsigned b) const
+    {
+        return banks_[b].scratch;
+    }
+
+    const ShardStats& stats() const { return stats_; }
+
+  private:
+    struct Bank
+    {
+        explicit Bank(std::size_t ringCap) : ring(ringCap) {}
+        runtime::SpscRing<BankCmd> ring;
+        WalkScratch scratch;
+        std::thread worker;
+    };
+
+    /** Ring capacity: small on purpose so wide machines (more cache
+     *  segments than slots) exercise producer back-pressure. */
+    static constexpr std::size_t kRingCapacity = 16;
+
+    void workerLoop(unsigned bank);
+    void push(unsigned bank, const BankCmd& cmd);
+
+    /** deque: Bank holds atomics (immovable) and must never relocate. */
+    std::deque<Bank> banks_;
+    bool threaded_ = false;
+    ShardStats stats_;
+
+    /** Executor of the epoch in flight (set before the first push of
+     *  an epoch; workers read it only after popping a command, which
+     *  the ring's release/acquire pair orders). */
+    const Exec* exec_ = nullptr;
+
+    /** Banks that completed their barrier command, cumulative. */
+    std::atomic<std::uint64_t> done_{0};
+    /** Cumulative barrier target (epochs * banks). */
+    std::uint64_t doneTarget_ = 0;
+};
+
+} // namespace hmtx::sim
+
+#endif // HMTX_SIM_SHARD_HH

@@ -7,6 +7,7 @@
 #define HMTX_SIM_STATS_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "core/types.hh"
 
@@ -164,6 +165,42 @@ struct IndexStats
         return total == 0 ? 0.0
             : static_cast<double>(snoopsFiltered) /
                 static_cast<double>(total);
+    }
+};
+
+/**
+ * Diagnostics for the sharded simulation engine (bank-partitioned
+ * bulk walks). Like IndexStats these are simulator-side — they count
+ * how the simulator organized its own work, never what the simulated
+ * machine did — and are excluded from the differential-equality
+ * comparisons: runs with different shard counts are bit-identical in
+ * SysStats but naturally differ here.
+ */
+struct ShardStats
+{
+    /** Effective bank count (after the power-of-two clamp). */
+    std::uint64_t banks = 1;
+    /** True when dedicated worker threads drain the bank rings. */
+    bool threaded = false;
+    /** Epoch barriers executed (one per bulk protocol operation). */
+    std::uint64_t epochs = 0;
+    /** Per-bank commands routed through the SPSC rings. */
+    std::vector<std::uint64_t> bankCmds;
+    /** Max SPSC ring occupancy ever observed. */
+    std::uint64_t ringHighWater = 0;
+    /** Pushes that found a bank ring full and had to retry. */
+    std::uint64_t pushStalls = 0;
+    /** Epoch barriers where the coordinator actually blocked. */
+    std::uint64_t barrierStalls = 0;
+
+    /** Total commands routed across all banks. */
+    std::uint64_t
+    totalCmds() const
+    {
+        std::uint64_t n = 0;
+        for (std::uint64_t c : bankCmds)
+            n += c;
+        return n;
     }
 };
 

@@ -23,13 +23,17 @@ class StatsReport
 {
   public:
     /**
-     * @param s   architectural run statistics
-     * @param idx optional simulator-side index diagnostics (snoop
-     *            filter / registry effectiveness); printed when given
+     * @param s     architectural run statistics
+     * @param idx   optional simulator-side index diagnostics (snoop
+     *              filter / registry effectiveness); printed when
+     *              given
+     * @param shard optional sharded-engine diagnostics (bank command
+     *              routing / epoch barriers); printed when given
      */
     explicit StatsReport(const SysStats& s,
-                         const IndexStats* idx = nullptr)
-        : s_(s), idx_(idx)
+                         const IndexStats* idx = nullptr,
+                         const ShardStats* shard = nullptr)
+        : s_(s), idx_(idx), shard_(shard)
     {}
 
     /** Writes the report to @p out. */
@@ -123,11 +127,43 @@ class StatsReport
             row("sim.indexCrossChecks", double(idx_->crossChecks),
                 "full-scan index verifications performed");
         }
+
+        if (shard_) {
+            row("sim.shard.banks", double(shard_->banks),
+                "address-hashed banks of the sharded engine");
+            row("sim.shard.threaded", shard_->threaded ? 1.0 : 0.0,
+                "1 when dedicated bank workers drained the rings");
+            row("sim.shard.epochs", double(shard_->epochs),
+                "epoch barriers executed (one per bulk operation)");
+            row("sim.shard.cmds", double(shard_->totalCmds()),
+                "commands routed through the bank SPSC rings");
+            std::uint64_t mn = 0, mx = 0;
+            if (!shard_->bankCmds.empty()) {
+                mn = mx = shard_->bankCmds[0];
+                for (std::uint64_t c : shard_->bankCmds) {
+                    mn = c < mn ? c : mn;
+                    mx = c > mx ? c : mx;
+                }
+            }
+            row("sim.shard.bankCmdsMin", double(mn),
+                "commands routed to the least-loaded bank");
+            row("sim.shard.bankCmdsMax", double(mx),
+                "commands routed to the most-loaded bank");
+            row("sim.shard.ringHighWater",
+                double(shard_->ringHighWater),
+                "max SPSC ring occupancy observed");
+            row("sim.shard.pushStalls", double(shard_->pushStalls),
+                "ring-full back-pressure events at the producer");
+            row("sim.shard.barrierStalls",
+                double(shard_->barrierStalls),
+                "epoch barriers where the coordinator blocked");
+        }
     }
 
   private:
     const SysStats& s_;
     const IndexStats* idx_;
+    const ShardStats* shard_;
 };
 
 } // namespace hmtx::sim

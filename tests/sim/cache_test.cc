@@ -61,14 +61,14 @@ TEST(CacheStorage, PointerStabilityAcrossGrowth)
     Line* first = c.freeSlot(0);
     first->state = State::Exclusive;
     first->base = 0;
-    first->data[0] = 0xAB;
+    c.dataOf(*first)[0] = 0xAB;
     for (unsigned i = 1; i < 32; ++i) {
         Line* l = c.freeSlot(0);
         ASSERT_NE(l, nullptr);
         l->state = State::Exclusive;
         l->base = i * 64;
     }
-    EXPECT_EQ(first->data[0], 0xAB);
+    EXPECT_EQ(c.dataOf(*first)[0], 0xAB);
     EXPECT_EQ(first->base, 0u);
 }
 

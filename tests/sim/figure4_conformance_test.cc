@@ -37,7 +37,7 @@ class Fig4 : public ::testing::Test
         std::multiset<std::string> out;
         for (CoreId c = 0; c < 5; ++c) {
             Cache& cache = c < 4 ? sys->l1(c) : sys->l2();
-            for (auto& l : cache.set(kA))
+            for (auto& l : cache.set(kA).lines)
                 if (l.state != State::Invalid && l.base == lineAddr(kA))
                     out.insert(std::string(stateName(l.state)) + "(" +
                                std::to_string(l.tag.mod) + "," +

@@ -25,13 +25,13 @@ mkLine(Addr base, State st, Vid m, Vid h)
 TEST(OverflowTable, SpillAndLookup)
 {
     OverflowTable t;
-    t.spill(mkLine(0x100, State::SpecModified, 3, 3));
-    t.spill(mkLine(0x100, State::SpecOwned, 1, 3));
-    t.spill(mkLine(0x200, State::SpecModified, 2, 2));
+    t.spill(mkLine(0x100, State::SpecModified, 3, 3), LineData{});
+    t.spill(mkLine(0x100, State::SpecOwned, 1, 3), LineData{});
+    t.spill(mkLine(0x200, State::SpecModified, 2, 2), LineData{});
 
     ASSERT_NE(t.versionsOf(0x100), nullptr);
-    EXPECT_EQ(t.versionsOf(0x100)->size(), 2u);
-    EXPECT_EQ(t.versionsOf(0x200)->size(), 1u);
+    EXPECT_EQ(t.versionsOf(0x100)->lines.size(), 2u);
+    EXPECT_EQ(t.versionsOf(0x200)->lines.size(), 1u);
     EXPECT_EQ(t.versionsOf(0x300), nullptr);
     EXPECT_EQ(t.size(), 3u);
     EXPECT_EQ(t.spills(), 3u);
@@ -40,7 +40,7 @@ TEST(OverflowTable, SpillAndLookup)
 TEST(OverflowTable, RemoveErasesEmptyBuckets)
 {
     OverflowTable t;
-    t.spill(mkLine(0x100, State::SpecModified, 3, 3));
+    t.spill(mkLine(0x100, State::SpecModified, 3, 3), LineData{});
     t.remove(0x100, 0);
     EXPECT_EQ(t.versionsOf(0x100), nullptr);
     EXPECT_EQ(t.refills(), 1u);
@@ -50,15 +50,15 @@ TEST(OverflowTable, RemoveErasesEmptyBuckets)
 TEST(OverflowTable, ForEachDropsInvalidatedEntries)
 {
     OverflowTable t;
-    t.spill(mkLine(0x100, State::SpecModified, 3, 3));
-    t.spill(mkLine(0x100, State::SpecOwned, 1, 3));
-    t.spill(mkLine(0x200, State::SpecModified, 2, 2));
-    t.forEach([](Line& l) {
+    t.spill(mkLine(0x100, State::SpecModified, 3, 3), LineData{});
+    t.spill(mkLine(0x100, State::SpecOwned, 1, 3), LineData{});
+    t.spill(mkLine(0x200, State::SpecModified, 2, 2), LineData{});
+    t.forEach([](Line& l, LineData&) {
         if (l.state == State::SpecOwned)
             l.state = State::Invalid;
     });
     EXPECT_EQ(t.size(), 2u);
-    t.forEach([](Line& l) { l.state = State::Invalid; });
+    t.forEach([](Line& l, LineData&) { l.state = State::Invalid; });
     EXPECT_EQ(t.size(), 0u);
     EXPECT_EQ(t.versionsOf(0x100), nullptr);
 }
@@ -68,13 +68,14 @@ TEST(OverflowTable, DataSurvivesRoundTrip)
     OverflowTable t;
     Line l = mkLine(0x140, State::SpecModified, 5, 5);
     l.dirty = true;
-    l.data[7] = 0xAB;
-    t.spill(l);
+    LineData d{};
+    d[7] = 0xAB;
+    t.spill(l, d);
     auto* vs = t.versionsOf(0x140);
     ASSERT_NE(vs, nullptr);
-    EXPECT_EQ((*vs)[0].data[7], 0xAB);
-    EXPECT_TRUE((*vs)[0].dirty);
-    EXPECT_EQ((*vs)[0].tag, (VersionTag{5, 5}));
+    EXPECT_EQ(vs->data[0][7], 0xAB);
+    EXPECT_TRUE(vs->lines[0].dirty);
+    EXPECT_EQ(vs->lines[0].tag, (VersionTag{5, 5}));
 }
 
 } // namespace
