@@ -31,20 +31,55 @@ for preset in "${PRESETS[@]}"; do
         ctest --preset "$preset" -j "$JOBS"
 done
 
+# Golden-model differential fuzzing (DESIGN.md §10): a fixed-seed
+# batch beyond what the fuzz_smoke ctest already covered. Override
+# FUZZ_SCHEDULES for longer campaigns (FUZZ_SCHEDULES=0 skips).
+FUZZ_SCHEDULES=${FUZZ_SCHEDULES:-2000}
+if printf '%s\n' "${PRESETS[@]}" | grep -qx release \
+    && [ "$FUZZ_SCHEDULES" -gt 0 ]; then
+    echo "==== fuzz: $FUZZ_SCHEDULES differential schedules ===="
+    FUZZ_BIN="$ROOT/build-release/tests/fuzz/hmtx_fuzz"
+    if [ ! -x "$FUZZ_BIN" ]; then
+        echo "FATAL: $FUZZ_BIN missing after the release build" >&2
+        exit 1
+    fi
+    if ! "$FUZZ_BIN" --schedules "$FUZZ_SCHEDULES" --ops 160 \
+        --corpus-out "$ROOT/tests/fuzz/corpus"; then
+        echo "FATAL: differential fuzzing diverged; shrunken replay" \
+             "written to tests/fuzz/corpus (rerun with" \
+             "hmtx_fuzz --replay <file>)" >&2
+        exit 1
+    fi
+fi
+
 # Bench smoke + hot-path regression gate (Release timings only; the
 # sanitizer build's numbers are meaningless). Compares the indexed
 # Table-2-geometry bulk ops against the committed baseline and fails
 # on a >25% slowdown.
-if printf '%s\n' "${PRESETS[@]}" | grep -qx release \
-    && [ -f "$ROOT/BENCH_hotpath.json" ]; then
+if printf '%s\n' "${PRESETS[@]}" | grep -qx release; then
+    if [ ! -f "$ROOT/BENCH_hotpath.json" ]; then
+        # A silently skipped gate looks exactly like a passing one in
+        # CI logs; a missing baseline must be loud.
+        echo "FATAL: BENCH_hotpath.json baseline is missing;" \
+             "regenerate it with bench/update_baseline.sh (or" \
+             "restore the committed copy) — refusing to skip the" \
+             "hot-path regression gate" >&2
+        exit 1
+    fi
     echo "==== bench: hot-path regression gate ===="
     cmake --build --preset release -j "$JOBS" --target micro_hotpath
-    "$ROOT/build-release/bench/micro_hotpath" --smoke
+    if ! "$ROOT/build-release/bench/micro_hotpath" --smoke; then
+        echo "FATAL: micro_hotpath --smoke failed to run" >&2
+        exit 1
+    fi
     CI_MICRO_JSON=$(mktemp)
-    "$ROOT/build-release/bench/micro_hotpath" \
+    if ! "$ROOT/build-release/bench/micro_hotpath" \
         --benchmark_filter='BM_(EagerCommit|AbortAll)/1/0' \
         --benchmark_out="$CI_MICRO_JSON" \
-        --benchmark_out_format=json --benchmark_min_time=0.2
+        --benchmark_out_format=json --benchmark_min_time=0.2; then
+        echo "FATAL: micro_hotpath benchmark run failed" >&2
+        exit 1
+    fi
     python3 - "$CI_MICRO_JSON" "$ROOT/BENCH_hotpath.json" <<'EOF'
 import json
 import sys

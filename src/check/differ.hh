@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Differential execution of fuzz schedules: one schedule runs against
+ * the GoldenModel and four real CacheSystem cells — {SnoopBus,
+ * DirectoryFabric} × {lazy, eager commit} with per-cell shard counts —
+ * and every architecturally visible outcome is compared:
+ *
+ *  - per-op: load values vs. the golden visibility rule, abort
+ *    outcomes vs. the golden dependence rule, and value/aborted/
+ *    needSla/l1Hit/lcVid/abortGen equality across cells;
+ *  - per-commit: read/write validation sets vs. the golden sets;
+ *  - periodically and at the end: checkInvariants() on every cell;
+ *  - at the end: the flushed memory image vs. the golden committed
+ *    image, and full image equality across cells.
+ *
+ * Capacity aborts (§5.4) are environmental — no timing-free model can
+ * predict them — so a real abort the golden did not predict is
+ * accepted iff the cells' capacityAborts counters moved, and the
+ * golden resynchronizes via abortAll().
+ */
+
+#ifndef HMTX_CHECK_DIFFER_HH
+#define HMTX_CHECK_DIFFER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "check/schedule.hh"
+
+namespace hmtx::check
+{
+
+/** Outcome of one differential run. */
+struct Divergence
+{
+    bool found = false;
+    /** Index of the diverging op, or SIZE_MAX for end-of-run checks. */
+    std::size_t opIndex = static_cast<std::size_t>(-1);
+    std::string what;
+};
+
+/** Aggregated coverage counters across a batch (from cell 0). */
+struct Coverage
+{
+    std::uint64_t schedules = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t capacityAborts = 0;
+    std::uint64_t vidResets = 0;
+    std::uint64_t spills = 0;
+    std::uint64_t refills = 0;
+    std::uint64_t soRefetches = 0;
+    std::uint64_t slaConfirms = 0;
+    std::uint64_t slaMismatchAborts = 0;
+};
+
+/** Runs @p s against the golden model and the config matrix. */
+Divergence runSchedule(const Schedule& s, Coverage* cov = nullptr);
+
+/**
+ * ddmin-style shrink: repeatedly deletes op chunks while the schedule
+ * keeps diverging (any divergence counts — the minimal schedule may
+ * surface the same bug through a different check). Runs at most
+ * @p maxRuns differential executions.
+ */
+Schedule shrinkSchedule(const Schedule& s, unsigned maxRuns = 4000);
+
+} // namespace hmtx::check
+
+#endif // HMTX_CHECK_DIFFER_HH

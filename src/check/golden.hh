@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Golden model of MTX memory semantics (§3, §4): versioned memory as
+ * per-word sorted version lists plus per-line access marks. No caches,
+ * no coherence states, no timing — just the architecturally visible
+ * contract the whole memory system must honour:
+ *
+ *  - a load with VID a observes the store with the largest writer
+ *    VID <= a, or the committed base value (§4.1 visibility);
+ *  - a store with VID y aborts iff any higher VID already accessed the
+ *    line (§4.3 flow/output dependences, aggregated read marks);
+ *  - a non-speculative store aborts iff the line carries uncommitted
+ *    speculative state;
+ *  - group commit is a watermark move (§4.4), abort flushes everything
+ *    above the watermark (Figure 7), VID reset folds the committed
+ *    image and restarts the window (§4.6).
+ *
+ * The differential fuzzer (check/differ.hh) runs random schedules
+ * against CacheSystem and this model simultaneously; any disagreement
+ * in values, abort outcomes, R/W sets, or the final memory image is a
+ * bug in one of them.
+ */
+
+#ifndef HMTX_CHECK_GOLDEN_HH
+#define HMTX_CHECK_GOLDEN_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace hmtx::check
+{
+
+/**
+ * Pure-semantics reference for the HMTX memory system.
+ *
+ * Prediction (const) and application (mutating) are split so a driver
+ * can ask "what should happen" before touching the real system, then
+ * fold in only the outcome that actually occurred — e.g. a capacity
+ * abort (§5.4), which no timing-free model can predict, is applied as
+ * abortAll() instead of the operation's success path.
+ *
+ * Granularity mirrors the hardware: values are tracked per 8-byte
+ * word (accesses never straddle a word), dependence marks per cache
+ * line (the tags of §4.1 are line tags).
+ */
+class GoldenModel
+{
+  public:
+    /**
+     * @param slaEnabled mirror of MachineConfig::slaEnabled: when
+     *        false, wrong-path loads plant read marks like any other
+     *        load (the false-misspeculation source §5.1 removes)
+     */
+    explicit GoldenModel(bool slaEnabled = true)
+        : slaEnabled_(slaEnabled)
+    {}
+
+    /** Highest committed VID. */
+    Vid lc() const { return lc_; }
+
+    /** Seeds the committed base value of the word containing @p a. */
+    void seed(Addr a, std::uint64_t v) { wordOf(a).base = v; }
+
+    // --- prediction (const) -------------------------------------------
+
+    /**
+     * Value a load of @p size bytes at @p a with VID @p vid must
+     * observe. VID 0 reads the committed image (visibility at the LC
+     * VID, §5.3).
+     */
+    std::uint64_t valueAt(Addr a, unsigned size, Vid vid) const;
+
+    /**
+     * True when a store at @p a with VID @p vid must trigger a global
+     * abort: some higher VID already accessed the line (speculative
+     * store, §4.3), or the line carries uncommitted speculative state
+     * (non-speculative store, VID 0).
+     */
+    bool storeAborts(Addr a, Vid vid) const;
+
+    /**
+     * True when a VID reset is legal: every speculative access
+     * recorded since the last reset/abort has committed (§4.6).
+     */
+    bool vidResetLegal() const { return rw_.empty(); }
+
+    // --- application (mutating) ---------------------------------------
+
+    /**
+     * Applies a load's marking side effects. Wrong-path loads mark
+     * only when SLAs are disabled (§5.1) and never enter the read set.
+     * VID 0 (non-speculative) loads have no side effects.
+     */
+    void applyLoad(Addr a, Vid vid, bool wrongPath);
+
+    /**
+     * Applies a store of @p v (@p size bytes) at @p a with VID @p vid.
+     * @pre !storeAborts(a, vid)
+     */
+    void applyStore(Addr a, std::uint64_t v, unsigned size, Vid vid);
+
+    /**
+     * Applies the marking of a successful SLA confirmation (§5.1): the
+     * deferred read mark lands only if the load still hits the latest
+     * version.
+     */
+    void applyConfirm(Addr a, Vid vid);
+
+    /** Group commit of @p vid. @pre vid == lc() + 1 (§4.7). */
+    void commit(Vid vid);
+
+    /** Flushes everything above the LC watermark (§4.4, Figure 7). */
+    void abortAll();
+
+    /** VID reset (§4.6). @pre vidResetLegal() */
+    void vidReset();
+
+    // --- validation sets (Figure 9) -----------------------------------
+
+    /** Sorted line addresses in @p vid's read set. */
+    std::vector<Addr> readSet(Vid vid) const;
+    /** Sorted line addresses in @p vid's write set. */
+    std::vector<Addr> writeSet(Vid vid) const;
+
+    /** Words ever touched, for final-image comparison (sorted). */
+    std::vector<Addr> touchedWords() const;
+
+  private:
+    /**
+     * One 8-byte word: committed base value plus the surviving
+     * speculative/committed store versions keyed by writer VID.
+     * Invariant: every version is newer than the base image, so
+     * visibility is "largest writer <= VID, else base".
+     */
+    struct Word
+    {
+        std::uint64_t base = 0;
+        std::map<Vid, std::uint64_t> vers;
+    };
+
+    /**
+     * Per-line dependence marks, mirroring the aggregated tags of
+     * §4.2/§4.3: `writer` is the modVID of the latest version (0 when
+     * the latest version is non-speculative) and `mark` the highest
+     * VID that accessed the latest version (its effective highVID,
+     * distributed read marks included). mark >= writer always.
+     */
+    struct LineCtl
+    {
+        Vid writer = kNonSpecVid;
+        Vid mark = kNonSpecVid;
+    };
+
+    Word& wordOf(Addr a) { return words_[a & ~Addr{7}]; }
+    const Word* wordIf(Addr a) const;
+    LineCtl& lineOf(Addr a) { return lines_[lineAddr(a)]; }
+    const LineCtl* lineIf(Addr a) const;
+
+    std::uint64_t wordValueAt(const Word* w, Vid vid) const;
+
+    bool slaEnabled_;
+    Vid lc_ = kNonSpecVid;
+    std::unordered_map<Addr, Word> words_;
+    std::unordered_map<Addr, LineCtl> lines_;
+    /** Per-live-VID read/write line sets; erased on commit, cleared
+     *  on abort. Non-empty keys are always > lc_. */
+    std::map<Vid, std::pair<std::set<Addr>, std::set<Addr>>> rw_;
+};
+
+} // namespace hmtx::check
+
+#endif // HMTX_CHECK_GOLDEN_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fuzz schedules: a random program over the MTX op-set plus a
+ * line-oriented text serialization used for shrunken-divergence replay
+ * files (the .sched files under tests/fuzz/corpus).
+ *
+ * Schedules are written to stay legal under op deletion: speculative
+ * VIDs are encoded as offsets above the LC watermark at execution
+ * time, commits always target LC+1, and the runner silently skips ops
+ * whose preconditions no longer hold (e.g. a VID reset while
+ * transactions are outstanding). That is what makes ddmin shrinking
+ * (check/differ.hh) sound: any subsequence of a schedule is itself a
+ * valid schedule.
+ */
+
+#ifndef HMTX_CHECK_SCHEDULE_HH
+#define HMTX_CHECK_SCHEDULE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace hmtx::check
+{
+
+/** One fuzzed memory-system operation. */
+enum class OpKind : std::uint8_t
+{
+    Load,         ///< correct-path speculative load (marks, read set)
+    Store,        ///< speculative store (may trigger a §4.3 abort)
+    NonSpecLoad,  ///< VID-0 load of the committed image
+    NonSpecStore, ///< VID-0 store (aborts under speculative state)
+    WrongPathLoad,///< branch-speculative load (§5.1 SLA source)
+    Commit,       ///< commitMTX of VID LC+1 (§4.4)
+    AbortAll,     ///< global abort (§4.4)
+    VidReset,     ///< VID-window reset (§4.6)
+    SlaConfirm,   ///< ack the oldest pending SLA with its loaded value
+    SlaMismatch,  ///< ack the oldest pending SLA with a perturbed value
+};
+
+struct Op
+{
+    OpKind kind = OpKind::Load;
+    std::uint8_t core = 0;
+    /** VID = LC + vidOff at execution time (1..8); ignored by VID-0
+     *  and bulk ops. */
+    std::uint8_t vidOff = 1;
+    std::uint8_t size = 8; ///< access size; (addr & 7) + size <= 8
+    Addr addr = 0;
+    std::uint64_t value = 0; ///< store payload
+};
+
+/**
+ * Semantic knobs shared by every cell of the config matrix; the
+ * matrix itself (fabric × commit mode × shards) lives in the runner.
+ */
+struct FuzzConfig
+{
+    unsigned numCores = 2;
+    unsigned l1KB = 1;
+    unsigned l1Assoc = 2;
+    unsigned l2KB = 8;
+    unsigned l2Assoc = 8;
+    unsigned vidBits = 6;
+    bool unboundedSpecSets = false;
+    bool slaEnabled = true;
+    /** Shard counts for the four matrix cells, recorded at generation
+     *  time (host cell uses the generating machine's CPU count) so a
+     *  replay reruns the exact same partitioning. */
+    unsigned shards[4] = {1, 1, 1, 1};
+    /** Worker-thread policy per cell (0 auto, 1 inline, >=2 forced). */
+    unsigned shardThreads[4] = {1, 1, 1, 1};
+};
+
+struct Schedule
+{
+    FuzzConfig cfg;
+    std::vector<Op> ops;
+};
+
+/**
+ * Generates a random schedule of @p numOps operations. The same
+ * (seed, numOps) pair always yields the same schedule. Address pools
+ * deliberately collide in a handful of tiny-cache sets so eviction,
+ * overflow-table spills, and capacity aborts fire constantly.
+ */
+Schedule generate(std::uint64_t seed, unsigned numOps);
+
+/** Serializes to the replay text format (see DESIGN.md §10). */
+std::string serialize(const Schedule& s);
+
+/** One-line human-readable form of @p op for divergence reports. */
+std::string describe(const Op& op);
+
+/**
+ * Parses a replay file. Returns false and sets @p err on malformed
+ * input; accepts exactly what serialize() emits plus blank lines and
+ * `#` comments.
+ */
+bool parse(const std::string& text, Schedule& out, std::string& err);
+
+} // namespace hmtx::check
+
+#endif // HMTX_CHECK_SCHEDULE_HH

@@ -7,6 +7,7 @@
 
 #include "sim/cache_system.hh"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -111,6 +112,32 @@ CacheSystem::maybeCrossCheck()
         verifyIndexes();
 }
 
+// --- validation-set accessors -------------------------------------------
+
+std::vector<Addr>
+CacheSystem::readSetOf(Vid vid) const
+{
+    auto it = rw_.find(vid);
+    if (it == rw_.end())
+        return {};
+    std::vector<Addr> out(it->second.reads.begin(),
+                          it->second.reads.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<Addr>
+CacheSystem::writeSetOf(Vid vid) const
+{
+    auto it = rw_.find(vid);
+    if (it == rw_.end())
+        return {};
+    std::vector<Addr> out(it->second.writes.begin(),
+                          it->second.writes.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
 // --- self-checks --------------------------------------------------------
 
 void
@@ -137,6 +164,15 @@ CacheSystem::checkInvariants()
             });
         }
     }
+    // Spilled versions are live protocol state too: a responder in the
+    // overflow table conflicts with cached versions exactly as if it
+    // were still in the L2. The presence filter only tracks caches, so
+    // collect their addresses separately (const walk — no lazy
+    // reconciliation, this check must stay observation-only).
+    overflow_.forEachConst([&](const Line& l, const LineData&) {
+        if (l.state != State::Invalid)
+            addrs.insert(l.base);
+    });
     const Vid maxV = cfg_.maxVid();
     for (Addr la : addrs) {
         // The check judges lines as of the current LC VID, so fold the
@@ -153,6 +189,14 @@ CacheSystem::checkInvariants()
                     live.push_back(s);
             }
         }
+        overflow_.forEachConst([&](const Line& l, const LineData&) {
+            if (l.state == State::Invalid || l.base != la)
+                return;
+            Line s = l;
+            applyReconcile(s);
+            if (s.state != State::Invalid)
+                live.push_back(s);
+        });
         bool anySpec = false, anyNonSpec = false, responder = false;
         for (const Line& s : live) {
             (isSpec(s.state) ? anySpec : anyNonSpec) = true;

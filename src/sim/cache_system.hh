@@ -188,6 +188,15 @@ class CacheSystem
      */
     void verifyIndexes();
 
+    /**
+     * Sorted line addresses currently recorded in @p vid's read set
+     * (Figure 9 validation sets). Exposed for the golden-model
+     * differential checker and tests.
+     */
+    std::vector<Addr> readSetOf(Vid vid) const;
+    /** Sorted line addresses in @p vid's write set. */
+    std::vector<Addr> writeSetOf(Vid vid) const;
+
     /** Index diagnostics (simulator-side, not architectural). */
     const IndexStats& indexStats() const { return idxStats_; }
 
@@ -276,8 +285,29 @@ class CacheSystem
     void fixPeersForNewVersion(Addr la, const Line* owner, Vid y);
     /** Invalidates peer S-S copies of version @p mod of @p la. */
     void invalidatePeerSpecShared(Addr la, const Line* keep, Vid mod);
-    /** Invalidates non-speculative copies of @p la except @p keep. */
-    void invalidateNonSpecPeers(Addr la, const Line* keep);
+    /** Live read mark recovered from a destroyed latest-version S-S
+     *  copy (§4.3); kNonSpecVid when none was dropped. */
+    struct DroppedMark
+    {
+        Vid high = kNonSpecVid;
+        bool wrongPath = false;
+    };
+    /**
+     * Invalidates non-speculative copies of @p la except @p keep.
+     * Latest-version S-S copies are dropped too; any live (> lcVid)
+     * local read mark they carried is returned so the caller can fold
+     * it into the surviving owner — destroying a copy must not erase
+     * the record that a later VID read this version.
+     */
+    DroppedMark invalidateNonSpecPeers(Addr la, const Line* keep);
+    /**
+     * Folds the live local read mark of latest-copy @p victim into the
+     * responder version of @p la (in a cache or the overflow table)
+     * before the copy is destroyed. Returns false when no speculative
+     * responder exists to carry it; the caller must then abort
+     * conservatively.
+     */
+    bool foldCopyMark(Addr la, const Line& victim);
     /** True if any non-speculative copy of @p la but @p except is
      *  dirty (MOESI allows a clean S hit while a dirty O exists). */
     bool anyNonSpecDirty(Addr la, const Line* except);
@@ -446,6 +476,16 @@ class CacheSystem
                               unsigned size);
 
     EventQueue& eq_;
+    /**
+     * Logical access clock for replacement recency. Line::lastUse is
+     * stamped from this counter, not from eq_.curTick(): simulated
+     * time advances differently under different fabrics and commit
+     * modes (bus vs directory occupancy, eager walk costs), and tying
+     * LRU to it would make victim selection — and therefore hit/miss
+     * behaviour — depend on the timing model. A per-access counter
+     * keeps replacement a pure function of the access sequence.
+     */
+    Tick useClock_ = 0;
     MachineConfig cfg_;
     MainMemory mem_;
     /** caches_[0..numCores-1] are L1s; caches_.back() is the L2. */

@@ -21,27 +21,39 @@ void
 CacheSystem::applyReadMark(CoreId core, Line& l, Vid vid, AccessResult& r)
 {
     (void)core;
-    switch (classifyReadMark(l.state, l.tag, vid)) {
-      case ReadMarkAction::None:
+    const ReadMarkAction act = classifyReadMark(l.state, l.tag, vid);
+    if (act == ReadMarkAction::None)
         return;
-      case ReadMarkAction::RaiseHigh:
+    if (act == ReadMarkAction::RaiseHigh) {
         r.needSla = true;
         l.tag.high = vid;
         l.highFromWrongPath = false;
         return;
-      case ReadMarkAction::UpgradeWithBus:
-        // Gain writable access (§4.2) before going speculative.
+    }
+    Vid high = vid;
+    bool raised = true;
+    if (act == ReadMarkAction::UpgradeWithBus) {
+        // Gain writable access (§4.2) before going speculative. The
+        // peer copies being destroyed may be latest-version S-S lines
+        // carrying live distributed read marks (§4.3); fold those into
+        // the new owner or a later conflicting store would miss its
+        // dependence abort.
         busAcquire(r, l.base);
         l.dirty = l.dirty || anyNonSpecDirty(l.base, &l);
-        invalidateNonSpecPeers(l.base, &l);
-        [[fallthrough]];
-      case ReadMarkAction::Upgrade:
-        l.state = specUpgradeState(l.dirty);
-        l.tag = {kNonSpecVid, vid};
-        syncLine(l);
-        r.needSla = true;
-        return;
+        DroppedMark dm = invalidateNonSpecPeers(l.base, &l);
+        if (dm.high >= high) {
+            // An inherited peer mark already covers this VID: the
+            // read planted nothing new, exactly as a hit under a
+            // live owner mark would.
+            high = dm.high;
+            l.highFromWrongPath = dm.wrongPath;
+            raised = false;
+        }
     }
+    l.state = specUpgradeState(l.dirty);
+    l.tag = {kNonSpecVid, high};
+    syncLine(l);
+    r.needSla = raised;
 }
 
 void
@@ -121,9 +133,10 @@ CacheSystem::anyNonSpecDirty(Addr la, const Line* except)
     return dirty;
 }
 
-void
+CacheSystem::DroppedMark
 CacheSystem::invalidateNonSpecPeers(Addr la, const Line* keep)
 {
+    DroppedMark dm;
     forEachSnoopTarget(la, [&](std::size_t ci) {
         for (auto& l : caches_[ci].set(la).lines) {
             if (&l == keep || l.state == State::Invalid || l.base != la)
@@ -134,13 +147,21 @@ CacheSystem::invalidateNonSpecPeers(Addr la, const Line* keep)
             } else if (l.state == State::SpecShared) {
                 // Copies are always refetchable from the owner (or
                 // memory); a stale one must not keep serving reads
-                // after this write.
+                // after this write. A latest-version copy's highVID is
+                // a live local read mark, though — surface it to the
+                // caller so the record survives the copy (§4.3).
+                if (l.latestCopy && l.tag.high > lcVid_ &&
+                    l.tag.high > dm.high) {
+                    dm.high = l.tag.high;
+                    dm.wrongPath = l.highFromWrongPath;
+                }
                 l.state = State::Invalid;
                 l.latestCopy = false;
                 syncLine(l);
             }
         }
     });
+    return dm;
 }
 
 void
@@ -266,7 +287,7 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
     if (v) {
         ++stats_.l1Hits;
         r.l1Hit = true;
-        v->lastUse = eq_.curTick();
+        v->lastUse = ++useClock_;
         r.value = readData(*v, a, size);
         if (mark) {
             if (v->state == State::SpecShared && v->latestCopy) {
@@ -292,7 +313,7 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
             ++stats_.snoopHits;
             r.latency += net_->transferLatency() + rh.extraLatency;
             Line& o = *rh.line;
-            o.lastUse = eq_.curTick();
+            o.lastUse = ++useClock_;
             r.value = readData(o, a, size);
             if (isSpec(o.state)) {
                 // The speculative owner responds; requester keeps a
@@ -325,21 +346,34 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
             } else if (mark) {
                 // First speculative access: gain writable access and
                 // migrate ownership to the requesting core (§4.2).
+                // Peer latest-copy read marks fold into the new owner,
+                // as in the local upgrade path.
                 bool dirty = o.dirty || anyNonSpecDirty(la, &o);
                 LineData d = dataOf(o);
-                invalidateNonSpecPeers(la, nullptr);
+                // The dirty committed payload survives only in `d`
+                // once the peers are invalidated, and the allocation
+                // below may capacity-abort: flush it to memory first.
+                if (dirty) {
+                    mem_.writeLine(la, d);
+                    ++stats_.writebacks;
+                }
+                DroppedMark dm = invalidateNonSpecPeers(la, nullptr);
                 Line* nl = allocate(l1, la);
                 if (!nl) {
                     r.aborted = true;
                     return r;
                 }
                 nl->state = specUpgradeState(dirty);
-                nl->tag = {kNonSpecVid, vid};
+                nl->tag = {kNonSpecVid, std::max(vid, dm.high)};
                 nl->dirty = dirty;
-                nl->highFromWrongPath = wrongPath;
+                nl->highFromWrongPath =
+                    vid > dm.high ? wrongPath : dm.wrongPath;
                 dataOf(*nl) = d;
                 syncLine(*nl);
-                r.needSla = true;
+                // A folded peer mark covering this VID means the read
+                // planted nothing new (same rule as a hit under a live
+                // owner mark).
+                r.needSla = vid > dm.high;
             } else {
                 // Plain MOESI read miss served cache-to-cache.
                 if (o.state == State::Modified)
@@ -383,7 +417,7 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
                 if (exist) {
                     exist->tag.high =
                         std::max(exist->tag.high, reqVid + 1);
-                    exist->lastUse = eq_.curTick();
+                    exist->lastUse = ++useClock_;
                 } else if (Line* nl = allocateOpt(l1, la)) {
                     // Best effort: if no slot is free the value is
                     // still served; a later conflicting store is
@@ -481,7 +515,7 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
         writeData(*v, a, value, size);
         v->dirty = true;
         syncLine(*v);
-        v->lastUse = eq_.curTick();
+        v->lastUse = ++useClock_;
         r.l1Hit = true;
         ++stats_.l1Hits;
         recordWrite(vid, la, v);
@@ -585,7 +619,7 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
         writeData(*owner, a, value, size);
         owner->dirty = true;
         syncLine(*owner);
-        owner->lastUse = eq_.curTick();
+        owner->lastUse = ++useClock_;
         recordWrite(vid, la, owner);
         checkShadowAvoided(la, vid);
         return r;
@@ -644,7 +678,7 @@ CacheSystem::nonSpecStore(CoreId core, Addr a, std::uint64_t value,
         v->state = State::Modified;
         v->dirty = true;
         syncLine(*v);
-        v->lastUse = eq_.curTick();
+        v->lastUse = ++useClock_;
         r.l1Hit = true;
         ++stats_.l1Hits;
         return r;
@@ -703,6 +737,15 @@ CacheSystem::nonSpecStore(CoreId core, Addr a, std::uint64_t value,
         d = mem_.readLine(la);
     }
 
+    // The peers about to be invalidated may include the only dirty
+    // copy of the committed line (the owner itself, or an O copy when
+    // a clean S copy answered). Its payload lives only in `d` from
+    // here on — and the allocation below may capacity-abort, dropping
+    // `d` — so flush the committed data to memory first.
+    if ((owner && owner->dirty) || anyNonSpecDirty(la, owner)) {
+        mem_.writeLine(la, d);
+        ++stats_.writebacks;
+    }
     invalidateNonSpecPeers(la, nullptr);
     Line* nl = allocate(l1, la);
     if (!nl) {

@@ -120,6 +120,14 @@ CacheSystem::abortAll()
 Cycles
 CacheSystem::vidReset()
 {
+    // Check the precondition *before* the destructive walk below: the
+    // walk folds versions and rewrites memory, so throwing after it
+    // would leave the machine reset in all but name — exactly the
+    // stale-tag hazard §4.6 warns about.
+    if (!rw_.empty()) {
+        throw std::logic_error(
+            "vidReset with outstanding uncommitted transactions");
+    }
     WalkScratch agg = shardedWalk(
         OvPhase::BeforeLines,
         [&](Line& l, WalkScratch& s) {
@@ -144,10 +152,6 @@ CacheSystem::vidReset()
             l.state = State::Invalid;
         });
     stats_.writebacks += agg.n[1];
-    if (!rw_.empty()) {
-        throw std::logic_error(
-            "vidReset with outstanding uncommitted transactions");
-    }
     lcVid_ = kNonSpecVid;
     ++rwGen_; // VIDs recycle after the reset; invalidate rw marks
     shadow_.clear();

@@ -161,6 +161,82 @@ CacheSystem::victimClass(const Line& l) const
 }
 
 bool
+CacheSystem::foldCopyMark(Addr la, const Line& victim)
+{
+    // Carriers in preference order: a spec-latest responder (S-E/S-M),
+    // a peer latest-version S-S copy, then a non-speculative copy. The
+    // last tier matters for lazy/eager symmetry: an eager commit walk
+    // reconciles a retired owner to plain S/E while a lazy cell keeps
+    // it S-E(0,h), and the evicting copy's mark must survive in both.
+    Line* owner = nullptr;
+    Line* peer = nullptr;
+    Line* plain = nullptr;
+    forEachSnoopTarget(la, [&](std::size_t ci) {
+        if (owner)
+            return;
+        for (auto& l : caches_[ci].set(la).lines) {
+            if (&l == &victim || l.state == State::Invalid ||
+                l.base != la)
+                continue;
+            if (isSpecLatest(l.state)) {
+                owner = &l;
+                return;
+            }
+            if (l.state == State::SpecShared && l.latestCopy)
+                peer = &l;
+            else if (!isSpec(l.state)) {
+                // Prefer the responder copy (E/M/O) over silent S.
+                if (!plain || plain->state == State::Shared)
+                    plain = &l;
+            }
+        }
+    });
+    if (!owner && !peer && cfg_.unboundedSpecSets) {
+        if (auto* vs = overflow_.versionsOf(la)) {
+            for (auto& l : vs->lines) {
+                if (isSpecLatest(l.state)) {
+                    owner = &l;
+                    break;
+                }
+            }
+        }
+    }
+    if (Line* dst = owner ? owner : peer) {
+        if (victim.tag.high > dst->tag.high) {
+            dst->tag.high = victim.tag.high;
+            dst->highFromWrongPath = victim.highFromWrongPath;
+        }
+        return true;
+    }
+    if (!plain)
+        return false;
+    // No speculative version of the line exists, so the committed data
+    // *is* the latest version and any copy of it may adopt the mark,
+    // re-entering the mod==0 speculative encoding a spec load of
+    // non-speculative data produces. dirty / mayHaveSharers carry the
+    // MOESI facts through the later retire (shareIfSharers lands an
+    // ex-O carrier back in O/S, an ex-M one in M).
+    // The carrier becomes the version's responder (S-E), never an S-S
+    // copy: a copy-class carrier would itself need a responder to fold
+    // into when evicted, and its victim class (2 vs 4) must match what
+    // a cell that never reconciled the original owner keeps. Ex-S and
+    // ex-O carriers note their peers so retire lands them back in a
+    // shareable state.
+    plain->tag = {kNonSpecVid, victim.tag.high};
+    plain->highFromWrongPath = victim.highFromWrongPath;
+    if (plain->state == State::Shared || plain->state == State::Owned)
+        plain->mayHaveSharers = true;
+    plain->state = State::SpecExclusive;
+    syncLine(*plain);
+    // Same rule as a speculative upgrade of committed data: the now-
+    // speculative version may not coexist with plain copies. No marked
+    // S-S peers exist here (tier 2 would have carried the mark), so
+    // the dropped-mark result is vacuous.
+    invalidateNonSpecPeers(la, plain);
+    return true;
+}
+
+bool
 CacheSystem::evict(Cache& c, Line& victim)
 {
     reconcile(victim);
@@ -177,7 +253,17 @@ CacheSystem::evict(Cache& c, Line& victim)
 
     switch (victim.state) {
       case State::SpecShared:
-        // Droppable copies: the owner version still responds.
+        // Droppable copies: the owner version still responds. A
+        // latest-version copy's highVID is a live local read mark,
+        // though (§4.3) — fold it into the responder before the copy
+        // dies, or abort conservatively when no speculative responder
+        // remains to carry it (§5.4).
+        if (victim.latestCopy && victim.tag.high > lcVid_ &&
+            !foldCopyMark(la, victim)) {
+            ++stats_.capacityAborts;
+            triggerAbort(&victim);
+            return false;
+        }
         drop();
         return true;
       case State::Shared:
@@ -250,9 +336,19 @@ CacheSystem::evict(Cache& c, Line& victim)
         return true;
     }
 
-    // Move the line from an L1 into the shared L2.
+    // Move the line from an L1 into the shared L2. A committed dirty
+    // payload (plain M/O, or the mod==0 speculative encodings — after
+    // the reconcile above, committed data always tags mod==0) exists
+    // only in the local copy once drop() runs, and the L2 allocation
+    // can capacity-abort mid-move; flush it so memory stays the
+    // backstop. Uncommitted payloads (mod > LC) are abort-revertible
+    // by construction and need no flush.
     Line copy = victim;
     LineData d = c.dataOf(victim);
+    if (copy.dirty && copy.tag.mod == kNonSpecVid) {
+        mem_.writeLine(la, d);
+        ++stats_.writebacks;
+    }
     drop();
     Line* slot = allocate(caches_.back(), la);
     if (!slot)
@@ -283,7 +379,9 @@ CacheSystem::allocateOpt(Cache& c, Addr la)
                     continue;
                 if (!victim || victimClass(l) < victimClass(*victim) ||
                     (victimClass(l) == victimClass(*victim) &&
-                     l.lastUse < victim->lastUse)) {
+                     (l.lastUse < victim->lastUse ||
+                      (l.lastUse == victim->lastUse &&
+                       l.base < victim->base)))) {
                     victim = &l;
                 }
             }
@@ -297,7 +395,7 @@ CacheSystem::allocateOpt(Cache& c, Addr la)
     }
     *slot = Line{};
     slot->base = la;
-    slot->lastUse = eq_.curTick();
+    slot->lastUse = ++useClock_;
     c.dataOf(*slot).fill(0);
     return slot;
 }
@@ -312,13 +410,21 @@ CacheSystem::allocate(Cache& c, Addr la)
             reconcile(l);
         slot = c.freeSlot(la);
         if (!slot) {
-            // Choose the cheapest victim (lowest class, then LRU).
+            // Choose the cheapest victim (lowest class, then LRU,
+            // then lowest address). The address tie-break matters:
+            // same-tick allocations leave lastUse ties, and without it
+            // the winner would depend on physical way order — which
+            // varies with reconciliation timing (lazy vs. eager), so
+            // replacement would not be a pure function of the set's
+            // contents.
             Line* victim = &s.front();
             for (auto& l : s) {
                 int vc = victimClass(l);
                 int bc = victimClass(*victim);
                 if (vc < bc ||
-                    (vc == bc && l.lastUse < victim->lastUse)) {
+                    (vc == bc && (l.lastUse < victim->lastUse ||
+                                  (l.lastUse == victim->lastUse &&
+                                   l.base < victim->base)))) {
                     victim = &l;
                 }
             }
@@ -330,7 +436,7 @@ CacheSystem::allocate(Cache& c, Addr la)
     }
     *slot = Line{};
     slot->base = la;
-    slot->lastUse = eq_.curTick();
+    slot->lastUse = ++useClock_;
     c.dataOf(*slot).fill(0);
     return slot;
 }

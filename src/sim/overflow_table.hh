@@ -145,6 +145,22 @@ class OverflowTable
         }
     }
 
+    /**
+     * Read-only walk: applies @p fn(const Line&, const LineData&) to
+     * every entry without reconciling or erasing anything. Observation
+     * paths (checkInvariants) use this so a self-check never perturbs
+     * the table the way the lazily-reconciling forEach() variants do.
+     */
+    template <typename Fn>
+    void
+    forEachConst(Fn&& fn) const
+    {
+        for (const auto& bank : banks_)
+            for (const auto& [a, v] : bank)
+                for (std::size_t i = 0; i < v.lines.size(); ++i)
+                    fn(v.lines[i], v.data[i]);
+    }
+
     /** Number of banks the entries are partitioned into. */
     std::size_t bankCount() const { return banks_.size(); }
 

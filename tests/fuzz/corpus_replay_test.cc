@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Replays every shrunken divergence schedule checked into
+ * tests/fuzz/corpus/ (DESIGN.md §10). Each corpus file is a schedule
+ * that once exposed a real protocol or golden-model bug; replaying it
+ * here turns every past fuzzer catch into a permanent regression test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/differ.hh"
+#include "check/schedule.hh"
+
+namespace
+{
+
+using namespace hmtx;
+using namespace hmtx::check;
+namespace fs = std::filesystem;
+
+std::vector<fs::path>
+corpusFiles()
+{
+    std::vector<fs::path> out;
+    fs::path dir(HMTX_FUZZ_CORPUS_DIR);
+    if (!fs::exists(dir))
+        return out;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".sched")
+            out.push_back(entry.path());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+TEST(CorpusReplay, AllSchedulesConverge)
+{
+    auto files = corpusFiles();
+    // The corpus starts empty on a fresh checkout and grows as the
+    // fuzzer finds (and we fix) bugs; an empty directory is not a
+    // failure.
+    for (const auto &path : files) {
+        std::ifstream in(path);
+        ASSERT_TRUE(in.good()) << "cannot open " << path;
+        std::stringstream buf;
+        buf << in.rdbuf();
+
+        Schedule s;
+        std::string err;
+        ASSERT_TRUE(parse(buf.str(), s, err))
+            << path << ": parse error: " << err;
+
+        Divergence d = runSchedule(s);
+        EXPECT_FALSE(d.found)
+            << path << " diverged again (regression): " << d.what;
+    }
+    RecordProperty("corpus_size", static_cast<int>(files.size()));
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Standalone differential fuzzing driver (DESIGN.md §10).
+ *
+ *   hmtx_fuzz [--schedules N] [--ops N] [--seed0 S]
+ *             [--corpus-out DIR] [--no-shrink]
+ *   hmtx_fuzz --replay FILE [--shrink]
+ *
+ * Batch mode generates N schedules from consecutive seeds and runs
+ * each against the golden model across the 4-cell config matrix. On
+ * the first divergence it ddmin-shrinks the schedule, writes the
+ * minimal replay file (to --corpus-out if given, else the cwd), prints
+ * it, and exits nonzero. On success it prints a coverage summary so CI
+ * logs show what the campaign actually exercised.
+ *
+ * Replay mode parses one schedule file and runs it; with --shrink it
+ * first minimizes a diverging schedule before reporting.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "check/differ.hh"
+#include "check/schedule.hh"
+
+using namespace hmtx;
+using namespace hmtx::check;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cerr <<
+        "usage: hmtx_fuzz [--schedules N] [--ops N] [--seed0 S]\n"
+        "                 [--corpus-out DIR] [--no-shrink]\n"
+        "       hmtx_fuzz --replay FILE [--shrink]\n";
+}
+
+int
+reportDivergence(const Schedule &sched, const Divergence &d, bool shrink,
+                 const std::string &corpusDir, std::uint64_t seed)
+{
+    std::cerr << "DIVERGENCE (seed " << seed << ", op "
+              << d.opIndex << "): " << d.what << "\n";
+
+    Schedule minimal = sched;
+    if (shrink) {
+        std::cerr << "shrinking " << sched.ops.size() << " ops...\n";
+        minimal = shrinkSchedule(sched);
+        std::cerr << "minimal schedule: " << minimal.ops.size()
+                  << " ops\n";
+        Divergence dmin = runSchedule(minimal);
+        if (dmin.found)
+            std::cerr << "minimal divergence: " << dmin.what << "\n";
+    }
+
+    std::string out = serialize(minimal);
+    std::string path = (corpusDir.empty() ? std::string(".") : corpusDir) +
+        "/div-seed" + std::to_string(seed) + ".sched";
+    std::ofstream f(path);
+    if (f.good()) {
+        f << out;
+        std::cerr << "wrote " << path << "\n";
+    } else {
+        std::cerr << "could not write " << path << "\n";
+    }
+    std::cerr << "--- replay file ---\n" << out;
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t schedules = 200;
+    unsigned ops = 160;
+    std::uint64_t seed0 = 1;
+    std::string corpusDir;
+    std::string replayFile;
+    bool shrink = true;
+    bool replayShrink = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << flag << " needs an argument\n";
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--schedules")
+            schedules = std::strtoull(next("--schedules"), nullptr, 0);
+        else if (a == "--ops")
+            ops = static_cast<unsigned>(
+                std::strtoul(next("--ops"), nullptr, 0));
+        else if (a == "--seed0")
+            seed0 = std::strtoull(next("--seed0"), nullptr, 0);
+        else if (a == "--corpus-out")
+            corpusDir = next("--corpus-out");
+        else if (a == "--no-shrink")
+            shrink = false;
+        else if (a == "--replay")
+            replayFile = next("--replay");
+        else if (a == "--shrink")
+            replayShrink = true;
+        else {
+            std::cerr << "unknown argument: " << a << "\n";
+            usage();
+            return 2;
+        }
+    }
+
+    if (!replayFile.empty()) {
+        std::ifstream in(replayFile);
+        if (!in.good()) {
+            std::cerr << "cannot open " << replayFile << "\n";
+            return 2;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        Schedule s;
+        std::string err;
+        if (!parse(buf.str(), s, err)) {
+            std::cerr << replayFile << ": parse error: " << err << "\n";
+            return 2;
+        }
+        Divergence d = runSchedule(s);
+        if (!d.found) {
+            std::cout << replayFile << ": no divergence ("
+                      << s.ops.size() << " ops)\n";
+            return 0;
+        }
+        return reportDivergence(s, d, replayShrink, corpusDir, 0);
+    }
+
+    Coverage cov;
+    for (std::uint64_t seed = seed0; seed < seed0 + schedules; ++seed) {
+        Schedule s = generate(seed, ops);
+        Divergence d = runSchedule(s, &cov);
+        if (d.found)
+            return reportDivergence(s, d, shrink, corpusDir, seed);
+        if ((seed - seed0 + 1) % 500 == 0)
+            std::cerr << (seed - seed0 + 1) << "/" << schedules
+                      << " schedules clean\n";
+    }
+
+    std::cout << "fuzz campaign clean: " << cov.schedules
+              << " schedules, " << cov.ops << " ops\n"
+              << "  commits=" << cov.commits
+              << " aborts=" << cov.aborts
+              << " capacityAborts=" << cov.capacityAborts
+              << " vidResets=" << cov.vidResets << "\n"
+              << "  spills=" << cov.spills
+              << " refills=" << cov.refills
+              << " soRefetches=" << cov.soRefetches << "\n"
+              << "  slaConfirms=" << cov.slaConfirms
+              << " slaMismatchAborts=" << cov.slaMismatchAborts << "\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fixed-seed differential fuzz batch (DESIGN.md §10). Every schedule
+ * runs against the golden model and the 4-cell config matrix; any
+ * divergence fails the test and prints the full replay file so the
+ * failure can be reproduced and shrunk with:
+ *
+ *   build-release/tests/fuzz/hmtx_fuzz --replay <file>
+ *
+ * The batch is sized to stay well under 30 s even under ASan+UBSan;
+ * the long randomized campaigns live in ci/check.sh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/differ.hh"
+#include "check/schedule.hh"
+
+namespace
+{
+
+using namespace hmtx;
+using namespace hmtx::check;
+
+void
+runSeedBlock(std::uint64_t first, std::uint64_t count, unsigned ops)
+{
+    Coverage cov;
+    for (std::uint64_t seed = first; seed < first + count; ++seed) {
+        Schedule s = generate(seed, ops);
+        Divergence d = runSchedule(s, &cov);
+        ASSERT_FALSE(d.found)
+            << "seed " << seed << " diverged: " << d.what
+            << "\n--- replay file ---\n"
+            << serialize(s);
+    }
+    // The batch must actually exercise the machinery it claims to
+    // cover; these floors catch a generator regression that silently
+    // stops producing commits/aborts/spills.
+    EXPECT_GT(cov.commits, count);
+    EXPECT_GT(cov.aborts, count / 4);
+    EXPECT_GT(cov.slaConfirms, count / 4);
+}
+
+TEST(FuzzSmoke, SeedsBlockA) { runSeedBlock(1, 12, 150); }
+TEST(FuzzSmoke, SeedsBlockB) { runSeedBlock(101, 12, 150); }
+TEST(FuzzSmoke, SeedsBlockC) { runSeedBlock(201, 12, 150); }
+TEST(FuzzSmoke, SeedsBlockD) { runSeedBlock(301, 12, 150); }
+
+TEST(FuzzSmoke, ScheduleRoundTrips)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        Schedule s = generate(seed, 120);
+        std::string text = serialize(s);
+        Schedule back;
+        std::string err;
+        ASSERT_TRUE(parse(text, back, err)) << err;
+        ASSERT_EQ(back.ops.size(), s.ops.size());
+        EXPECT_EQ(serialize(back), text);
+    }
+}
+
+} // namespace

@@ -109,6 +109,79 @@ TEST(Sla, ConfirmMismatchAborts)
     EXPECT_EQ(sys.stats().aborts, 1u);
 }
 
+/**
+ * The value-check rules must hold identically on both interconnects:
+ * the fabric only changes how the acknowledgment finds the line, not
+ * what the verification decides (§5.1).
+ */
+class SlaFabric : public ::testing::TestWithParam<Fabric>
+{
+  protected:
+    MachineConfig
+    config() const
+    {
+        MachineConfig cfg = configWithSla(true);
+        cfg.fabric = GetParam();
+        return cfg;
+    }
+};
+
+TEST_P(SlaFabric, ConfirmMatchAppliesMarking)
+{
+    EventQueue eq;
+    CacheSystem sys(eq, config());
+    sys.memory().write(0x400, 21, 8);
+
+    AccessResult r = sys.load(0, 0x400, 8, 3);
+    ASSERT_TRUE(r.needSla);
+    EXPECT_TRUE(sys.slaConfirm(0, {0x400, 3, r.value, 8}));
+    EXPECT_EQ(sys.stats().slaConfirms, 1u);
+    EXPECT_EQ(sys.stats().slaMismatchAborts, 0u);
+    // The confirmed marking is live: an earlier-VID store is a flow
+    // violation against the now-recorded read.
+    EXPECT_TRUE(sys.store(1, 0x400, 22, 8, 2).aborted);
+}
+
+TEST_P(SlaFabric, ConfirmMatchFromRemoteCore)
+{
+    EventQueue eq;
+    CacheSystem sys(eq, config());
+    sys.memory().write(0x440, 31, 8);
+
+    // The line lives in core 0's L1; the acknowledgment arrives at
+    // core 1 (a different MTX thread issued the load). The fabric has
+    // to route the verification to the live copy.
+    AccessResult r = sys.load(0, 0x440, 8, 4);
+    ASSERT_TRUE(r.needSla);
+    EXPECT_TRUE(sys.slaConfirm(1, {0x440, 4, r.value, 8}));
+    EXPECT_EQ(sys.stats().slaConfirms, 1u);
+}
+
+TEST_P(SlaFabric, ConfirmMismatchAbortsAndFlushes)
+{
+    EventQueue eq;
+    CacheSystem sys(eq, config());
+    sys.memory().write(0x480, 41, 8);
+
+    AccessResult r = sys.load(0, 0x480, 8, 3);
+    ASSERT_TRUE(r.needSla);
+    EXPECT_FALSE(sys.slaConfirm(0, {0x480, 3, r.value ^ 1, 8}));
+    EXPECT_EQ(sys.stats().slaMismatchAborts, 1u);
+    EXPECT_EQ(sys.stats().aborts, 1u);
+    // The misspeculation flushed the transaction: the same store that
+    // a confirmed marking would abort now proceeds.
+    EXPECT_FALSE(sys.store(1, 0x480, 42, 8, 2).aborted);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFabrics, SlaFabric,
+                         ::testing::Values(Fabric::SnoopBus,
+                                           Fabric::Directory),
+                         [](const auto& info) {
+                             return info.param == Fabric::SnoopBus
+                                        ? "SnoopBus"
+                                        : "Directory";
+                         });
+
 TEST(Sla, ShadowAccountingClearsOnCommit)
 {
     EventQueue eq;
