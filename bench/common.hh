@@ -9,6 +9,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -103,6 +105,45 @@ rule(unsigned width = 78)
     for (unsigned i = 0; i < width; ++i)
         std::putchar('-');
     std::putchar('\n');
+}
+
+/** Name of the event engine @p cfg selects. */
+inline const char*
+engineName(const sim::MachineConfig& cfg)
+{
+    return cfg.engine == sim::SimEngine::Parallel ? "parallel"
+                                                  : "sequential";
+}
+
+/**
+ * Applies the HMTX_ENGINE / HMTX_ENGINE_THREADS environment knobs to
+ * @p cfg and returns the resulting engine name. HMTX_ENGINE is
+ * "sequential" or "parallel" (DESIGN.md §11; results are
+ * bit-identical either way); HMTX_ENGINE_THREADS follows the
+ * MachineConfig::engineThreads encoding (0 auto, 1 inline, >=2
+ * forced). Every bench applies this to each config it builds, so one
+ * environment variable flips a whole run onto the parallel engine.
+ */
+inline const char*
+applyEngineEnv(sim::MachineConfig& cfg)
+{
+    if (const char* e = std::getenv("HMTX_ENGINE")) {
+        if (std::strcmp(e, "parallel") == 0) {
+            cfg.engine = sim::SimEngine::Parallel;
+        } else if (std::strcmp(e, "sequential") == 0) {
+            cfg.engine = sim::SimEngine::Sequential;
+        } else {
+            std::fprintf(stderr,
+                         "FATAL: HMTX_ENGINE=%s (want sequential or "
+                         "parallel)\n",
+                         e);
+            std::abort();
+        }
+    }
+    if (const char* t = std::getenv("HMTX_ENGINE_THREADS"))
+        cfg.engineThreads =
+            static_cast<unsigned>(std::strtoul(t, nullptr, 0));
+    return engineName(cfg);
 }
 
 /** Verifies checksum equality and aborts the bench loudly if the

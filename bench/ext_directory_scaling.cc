@@ -59,6 +59,46 @@ timeShardRun(const char* name, unsigned cores, unsigned shards)
         // sharded engine parallelizes.
         cfg.lazyCommit = false;
         cfg.shards = shards;
+        applyEngineEnv(cfg);
+        auto wl = workloads::makeByName(name);
+        const auto t0 = std::chrono::steady_clock::now();
+        runtime::ExecResult r = runtime::Runner::runHmtx(*wl, cfg);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (rep == 0 || ms < s.wallMs) {
+            s.wallMs = ms;
+            s.r = std::move(r);
+        }
+    }
+    return s;
+}
+
+/** One cell of the event-engine host-throughput sweep. */
+struct EngineSample
+{
+    unsigned cores;
+    sim::SimEngine engine;
+    double wallMs;
+    runtime::ExecResult r;
+};
+
+/** Best-of-3 host wall clock around one HMTX run under @p engine.
+ *  The per-access hot path dominates here, so the directory fabric
+ *  at many simulated cores is where staged execution has breadth. */
+EngineSample
+timeEngineRun(const char* name, unsigned cores, sim::SimEngine engine)
+{
+    EngineSample s{cores, engine, 0.0, {}};
+    for (int rep = 0; rep < 3; ++rep) {
+        sim::MachineConfig cfg;
+        cfg.numCores = cores;
+        cfg.fabric = sim::Fabric::Directory;
+        cfg.dirBanks = 16;
+        cfg.dirLookup = 10;
+        cfg.dirHop = 10;
+        cfg.engine = engine;
+        cfg.engineThreads = 0; // auto: clamp to host CPUs
         auto wl = workloads::makeByName(name);
         const auto t0 = std::chrono::steady_clock::now();
         runtime::ExecResult r = runtime::Runner::runHmtx(*wl, cfg);
@@ -79,8 +119,11 @@ int
 main(int argc, char** argv)
 {
     const char* outPath = argc > 1 ? argv[1] : "BENCH_scaling.json";
+    sim::MachineConfig envProbe;
+    const char* envEngine = applyEngineEnv(envProbe);
     std::printf("Extension §8: PS-DSWP scaling, snoopy bus vs "
-                "directory fabric\n");
+                "directory fabric (engine: %s)\n",
+                envEngine);
 
     const std::vector<const char*> benches{"456.hmmer", "197.parser"};
     const std::vector<unsigned> coreCounts{2, 4, 8, 16, 32};
@@ -90,13 +133,15 @@ main(int argc, char** argv)
         std::fprintf(stderr, "FATAL: cannot open %s\n", outPath);
         return 1;
     }
-    std::fprintf(js, "{\n \"workloads\": {\n");
+    std::fprintf(js, "{\n \"engine\": \"%s\",\n \"workloads\": {\n",
+                 envEngine);
 
     bool dirWinsAtScale = true;
     for (std::size_t w = 0; w < benches.size(); ++w) {
         const char* name = benches[w];
         auto seqWl = workloads::makeByName(name);
         sim::MachineConfig base;
+        applyEngineEnv(base);
         runtime::ExecResult seq =
             runtime::Runner::runSequential(*seqWl, base);
 
@@ -112,6 +157,7 @@ main(int argc, char** argv)
         for (unsigned cores : coreCounts) {
             sim::MachineConfig snoop;
             snoop.numCores = cores;
+            applyEngineEnv(snoop);
             auto a = workloads::makeByName(name);
             runtime::ExecResult rs = runtime::Runner::runHmtx(*a, snoop);
             requireChecksum(name, seq, rs);
@@ -193,6 +239,7 @@ main(int argc, char** argv)
 
     auto shardSeqWl = workloads::makeByName(shardBench);
     sim::MachineConfig shardSeqCfg;
+    applyEngineEnv(shardSeqCfg);
     runtime::ExecResult shardSeq =
         runtime::Runner::runSequential(*shardSeqWl, shardSeqCfg);
 
@@ -223,6 +270,54 @@ main(int argc, char** argv)
     }
     rule(88);
 
+    // --- parallel-engine host-throughput sweep -------------------------
+    // Same bit-identity guarantee as the shard sweep (ParallelDifferential
+    // and the fuzzer's engine cells enforce it); this measures the host
+    // wall clock of staged per-access execution (DESIGN.md §11) at the
+    // many-core configs where each tick carries events from many lanes.
+    // On a single-CPU host auto mode stays inline, so the ratio is
+    // reported but the >1x gate is only armed when host_cpus > 1.
+    std::printf("\nparallel event engine, %s, directory fabric "
+                "(host CPUs: %u)\n",
+                shardBench, hostCpus);
+    rule(88);
+    std::printf("%-7s | %-10s %-8s %-9s | %-10s %-9s\n", "cores",
+                "engine", "workers", "threaded", "wall ms", "speedup");
+    rule(88);
+
+    bool parallelSpeedupMet = true;
+    std::vector<EngineSample> engineSamples;
+    for (unsigned cores : {16u, 32u}) {
+        EngineSample base =
+            timeEngineRun(shardBench, cores, sim::SimEngine::Sequential);
+        requireChecksum(shardBench, shardSeq, base.r);
+        EngineSample par =
+            timeEngineRun(shardBench, cores, sim::SimEngine::Parallel);
+        requireChecksum(shardBench, shardSeq, par.r);
+        if (base.r.cycles != par.r.cycles) {
+            std::fprintf(stderr,
+                         "FATAL: engine choice changed simulated "
+                         "time (%llu vs %llu cycles)\n",
+                         static_cast<unsigned long long>(base.r.cycles),
+                         static_cast<unsigned long long>(par.r.cycles));
+            return 1;
+        }
+        for (const EngineSample* s : {&base, &par}) {
+            std::printf(
+                "%-7u | %-10s %-8llu %-9s | %9.2f %8.2fx\n", s->cores,
+                s->engine == sim::SimEngine::Parallel ? "parallel"
+                                                      : "sequential",
+                static_cast<unsigned long long>(s->r.parStats.workers),
+                s->r.parStats.threaded ? "yes" : "no", s->wallMs,
+                base.wallMs / s->wallMs);
+        }
+        if (hostCpus > 1 && par.wallMs >= base.wallMs)
+            parallelSpeedupMet = false;
+        engineSamples.push_back(std::move(base));
+        engineSamples.push_back(std::move(par));
+    }
+    rule(88);
+
     std::fprintf(js, " },\n \"host_cpus\": %u,\n \"shard_sweep\": [\n",
                  hostCpus);
     for (std::size_t i = 0; i < shardSamples.size(); ++i) {
@@ -248,18 +343,46 @@ main(int argc, char** argv)
                 s.r.shardStats.barrierStalls),
             i + 1 < shardSamples.size() ? "," : "");
     }
+    std::fprintf(js, " ],\n \"engine_sweep\": [\n");
+    for (std::size_t i = 0; i < engineSamples.size(); ++i) {
+        const EngineSample& s = engineSamples[i];
+        const EngineSample& base = engineSamples[i & ~std::size_t{1}];
+        std::fprintf(
+            js,
+            "  {\"workload\": \"%s\", \"cores\": %u, "
+            "\"engine\": \"%s\", \"workers\": %llu, \"threaded\": %s, "
+            "\"wall_ms\": %.3f, \"speedup_vs_sequential\": %.4f, "
+            "\"windows\": %llu, \"events_per_window\": %.2f, "
+            "\"barrier_stalls\": %llu, \"rollbacks\": %llu}%s\n",
+            shardBench, s.cores,
+            s.engine == sim::SimEngine::Parallel ? "parallel"
+                                                 : "sequential",
+            static_cast<unsigned long long>(s.r.parStats.workers),
+            s.r.parStats.threaded ? "true" : "false", s.wallMs,
+            base.wallMs / s.wallMs,
+            static_cast<unsigned long long>(s.r.parStats.windows),
+            s.r.parStats.eventsPerWindow(),
+            static_cast<unsigned long long>(
+                s.r.parStats.barrierStalls),
+            static_cast<unsigned long long>(s.r.parStats.rollbacks),
+            i + 1 < engineSamples.size() ? "," : "");
+    }
     std::fprintf(js,
                  " ],\n \"shard_speedup_gate_active\": %s,\n"
                  " \"shard_speedup_met\": %s,\n"
+                 " \"parallel_speedup_gate_active\": %s,\n"
+                 " \"parallel_speedup_met\": %s,\n"
                  " \"directory_wins_at_8plus_cores\": %s\n}\n",
                  hostCpus > 1 ? "true" : "false",
                  shardSpeedupMet ? "true" : "false",
+                 hostCpus > 1 ? "true" : "false",
+                 parallelSpeedupMet ? "true" : "false",
                  dirWinsAtScale ? "true" : "false");
     std::fclose(js);
     std::printf("\nwrote %s\n", outPath);
     if (hostCpus == 1)
-        std::printf("note: single-CPU host, shard threads time-slice; "
-                    "speedup gate inactive\n");
+        std::printf("note: single-CPU host, shard and engine workers "
+                    "time-slice; speedup gates inactive\n");
 
     std::printf(
         "\nThe HMTX version rules are fabric-independent; only the "
@@ -267,5 +390,7 @@ main(int argc, char** argv)
         "core count) saturates as cores multiply,\nwhile directory "
         "banks let transactions to independent lines proceed "
         "concurrently.\n");
-    return dirWinsAtScale && shardSpeedupMet ? 0 : 2;
+    return dirWinsAtScale && shardSpeedupMet && parallelSpeedupMet
+        ? 0
+        : 2;
 }

@@ -52,6 +52,24 @@ if printf '%s\n' "${PRESETS[@]}" | grep -qx release \
     fi
 fi
 
+# Parallel event engine (DESIGN.md §11): the bit-identity smoke across
+# the full {bus,directory} x {lazy,eager} x {inline,threaded} matrix,
+# plus a small threaded fuzz batch from a distinct seed range (the main
+# batch above already runs the engine-backed matrix cells on every
+# schedule; this one additionally exercises the --threads batch mode).
+if printf '%s\n' "${PRESETS[@]}" | grep -qx release; then
+    echo "==== parallel engine: differential smoke ===="
+    "$ROOT/build-release/tests/workloads/parallel_differential_test"
+    echo "==== parallel engine: threaded fuzz batch ===="
+    if ! "$ROOT/build-release/tests/fuzz/hmtx_fuzz" --schedules 400 \
+        --ops 120 --seed0 900001 --threads 2 \
+        --corpus-out "$ROOT/tests/fuzz/corpus"; then
+        echo "FATAL: threaded differential fuzzing diverged; shrunken" \
+             "replay written to tests/fuzz/corpus" >&2
+        exit 1
+    fi
+fi
+
 # Bench smoke + hot-path regression gate (Release timings only; the
 # sanitizer build's numbers are meaningless). Compares the indexed
 # Table-2-geometry bulk ops against the committed baseline and fails

@@ -83,7 +83,9 @@ main(int argc, char** argv)
         report(r, &seq);
         std::printf("\n--- full statistics (%s) ---\n",
                     r.model.c_str());
-        sim::StatsReport(r.stats, &r.indexStats, &r.shardStats).print();
+        sim::StatsReport(r.stats, &r.indexStats, &r.shardStats,
+                         &r.parStats)
+            .print();
         return 0;
     }
 

@@ -8,12 +8,15 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "check/differ.hh"
 #include "check/golden.hh"
 #include "sim/cache_system.hh"
+#include "sim/parallel_engine.hh"
 #include "sim/rng.hh"
+#include "sim/task.hh"
 
 namespace hmtx::check
 {
@@ -21,8 +24,15 @@ namespace hmtx::check
 namespace
 {
 
-const char* const kCellNames[4] = {"bus/lazy", "bus/eager", "dir/lazy",
-                                   "dir/eager"};
+/** Cells 0-3 drive the CacheSystem directly; cells 4-5 route every
+ *  scripted access through the parallel event engine (DESIGN.md §11)
+ *  so the staged-retirement path faces the same fuzz pressure. */
+constexpr int kCells = 6;
+constexpr int kEngineCellBase = 4;
+
+const char* const kCellNames[kCells] = {
+    "bus/lazy",      "bus/eager",      "dir/lazy",
+    "dir/eager",     "bus/lazy/peng",  "dir/eager/peng"};
 
 sim::MachineConfig
 cellConfig(const FuzzConfig& c, int i)
@@ -36,6 +46,15 @@ cellConfig(const FuzzConfig& c, int i)
     mc.vidBits = c.vidBits;
     mc.unboundedSpecSets = c.unboundedSpecSets;
     mc.slaEnabled = c.slaEnabled;
+    if (i >= kEngineCellBase) {
+        // Engine cells mirror the two matrix corners with the default
+        // (unsharded) memory system; the variation under test is the
+        // staged access path itself.
+        mc.fabric = i == kEngineCellBase ? sim::Fabric::SnoopBus
+                                         : sim::Fabric::Directory;
+        mc.lazyCommit = i == kEngineCellBase;
+        return mc;
+    }
     mc.fabric = i < 2 ? sim::Fabric::SnoopBus : sim::Fabric::Directory;
     mc.lazyCommit = (i % 2) == 0;
     mc.shards = c.shards[i];
@@ -46,6 +65,20 @@ cellConfig(const FuzzConfig& c, int i)
     mc.indexCrossCheck = i == 0;
     mc.forceFullScan = i == 1;
     return mc;
+}
+
+/** Staging-worker policy for an engine cell (runtime convention:
+ *  0 auto, 1 inline, >=2 forced, always clamped to the core count). */
+unsigned
+engineWorkers(unsigned cores, unsigned threads)
+{
+    const unsigned host =
+        std::max(1u, std::thread::hardware_concurrency());
+    if (threads == 1)
+        return 0;
+    if (threads == 0)
+        return host > 1 ? std::min(cores, host) : 0;
+    return std::min(cores, threads);
 }
 
 bool
@@ -79,15 +112,103 @@ hex(std::uint64_t v)
     return buf;
 }
 
+struct Cell;
+
+/** Awaits one staged turn: the worker records where the lane resumes
+ *  and the coordinator retires the staged intent at its event slot. */
+struct StagedTurn
+{
+    sim::ParallelEngine* eng;
+    std::uint32_t lane;
+    bool await_ready() const noexcept { return false; }
+    void
+    await_suspend(std::coroutine_handle<> h) noexcept
+    {
+        eng->stageSuspend(lane, h);
+    }
+    void await_resume() const noexcept {}
+};
+
 struct Cell
 {
     const char* name;
     sim::EventQueue eq;
     sim::CacheSystem sys;
+    /** Engine cells only; null for the direct-drive cells. */
+    std::unique_ptr<sim::ParallelEngine> eng;
+    /** Per-access staging context (one scripted access in flight at a
+     *  time): the apply callback needs the VID and wrong-path flag,
+     *  and stashes the full AccessResult for the comparison. */
+    Vid vid = 0;
+    bool wrongPath = false;
+    sim::AccessResult res{};
 
-    Cell(const char* n, const sim::MachineConfig& mc)
+    Cell(const char* n, const sim::MachineConfig& mc,
+         unsigned engineThreads, bool useEngine)
         : name(n), sys(eq, mc)
-    {}
+    {
+        if (!useEngine)
+            return;
+        const Tick window = std::max<Cycles>(
+            1, sys.interconnect().minC2CLatency());
+        eng = std::make_unique<sim::ParallelEngine>(
+            eq, mc.numCores,
+            engineWorkers(mc.numCores, engineThreads), window);
+        eng->setApply([this](std::uint32_t lane,
+                             const sim::LaneIntent& in) {
+            res = in.kind == sim::LaneIntent::Kind::Store
+                ? sys.store(static_cast<CoreId>(lane), in.addr,
+                            in.value, in.size, vid)
+                : sys.load(static_cast<CoreId>(lane), in.addr,
+                           in.size, vid, wrongPath);
+            return sim::StagedResult{eq.curTick() + 1 + res.latency,
+                                     res.value, res.aborted, vid};
+        });
+    }
+
+    /**
+     * One scripted access. Direct cells call the CacheSystem
+     * synchronously; engine cells stage the access as a one-op
+     * section and run the event loop, so the value flows through
+     * dispatch -> worker staging -> in-order retirement.
+     */
+    sim::AccessResult
+    access(bool isStore, CoreId core, Addr a, std::uint64_t v,
+           unsigned size, Vid accessVid, bool wp = false)
+    {
+        if (!eng) {
+            return isStore ? sys.store(core, a, v, size, accessVid)
+                           : sys.load(core, a, size, accessVid, wp);
+        }
+        vid = accessVid;
+        wrongPath = wp;
+        sim::LaneIntent in;
+        in.kind = isStore ? sim::LaneIntent::Kind::Store
+                          : sim::LaneIntent::Kind::Load;
+        in.addr = a;
+        in.value = v;
+        in.size = size;
+        sim::Task<void> root = opRoot(core, in);
+        root.start();
+        eng->run();
+        root.rethrow();
+        return res;
+    }
+
+  private:
+    sim::Task<void>
+    opBody(std::uint32_t lane, sim::LaneIntent in)
+    {
+        eng->stageIntent(lane, in);
+        co_await StagedTurn{eng.get(), lane};
+    }
+
+    sim::Task<void>
+    opRoot(std::uint32_t lane, sim::LaneIntent in)
+    {
+        co_await sim::StagedSection(eng.get(), lane,
+                                    opBody(lane, in));
+    }
 };
 
 /** One pending deferred-mark acknowledgment (§5.1). */
@@ -103,9 +224,12 @@ class Runner
     explicit Runner(const Schedule& s)
         : s_(s), gold_(s.cfg.slaEnabled)
     {
-        for (int i = 0; i < 4; ++i) {
+        for (int i = 0; i < kCells; ++i) {
+            const bool engine = i >= kEngineCellBase;
             cells_.push_back(std::make_unique<Cell>(
-                kCellNames[i], cellConfig(s.cfg, i)));
+                kCellNames[i], cellConfig(s.cfg, i),
+                engine ? s.cfg.engineThreads[i - kEngineCellBase] : 1,
+                engine));
         }
         maxVid_ = cells_[0]->sys.config().maxVid();
         seedMemory();
@@ -319,8 +443,8 @@ class Runner
         bool capacity = false;
         if (!runAll(idx,
                     [&](Cell& c) {
-                        return c.sys.load(op.core, op.addr, op.size,
-                                          vid, wrongPath);
+                        return c.access(false, op.core, op.addr, 0,
+                                        op.size, vid, wrongPath);
                     },
                     r, gen, capacity))
             return;
@@ -365,8 +489,8 @@ class Runner
         bool capacity = false;
         if (!runAll(idx,
                     [&](Cell& c) {
-                        return c.sys.store(op.core, op.addr, op.value,
-                                           op.size, vid);
+                        return c.access(true, op.core, op.addr,
+                                        op.value, op.size, vid);
                     },
                     r, gen, capacity))
             return;

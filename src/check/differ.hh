@@ -1,9 +1,11 @@
 /**
  * @file
  * Differential execution of fuzz schedules: one schedule runs against
- * the GoldenModel and four real CacheSystem cells — {SnoopBus,
- * DirectoryFabric} × {lazy, eager commit} with per-cell shard counts —
- * and every architecturally visible outcome is compared:
+ * the GoldenModel and six real CacheSystem cells — {SnoopBus,
+ * DirectoryFabric} × {lazy, eager commit} with per-cell shard counts,
+ * plus two cells that route every access through the parallel event
+ * engine's staged-retirement path (DESIGN.md §11) — and every
+ * architecturally visible outcome is compared:
  *
  *  - per-op: load values vs. the golden visibility rule, abort
  *    outcomes vs. the golden dependence rule, and value/aborted/

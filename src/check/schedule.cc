@@ -95,6 +95,10 @@ generate(std::uint64_t seed, unsigned numOps)
         s.cfg.shardThreads[c] =
             sh == 1 ? 1 : (rng.chance(0.5) ? 2 : 0);
     }
+    // Engine-backed cells: exercise inline, forced-thread, and auto
+    // staging-worker policies just like the shard cells.
+    for (unsigned& t : s.cfg.engineThreads)
+        t = rng.chance(0.5) ? 1 : (rng.chance(0.5) ? 2 : 0);
 
     // Address pool: a clutch of lines that all collide in one set of
     // the tiny L1 *and* L2 (stride = max set span), plus a few
@@ -221,6 +225,9 @@ serialize(const Schedule& s)
     os << "\nshardthreads";
     for (unsigned t : c.shardThreads)
         os << ' ' << t;
+    os << "\nenginethreads";
+    for (unsigned t : c.engineThreads)
+        os << ' ' << t;
     os << "\n";
     for (const Op& op : s.ops) {
         char buf[96];
@@ -302,6 +309,10 @@ parse(const std::string& text, Schedule& out, std::string& err)
             for (unsigned& t : c.shardThreads)
                 if (!(ls >> t))
                     return fail("bad shardthreads");
+        } else if (tok == "enginethreads") {
+            for (unsigned& t : c.engineThreads)
+                if (!(ls >> t))
+                    return fail("bad enginethreads");
         } else {
             OpKind kind;
             if (!kindOf(tok, kind))

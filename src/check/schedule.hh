@@ -72,6 +72,10 @@ struct FuzzConfig
     unsigned shards[4] = {1, 1, 1, 1};
     /** Worker-thread policy per cell (0 auto, 1 inline, >=2 forced). */
     unsigned shardThreads[4] = {1, 1, 1, 1};
+    /** Parallel-engine worker policy for the two engine-backed matrix
+     *  cells (same encoding as shardThreads). Older replay files omit
+     *  this line; the defaults keep those cells inline. */
+    unsigned engineThreads[2] = {1, 1};
 };
 
 struct Schedule

@@ -46,6 +46,9 @@ struct ExecResult
     sim::IndexStats indexStats;
     /** Sharded-engine diagnostics (simulator-side, like indexStats). */
     sim::ShardStats shardStats;
+    /** Parallel-engine diagnostics (simulator-side, like shardStats;
+     *  excluded from differential equality). */
+    sim::ParStats parStats;
     /** SMTX runs only: value-validation failures detected by the
      *  commit process (0 for every abort-free run). */
     std::uint64_t smtxMisspeculations = 0;

@@ -59,8 +59,47 @@ ThreadContext::abortMtx()
     vid_ = kNonSpecVid;
 }
 
+sim::ParallelEngine*
+ThreadContext::stagingEngine() const
+{
+    sim::ParallelEngine* eng = m_.parallel();
+    return eng != nullptr && eng->staging(core_) ? eng : nullptr;
+}
+
+sim::StagedResult
+ThreadContext::applyStaged(const sim::LaneIntent& in)
+{
+    OpAwait r;
+    switch (in.kind) {
+      case sim::LaneIntent::Kind::Load:
+        r = applyLoad(in.addr, in.size);
+        break;
+      case sim::LaneIntent::Kind::Store:
+        r = applyStore(in.addr, in.value, in.size);
+        break;
+      case sim::LaneIntent::Kind::Compute:
+        r = applyCompute(in.cycles);
+        break;
+      case sim::LaneIntent::Kind::Branch:
+        r = applyBranch(in.pc, in.taken);
+        break;
+    }
+    return {r.wake, r.value, r.abort, r.vid};
+}
+
 OpAwait
 ThreadContext::load(Addr a, unsigned size)
+{
+    if (sim::ParallelEngine* eng = stagingEngine()) {
+        eng->stageIntent(core_, {sim::LaneIntent::Kind::Load, a, 0,
+                                 size, 0, 0, false});
+        return OpAwait{nullptr, 0, 0, false, 0, eng, core_};
+    }
+    return applyLoad(a, size);
+}
+
+OpAwait
+ThreadContext::applyLoad(Addr a, unsigned size)
 {
     ++insts_;
     if (abortedSinceBegin())
@@ -76,6 +115,17 @@ ThreadContext::load(Addr a, unsigned size)
 OpAwait
 ThreadContext::store(Addr a, std::uint64_t v, unsigned size)
 {
+    if (sim::ParallelEngine* eng = stagingEngine()) {
+        eng->stageIntent(core_, {sim::LaneIntent::Kind::Store, a, v,
+                                 size, 0, 0, false});
+        return OpAwait{nullptr, 0, 0, false, 0, eng, core_};
+    }
+    return applyStore(a, v, size);
+}
+
+OpAwait
+ThreadContext::applyStore(Addr a, std::uint64_t v, unsigned size)
+{
     ++insts_;
     if (abortedSinceBegin())
         return abortedOp();
@@ -88,6 +138,17 @@ ThreadContext::store(Addr a, std::uint64_t v, unsigned size)
 OpAwait
 ThreadContext::compute(Cycles c)
 {
+    if (sim::ParallelEngine* eng = stagingEngine()) {
+        eng->stageIntent(core_, {sim::LaneIntent::Kind::Compute, 0, 0,
+                                 8, c, 0, false});
+        return OpAwait{nullptr, 0, 0, false, 0, eng, core_};
+    }
+    return applyCompute(c);
+}
+
+OpAwait
+ThreadContext::applyCompute(Cycles c)
+{
     insts_ += c; // roughly one instruction per cycle of compute
     if (abortedSinceBegin())
         return abortedOp();
@@ -97,6 +158,17 @@ ThreadContext::compute(Cycles c)
 
 OpAwait
 ThreadContext::branch(Addr pc, bool taken)
+{
+    if (sim::ParallelEngine* eng = stagingEngine()) {
+        eng->stageIntent(core_, {sim::LaneIntent::Kind::Branch, 0, 0,
+                                 8, 0, pc, taken});
+        return OpAwait{nullptr, 0, 0, false, 0, eng, core_};
+    }
+    return applyBranch(pc, taken);
+}
+
+OpAwait
+ThreadContext::applyBranch(Addr pc, bool taken)
 {
     ++insts_;
     if (abortedSinceBegin())

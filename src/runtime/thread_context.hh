@@ -15,6 +15,7 @@
 #include "core/types.hh"
 #include "sim/branch_predictor.hh"
 #include "sim/event_queue.hh"
+#include "sim/parallel_engine.hh"
 #include "sim/rng.hh"
 #include "sim/task.hh"
 
@@ -23,7 +24,15 @@ namespace hmtx::runtime
 
 class Machine;
 
-/** Awaitable returned by every timed ThreadContext operation. */
+/**
+ * Awaitable returned by every timed ThreadContext operation.
+ *
+ * Two modes: the sequential form carries the already-computed outcome
+ * (the operation executed at call time) and schedules its wake-up; the
+ * staged form (parallel engine, `eng` set) only parked an intent — it
+ * records the suspension point with the lane and reads the outcome the
+ * coordinator produced once the lane's wake turn resumes it.
+ */
 struct OpAwait
 {
     sim::EventQueue* eq = nullptr;
@@ -31,18 +40,31 @@ struct OpAwait
     std::uint64_t value = 0;
     bool abort = false;
     Vid vid = 0;
+    /** Set in staged mode; the lane's retired result replaces the
+     *  inline fields above. */
+    sim::ParallelEngine* eng = nullptr;
+    std::uint32_t lane = 0;
 
     bool await_ready() const noexcept { return false; }
 
     void
     await_suspend(std::coroutine_handle<> h) const
     {
-        eq->scheduleResume(wake, h);
+        if (eng != nullptr)
+            eng->stageSuspend(lane, h);
+        else
+            eq->scheduleResume(wake, h);
     }
 
     std::uint64_t
     await_resume() const
     {
+        if (eng != nullptr) {
+            const sim::StagedResult& r = eng->stagedResult(lane);
+            if (r.abort)
+                throw sim::TxAborted{r.vid};
+            return r.value;
+        }
         if (abort)
             throw sim::TxAborted{vid};
         return value;
@@ -118,10 +140,30 @@ class ThreadContext
     /** SLA buffer of this core. */
     const SlaUnit& slaUnit() const { return sla_; }
 
+    /**
+     * Retires one staged intent for this core's lane (parallel engine
+     * apply callback). Runs on the coordinator at the intent's own
+     * event slot and performs the operation's full effect — protocol
+     * access, predictor/RNG/SLA updates, instruction count — in the
+     * sequential engine's exact order.
+     */
+    sim::StagedResult applyStaged(const sim::LaneIntent& in);
+
   private:
     bool abortedSinceBegin() const;
     OpAwait abortedOp();
     void noteAddr(Addr a);
+
+    /** Engine to stage on when this lane is inside a staged section,
+     *  else null (execute inline, sequential semantics). */
+    sim::ParallelEngine* stagingEngine() const;
+
+    // Full operation effects, factored out so the sequential path and
+    // the parallel engine's in-order retirement share one body.
+    OpAwait applyLoad(Addr a, unsigned size);
+    OpAwait applyStore(Addr a, std::uint64_t v, unsigned size);
+    OpAwait applyCompute(Cycles c);
+    OpAwait applyBranch(Addr pc, bool taken);
 
     Machine& m_;
     CoreId core_;

@@ -28,6 +28,18 @@ enum class Fabric
 };
 
 /**
+ * Event-loop engine driving the simulation (DESIGN.md §11). Both
+ * engines produce bit-identical results; the parallel engine stages
+ * workload code on host worker threads while the protocol state is
+ * still mutated in exact event order on the coordinator.
+ */
+enum class SimEngine
+{
+    Sequential,
+    Parallel,
+};
+
+/**
  * Architectural configuration, defaulted to Table 2: a 4-core 2.0 GHz
  * machine with 64 KB 8-way L1s (2-cycle), a shared 32 MB 32-way L2
  * (40-cycle), 64 B lines, MOESI, and 200-cycle memory.
@@ -170,6 +182,26 @@ struct MachineConfig
      * count — used by tests to exercise the concurrent paths.
      */
     unsigned shardThreads = 0;
+
+    /**
+     * Event-loop engine (DESIGN.md §11). Sequential is the classic
+     * single-threaded loop; Parallel stages per-core workload code on
+     * host workers inside a same-tick dispatch window and retires the
+     * resulting protocol accesses in exact event order, so results are
+     * bit-identical for either value.
+     */
+    SimEngine engine = SimEngine::Sequential;
+
+    /**
+     * Worker threading for the parallel engine, mirroring the
+     * shardThreads convention: 0 = auto (worker threads when the host
+     * has more than one CPU, clamped to min(numCores, host CPUs)),
+     * 1 = always inline on the coordinator thread (same staging and
+     * retirement order, no host threads), >=2 = force that many worker
+     * threads (clamped to numCores) regardless of host CPU count —
+     * used by tests to exercise the concurrent paths.
+     */
+    unsigned engineThreads = 0;
 
     /** Largest usable VID for this configuration. */
     Vid maxVid() const { return (Vid{1} << vidBits) - 1; }

@@ -1,0 +1,219 @@
+#include "sim/parallel_engine.hh"
+
+#include "runtime/queue.hh" // header-only SpscRing (PR 3 machinery)
+
+namespace hmtx::sim
+{
+
+/** Job ring of one worker: lane indices (or kStopJob) pushed by the
+ *  coordinator, popped by the worker. */
+struct ParallelEngine::WorkerRing
+{
+    explicit WorkerRing(std::size_t capacity) : ring(capacity) {}
+
+    runtime::SpscRing<std::uint32_t> ring;
+};
+
+ParallelEngine::ParallelEngine(EventQueue& eq, unsigned lanes,
+                               unsigned workers, Tick windowTicks)
+    : eq_(eq), lanes_(lanes == 0 ? 1 : lanes),
+      windowTicks_(windowTicks == 0 ? 1 : windowTicks)
+{
+    stats_.workers = workers;
+    stats_.threaded = workers > 0;
+    if (workers == 0)
+        return;
+    rings_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        // At most one in-flight job per lane lands in a ring, so
+        // lane-count capacity (plus the stop job) can never overflow.
+        rings_.push_back(
+            std::make_unique<WorkerRing>(lanes_.size() + 2));
+    }
+    threads_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        threads_.emplace_back([this, w] { workerMain(w); });
+}
+
+ParallelEngine::~ParallelEngine()
+{
+    for (auto& r : rings_) {
+        while (!r->ring.tryPush(kStopJob)) {}
+    }
+    for (auto& t : threads_)
+        t.join();
+}
+
+void
+ParallelEngine::runLane(Lane& ln)
+{
+    ln.hasIntent = false;
+    auto h = ln.resumeNext;
+    ln.resumeNext = {};
+    // Runs workload user code up to its next memory operation (which
+    // captures an intent via stageIntent/stageSuspend) or to section
+    // completion; an exception (TxAborted) stays in the coroutine's
+    // promise exactly as in the sequential engine.
+    h.resume();
+}
+
+void
+ParallelEngine::workerMain(unsigned w)
+{
+    auto& ring = rings_[w]->ring;
+    for (;;) {
+        ring.waitNonEmpty();
+        std::uint32_t lane;
+        if (!ring.tryPop(lane))
+            continue;
+        if (lane == kStopJob)
+            return;
+        Lane& ln = lanes_[lane];
+        runLane(ln);
+        // Publish only after the coroutine fully suspended: the
+        // release pairs with the coordinator's acquire in headReady()
+        // and covers every lane field the worker wrote.
+        ln.phase.store(kReady, std::memory_order_release);
+        ln.phase.notify_one();
+    }
+}
+
+void
+ParallelEngine::dispatch(std::uint32_t lane, Tick when)
+{
+    Lane& ln = lanes_[lane];
+    assert(ln.phase.load(std::memory_order_relaxed) == kIdle);
+    ln.slotTick = when;
+    ++stats_.laneEvents;
+    if (inCommit_)
+        bornInCommit_.push_back(lane);
+    else
+        fifo_.push_back(lane);
+    if (threads_.empty()) {
+        // Inline mode: same staging/retirement machinery, coordinator
+        // thread only.
+        runLane(ln);
+        ln.phase.store(kReady, std::memory_order_relaxed);
+        return;
+    }
+    ln.phase.store(kBusy, std::memory_order_relaxed);
+    const bool ok =
+        rings_[lane % rings_.size()]->ring.tryPush(lane);
+    assert(ok);
+    (void)ok;
+}
+
+void
+ParallelEngine::beginSection(std::uint32_t lane,
+                             std::coroutine_handle<> child,
+                             std::coroutine_handle<> parent)
+{
+    Lane& ln = lanes_[lane];
+    assert(!ln.staging);
+    ln.staging = true;
+    ln.parent = parent;
+    ln.resumeNext = child;
+    ++stats_.sections;
+    // The section opens at the current event slot; its first access
+    // retires here, exactly where the sequential loop would have run
+    // it inline.
+    dispatch(lane, eq_.curTick());
+}
+
+void
+ParallelEngine::commitHead()
+{
+    const std::uint32_t lane = fifo_.front();
+    Lane& ln = lanes_[lane];
+    std::uint32_t p = ln.phase.load(std::memory_order_acquire);
+    if (p != kReady) {
+        ++stats_.barrierStalls;
+        do {
+            ln.phase.wait(p, std::memory_order_acquire);
+            p = ln.phase.load(std::memory_order_acquire);
+        } while (p != kReady);
+    }
+    fifo_.pop_front();
+    if (ln.hasIntent) {
+        // Retire the staged access at its own slot (now_ still equals
+        // ln.slotTick: time never advances past an undrained slot).
+        assert(eq_.curTick() == ln.slotTick);
+        ln.result = apply_(lane, ln.intent);
+        assert(ln.result.wake > ln.slotTick);
+        eq_.scheduleLane(ln.result.wake, lane);
+        ++stats_.intents;
+        ln.phase.store(kIdle, std::memory_order_relaxed);
+        return;
+    }
+    // Section completed (or unwound): resume the suspended executor
+    // at this slot. Sections it opens while running belong at this
+    // same slot and are spliced ahead of older in-flight work.
+    ln.staging = false;
+    const auto parent = ln.parent;
+    ln.parent = {};
+    ln.phase.store(kIdle, std::memory_order_relaxed);
+    inCommit_ = true;
+    parent.resume();
+    inCommit_ = false;
+    if (!bornInCommit_.empty()) {
+        fifo_.insert(fifo_.begin(), bornInCommit_.begin(),
+                     bornInCommit_.end());
+        bornInCommit_.clear();
+    }
+}
+
+void
+ParallelEngine::drainAll()
+{
+    while (!fifo_.empty())
+        commitHead();
+}
+
+void
+ParallelEngine::run()
+{
+    for (;;) {
+        // Retire whatever is already published, in slot order; the
+        // coordinator's applies overlap the workers' staging.
+        while (!fifo_.empty() && headReady())
+            commitHead();
+        if (!fifo_.empty()) {
+            const Tick front = lanes_[fifo_.front()].slotTick;
+            if (eq_.pending() == 0 || eq_.nextWhen() > front) {
+                // Advancing time past an in-flight slot is unsound
+                // (a completing section may schedule work there), so
+                // block on the head before touching the queue again.
+                commitHead();
+                continue;
+            }
+        } else if (eq_.pending() == 0) {
+            break;
+        }
+        EventQueue::Popped ev;
+        if (!eq_.popNext(ev))
+            break;
+        ++stats_.events;
+        if (ev.when >= windowEnd_) {
+            // Window boundary (min c2c latency per window): quiesce
+            // all staging before entering the new window.
+            while (!fifo_.empty())
+                commitHead();
+            ++stats_.windows;
+            windowEnd_ = (ev.when / windowTicks_ + 1) * windowTicks_;
+        }
+        if (ev.lane != EventQueue::kNoLane) {
+            dispatch(ev.lane, ev.when);
+            continue;
+        }
+        // Executor/callback event: it may touch any simulator state,
+        // so every older slot must be retired first.
+        while (!fifo_.empty())
+            commitHead();
+        if (ev.h)
+            ev.h.resume();
+        else
+            (*ev.fn)();
+    }
+}
+
+} // namespace hmtx::sim

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Conservative parallel discrete-event engine (DESIGN.md §11).
+ *
+ * The engine splits every simulated memory operation into two halves:
+ *
+ *  - STAGE: the workload code between two memory operations runs on a
+ *    host worker thread. It is pure with respect to simulator state —
+ *    it only computes the next operation's *intent* (kind, address,
+ *    value, size) and suspends.
+ *  - APPLY: the coordinator thread retires staged intents in exact
+ *    event order, performing the protocol access (CacheSystem, fabric
+ *    occupancy, branch predictor, SLA queue) at the event's own tick.
+ *
+ * Because every apply happens on one thread in the same (tick, seq)
+ * order the sequential loop would have used, results are bit-identical
+ * by construction — the engine is conservative and never needs to roll
+ * anything back. Parallelism comes from overlap: while the coordinator
+ * retires lane k's access, workers are already staging the user code
+ * of every other lane whose event is due at the same tick.
+ *
+ * The sound dispatch horizon is the current tick. A staged lane may
+ * produce either a memory intent (which retires at its own slot and
+ * wakes >= tick+1) or a section completion (which resumes executor
+ * code at the slot, and that code may schedule at any future tick), so
+ * the coordinator never advances simulated time past an undrained
+ * in-flight slot. Events *at* the frontier tick dispatch freely:
+ * anything a retirement schedules at the same tick receives a larger
+ * sequence number than every already-popped event, exactly as in the
+ * sequential loop.
+ */
+
+#ifndef HMTX_SIM_PARALLEL_ENGINE_HH
+#define HMTX_SIM_PARALLEL_ENGINE_HH
+
+#include <atomic>
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/types.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+
+namespace hmtx::sim
+{
+
+/**
+ * One staged memory operation, captured on a worker thread and
+ * retired by the coordinator. Pure data: the semantics live in
+ * runtime::ThreadContext::applyStaged().
+ */
+struct LaneIntent
+{
+    enum class Kind : std::uint8_t
+    {
+        Load,
+        Store,
+        Compute,
+        Branch,
+    };
+
+    Kind kind = Kind::Compute;
+    Addr addr = 0;
+    std::uint64_t value = 0;
+    unsigned size = 8;
+    Cycles cycles = 0; // compute cost
+    Addr pc = 0;       // branch pc
+    bool taken = false;
+};
+
+/** Outcome of retiring one LaneIntent, consumed by the lane's
+ *  suspended operation when its wake-up turn fires. */
+struct StagedResult
+{
+    Tick wake = 0;
+    std::uint64_t value = 0;
+    bool abort = false;
+    Vid vid = 0;
+};
+
+/**
+ * The coordinator-side engine. Owns the lane mailboxes, the in-order
+ * retirement queue, and the optional worker threads. Generic over the
+ * runtime: the per-intent semantics are injected as an apply callback
+ * so the sim layer stays independent of runtime::ThreadContext.
+ */
+class ParallelEngine
+{
+  public:
+    using ApplyFn =
+        std::function<StagedResult(std::uint32_t lane, const LaneIntent&)>;
+
+    /**
+     * @param lanes    number of simulated cores (one lane each)
+     * @param workers  host staging threads; 0 = inline on coordinator
+     * @param windowTicks  accounting window (min c2c latency, >= 1)
+     */
+    ParallelEngine(EventQueue& eq, unsigned lanes, unsigned workers,
+                   Tick windowTicks);
+    ~ParallelEngine();
+
+    /** Injected by the runtime glue once thread contexts exist. */
+    void setApply(ApplyFn fn) { apply_ = std::move(fn); }
+
+    /** True when lane @p lane is inside a staged section — its memory
+     *  operations must capture intents instead of executing. */
+    bool
+    staging(std::uint32_t lane) const
+    {
+        return lanes_[lane].staging;
+    }
+
+    /**
+     * Opens a staged section: @p child (the workload stage coroutine)
+     * will run on a worker; @p parent (the suspended executor) resumes
+     * on the coordinator when the section completes. Called at the
+     * current event slot.
+     */
+    void beginSection(std::uint32_t lane, std::coroutine_handle<> child,
+                      std::coroutine_handle<> parent);
+
+    /** Worker side: records the next operation's intent. */
+    void
+    stageIntent(std::uint32_t lane, const LaneIntent& in)
+    {
+        Lane& ln = lanes_[lane];
+        ln.intent = in;
+        ln.hasIntent = true;
+    }
+
+    /** Worker side: records where the lane resumes on its next turn. */
+    void
+    stageSuspend(std::uint32_t lane, std::coroutine_handle<> h)
+    {
+        lanes_[lane].resumeNext = h;
+    }
+
+    /** Worker side: result of the lane's previously retired intent. */
+    const StagedResult&
+    stagedResult(std::uint32_t lane) const
+    {
+        return lanes_[lane].result;
+    }
+
+    /** Runs the event loop until no events or sections remain. */
+    void run();
+
+    /**
+     * Retires every in-flight section synchronously. Machine::spawn
+     * calls this after starting each root so spawn-time protocol
+     * accesses happen in the same order as the sequential loop.
+     */
+    void drainAll();
+
+    bool threaded() const { return !threads_.empty(); }
+    const ParStats& stats() const { return stats_; }
+
+  private:
+    enum : std::uint32_t
+    {
+        kIdle = 0, // lane owned by coordinator, nothing in flight
+        kBusy = 1, // job handed to a worker
+        kReady = 2 // worker published the outcome
+    };
+
+    struct alignas(64) Lane
+    {
+        /** Mailbox state; the only cross-thread field. */
+        std::atomic<std::uint32_t> phase{kIdle};
+        /** Lane is inside a staged section (coordinator-owned; the
+         *  worker reads it only via the job handoff). */
+        bool staging = false;
+        /** Handle to resume on the next dispatch: the section root at
+         *  section start, then the suspended op after each turn. */
+        std::coroutine_handle<> resumeNext;
+        /** Executor continuation resumed at section completion. */
+        std::coroutine_handle<> parent;
+        /** Set by stageIntent between dispatch and publish. */
+        bool hasIntent = false;
+        LaneIntent intent;
+        StagedResult result;
+        /** Tick of the event slot this turn was dispatched at. */
+        Tick slotTick = 0;
+    };
+
+    /** Runs one staged turn of @p lane (worker thread or inline). */
+    void runLane(Lane& ln);
+
+    /** Hands lane @p lane to its worker (or runs it inline) and
+     *  appends it to the retirement queue at slot @p when. */
+    void dispatch(std::uint32_t lane, Tick when);
+
+    /** True when the retirement-queue head's outcome is published. */
+    bool
+    headReady() const
+    {
+        return lanes_[fifo_.front()].phase.load(
+                   std::memory_order_acquire) == kReady;
+    }
+
+    /** Retires the retirement-queue head; blocks on the worker if the
+     *  outcome is not yet published. */
+    void commitHead();
+
+    void workerMain(unsigned w);
+
+    EventQueue& eq_;
+    ApplyFn apply_;
+    std::vector<Lane> lanes_;
+    /** Lane turns in dispatch (= slot) order awaiting retirement. */
+    std::deque<std::uint32_t> fifo_;
+    /** Sections opened while a retirement is resuming executor code
+     *  belong at the *current* slot: they are collected here and
+     *  spliced to the front of fifo_, preserving slot order. */
+    std::vector<std::uint32_t> bornInCommit_;
+    bool inCommit_ = false;
+
+    /** Per-worker SPSC job rings (coordinator -> worker): a slot holds
+     *  a lane index, or kStopJob to shut the worker down. */
+    static constexpr std::uint32_t kStopJob = ~std::uint32_t{0};
+    struct WorkerRing;
+    std::vector<std::unique_ptr<WorkerRing>> rings_;
+    std::vector<std::thread> threads_;
+
+    Tick windowTicks_ = 1;
+    Tick windowEnd_ = 0;
+    ParStats stats_;
+};
+
+/**
+ * Awaitable wrapping one workload stage invocation. Sequential mode
+ * (null engine) is byte-for-byte the plain `co_await task` chain:
+ * symmetric transfer into the child, resume of the parent from the
+ * child's final suspend. Parallel mode hands the child to the engine
+ * and returns to the event loop, letting the stage's user code overlap
+ * with other lanes.
+ */
+class StagedSection
+{
+  public:
+    StagedSection(ParallelEngine* eng, std::uint32_t lane, Task<void> t)
+        : eng_(eng), lane_(lane), t_(std::move(t))
+    {}
+
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> parent) noexcept
+    {
+        if (eng_ == nullptr) {
+            t_.setContinuation(parent);
+            return t_.handle();
+        }
+        eng_->beginSection(lane_, t_.handle(), parent);
+        return std::noop_coroutine();
+    }
+
+    /** Rethrows the child's exception (TxAborted) on the coordinator,
+     *  exactly as the sequential `co_await task` would. */
+    void await_resume() { t_.rethrow(); }
+
+  private:
+    ParallelEngine* eng_;
+    std::uint32_t lane_;
+    Task<void> t_;
+};
+
+} // namespace hmtx::sim
+
+#endif // HMTX_SIM_PARALLEL_ENGINE_HH

@@ -204,6 +204,45 @@ struct ShardStats
     }
 };
 
+/**
+ * Diagnostics for the parallel event engine (DESIGN.md §11). Like
+ * ShardStats these are simulator-side — they describe how the host
+ * organized the work, never what the simulated machine did — and are
+ * excluded from differential-equality comparisons: sequential and
+ * parallel runs are bit-identical in SysStats but differ here.
+ */
+struct ParStats
+{
+    /** Host worker threads staging lane code (0 = inline mode). */
+    std::uint64_t workers = 0;
+    /** True when dedicated worker threads stage the lanes. */
+    bool threaded = false;
+    /** Accounting windows executed (min-c2c-latency ticks each). */
+    std::uint64_t windows = 0;
+    /** Events popped from the queue (lane turns + executor events). */
+    std::uint64_t events = 0;
+    /** Lane turns dispatched to workers for staging. */
+    std::uint64_t laneEvents = 0;
+    /** Staged sections opened (one per workload stage invocation). */
+    std::uint64_t sections = 0;
+    /** Staged memory-op intents retired in event order. */
+    std::uint64_t intents = 0;
+    /** Retirements where the coordinator blocked on a worker. */
+    std::uint64_t barrierStalls = 0;
+    /** Speculative rollbacks — always 0: the engine is conservative
+     *  (it never executes an access out of order, so it never has to
+     *  undo one); reported to make that confirmation visible. */
+    std::uint64_t rollbacks = 0;
+
+    /** Mean popped events per accounting window. */
+    double
+    eventsPerWindow() const
+    {
+        return windows == 0 ? 0.0
+                            : double(events) / double(windows);
+    }
+};
+
 } // namespace hmtx::sim
 
 #endif // HMTX_SIM_STATS_HH

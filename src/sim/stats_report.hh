@@ -29,11 +29,14 @@ class StatsReport
      *              given
      * @param shard optional sharded-engine diagnostics (bank command
      *              routing / epoch barriers); printed when given
+     * @param par   optional parallel-engine diagnostics (time windows
+     *              / staged retirement); printed when given
      */
     explicit StatsReport(const SysStats& s,
                          const IndexStats* idx = nullptr,
-                         const ShardStats* shard = nullptr)
-        : s_(s), idx_(idx), shard_(shard)
+                         const ShardStats* shard = nullptr,
+                         const ParStats* par = nullptr)
+        : s_(s), idx_(idx), shard_(shard), par_(par)
     {}
 
     /** Writes the report to @p out. */
@@ -158,12 +161,40 @@ class StatsReport
                 double(shard_->barrierStalls),
                 "epoch barriers where the coordinator blocked");
         }
+
+        if (par_) {
+            row("sim.parallel.workers", double(par_->workers),
+                "host staging threads of the parallel engine");
+            row("sim.parallel.threaded", par_->threaded ? 1.0 : 0.0,
+                "1 when stages ran on dedicated worker threads");
+            row("sim.parallel.windows", double(par_->windows),
+                "time windows executed (min c2c latency each)");
+            row("sim.parallel.events", double(par_->events),
+                "events popped by the coordinator");
+            rate("sim.parallel.eventsPerWindow",
+                 par_->eventsPerWindow(),
+                 "mean events retired per time window");
+            row("sim.parallel.laneEvents", double(par_->laneEvents),
+                "lane turns dispatched for staging");
+            row("sim.parallel.sections", double(par_->sections),
+                "staged workload sections opened");
+            row("sim.parallel.intents", double(par_->intents),
+                "memory intents retired in event order");
+            row("sim.parallel.barrierStalls",
+                double(par_->barrierStalls),
+                "retirements where the coordinator blocked on a "
+                "worker");
+            row("sim.parallel.rollbacks", double(par_->rollbacks),
+                "speculation rollbacks (always 0: conservative "
+                "engine)");
+        }
     }
 
   private:
     const SysStats& s_;
     const IndexStats* idx_;
     const ShardStats* shard_;
+    const ParStats* par_;
 };
 
 } // namespace hmtx::sim

@@ -32,17 +32,17 @@ LinkedListWorkload::setup(runtime::Machine& m)
                                mix64(p_.seed ^ i), 8);
         m.sys().memory().write(nodes[i] + kResultOff, 0, 8);
     }
-    nextIter_ = 0;
-    cursor_ = head_;
 }
 
 sim::Task<void>
 LinkedListWorkload::stage1(runtime::MemIf& mem, std::uint64_t iter)
 {
-    // Abort recovery (or a concurrent DOALL worker) may find the
-    // loop-carried cursor stale; derive the node locally and only
-    // ever update (cursor_, nextIter_) as a consistent pair below.
-    Addr node = (iter == nextIter_) ? cursor_ : order_[iter];
+    // order_ mirrors the link order (setup chains nodes[i] ->
+    // nodes[i+1]), so indexing it is value-identical to chasing a
+    // loop-carried cursor — and leaves the stage body free of host
+    // state, which lets the parallel engine stage it off-thread and
+    // keeps abort recovery trivially consistent.
+    Addr node = order_[iter];
     // Publish the node to stage 2 through versioned memory (Fig. 3b:
     // "producedNode = node").
     co_await mem.store(slots_.slot(iter), node);
@@ -50,8 +50,6 @@ LinkedListWorkload::stage1(runtime::MemIf& mem, std::uint64_t iter)
     if (p_.stage1Rounds > 0)
         co_await mem.compute(p_.stage1Rounds);
     co_await mem.branch(0x100, next != 0); // while (node) back-edge
-    cursor_ = next;
-    nextIter_ = iter + 1;
 }
 
 sim::Task<void>

@@ -67,8 +67,6 @@ class LinkedListWorkload : public runtime::LoopWorkload
     Addr head_ = 0;
     IterSlots slots_;
     std::vector<Addr> order_; // host mirror for recovery & checksum
-    std::uint64_t nextIter_ = 0;
-    Addr cursor_ = 0;
     runtime::Machine* m_ = nullptr;
 };
 

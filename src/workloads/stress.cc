@@ -20,7 +20,7 @@ StressWorkload::setup(runtime::Machine& m)
     // attempt and is excluded from the output).
     sim::Rng rng(p_.seed);
     conflictIters_.clear();
-    fired_.clear();
+    fired_.assign(p_.iterations, 0);
     for (std::uint64_t i = 2; i + 2 < p_.iterations; ++i)
         if (rng.uniform() < p_.conflictRate)
             conflictIters_.insert(i);
@@ -63,8 +63,8 @@ StressWorkload::stage2(runtime::MemIf& mem, std::uint64_t iter)
     }
     co_await mem.store(results_.at(i), h);
 
-    if (conflictIters_.count(iter) && !fired_.count(iter)) {
-        fired_.insert(iter);
+    if (conflictIters_.count(iter) && fired_[iter] == 0) {
+        fired_[iter] = 1;
         // Let later iterations' stage 1 read the shared line first,
         // then violate the dependence. Detected, aborted, replayed —
         // and not repeated on the replay.

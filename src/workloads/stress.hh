@@ -8,7 +8,9 @@
 #ifndef HMTX_WORKLOADS_STRESS_HH
 #define HMTX_WORKLOADS_STRESS_HH
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "workloads/worklist.hh"
 
@@ -60,7 +62,12 @@ class StressWorkload : public ChasedListWorkload
     std::uint64_t checksum(runtime::Machine& m) override;
 
     /** Iterations that injected a violation this run. */
-    std::size_t conflictsInjected() const { return fired_.size(); }
+    std::size_t
+    conflictsInjected() const
+    {
+        return static_cast<std::size_t>(
+            std::count(fired_.begin(), fired_.end(), char{1}));
+    }
 
   private:
     Params p_;
@@ -68,7 +75,10 @@ class StressWorkload : public ChasedListWorkload
     IterRegion scratch_;
     IterRegion results_;
     std::set<std::uint64_t> conflictIters_;
-    std::set<std::uint64_t> fired_;
+    /** One fired flag per iteration (pre-sized in setup: stage bodies
+     *  may run on parallel-engine workers, so they only ever touch
+     *  their own iteration's element — never the container shape). */
+    std::vector<char> fired_;
 };
 
 } // namespace hmtx::workloads

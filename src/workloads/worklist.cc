@@ -26,26 +26,22 @@ ChasedListWorkload::initWorkList(
         m.sys().memory().write(nodes[i], next, 8);
         m.sys().memory().write(nodes[i] + 8, payloads[i], 8);
     }
-    cursor_ = nodes.empty() ? 0 : nodes.front();
-    nextIter_ = 0;
 }
 
 sim::Task<void>
 ChasedListWorkload::stage1(runtime::MemIf& mem, std::uint64_t iter)
 {
-    // Derive this iteration's node locally. Under DOALL several
-    // workers run stage 1 concurrently, so (cursor_, nextIter_) is
-    // only a hint: it must be read as a consistent pair and never
-    // half-updated, or a concurrent worker would chase the wrong
-    // node. (Also covers abort-recovery restarts at an arbitrary
-    // iteration.)
-    Addr node = (iter == nextIter_) ? cursor_ : order_[iter];
+    // order_ mirrors the link order (initWorkList chains nodes[i] ->
+    // nodes[i+1]), so indexing it is value-identical to chasing a
+    // loop-carried cursor. Keeping the stage body free of host state
+    // makes it safe under DOALL's concurrent stage-1 invocations,
+    // abort-recovery restarts at arbitrary iterations, and the
+    // parallel engine's off-thread staging alike.
+    Addr node = order_[iter];
     std::uint64_t payload = co_await mem.load(node + 8);
     co_await mem.store(slots_.slot(iter), payload);
     Addr next = co_await mem.load(node);
     co_await mem.branch(0x10, next != 0);
-    cursor_ = next;
-    nextIter_ = iter + 1;
 }
 
 sim::Task<std::uint64_t>

@@ -45,8 +45,6 @@ class ChasedListWorkload : public runtime::LoopWorkload
     IterSlots slots_;
     std::vector<Addr> order_; // host mirror for abort recovery
     std::vector<std::uint64_t> payloads_;
-    Addr cursor_ = 0;
-    std::uint64_t nextIter_ = 0;
 };
 
 } // namespace hmtx::workloads

@@ -2,21 +2,31 @@
  * @file
  * Standalone differential fuzzing driver (DESIGN.md §10).
  *
- *   hmtx_fuzz [--schedules N] [--ops N] [--seed0 S]
+ *   hmtx_fuzz [--schedules N] [--ops N] [--seed0 S] [--threads N]
  *             [--corpus-out DIR] [--no-shrink]
  *   hmtx_fuzz --replay FILE [--shrink]
  *
  * Batch mode generates N schedules from consecutive seeds and runs
- * each against the golden model across the 4-cell config matrix. On
+ * each against the golden model across the 6-cell config matrix. On
  * the first divergence it ddmin-shrinks the schedule, writes the
  * minimal replay file (to --corpus-out if given, else the cwd), prints
  * it, and exits nonzero. On success it prints a coverage summary so CI
  * logs show what the campaign actually exercised.
  *
+ * --threads N runs the batch on N worker threads. Schedules are
+ * independent (generate(seed, ops) is a pure function of the seed, so
+ * every thread's RNG stream derives from the base seed), workers claim
+ * seeds from a shared counter, and a divergence is reported for the
+ * *smallest* diverging seed — every seed below it is still checked —
+ * then re-run single-threaded for a deterministic report and shrink.
+ * Results are therefore identical to a single-threaded campaign.
+ *
  * Replay mode parses one schedule file and runs it; with --shrink it
  * first minimizes a diverging schedule before reporting.
  */
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +34,8 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "check/differ.hh"
 #include "check/schedule.hh"
@@ -39,7 +51,8 @@ usage()
 {
     std::cerr <<
         "usage: hmtx_fuzz [--schedules N] [--ops N] [--seed0 S]\n"
-        "                 [--corpus-out DIR] [--no-shrink]\n"
+        "                 [--threads N] [--corpus-out DIR]\n"
+        "                 [--no-shrink]\n"
         "       hmtx_fuzz --replay FILE [--shrink]\n";
 }
 
@@ -75,6 +88,69 @@ reportDivergence(const Schedule &sched, const Divergence &d, bool shrink,
     return 1;
 }
 
+/**
+ * Multi-threaded campaign over seeds [seed0, seed0 + schedules).
+ * Workers claim seeds in increasing order from a shared counter and
+ * record the minimum diverging seed; seeds above that minimum are
+ * skipped, seeds below it always complete, so the returned seed (if
+ * any) is exactly the one a single-threaded campaign would hit first.
+ * Per-thread Coverage is summed into @p cov on a clean campaign.
+ */
+std::uint64_t
+runBatchThreaded(std::uint64_t seed0, std::uint64_t schedules,
+                 unsigned ops, unsigned threads, Coverage &cov)
+{
+    constexpr std::uint64_t kNone = ~std::uint64_t{0};
+    std::atomic<std::uint64_t> nextSeed{seed0};
+    std::atomic<std::uint64_t> firstBad{kNone};
+    std::atomic<std::uint64_t> clean{0};
+    const std::uint64_t end = seed0 + schedules;
+
+    std::vector<Coverage> covs(threads);
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            for (;;) {
+                const std::uint64_t seed = nextSeed.fetch_add(1);
+                if (seed >= end || seed >= firstBad.load())
+                    return;
+                Schedule s = generate(seed, ops);
+                if (runSchedule(s, &covs[t]).found) {
+                    std::uint64_t cur = firstBad.load();
+                    while (seed < cur &&
+                           !firstBad.compare_exchange_weak(cur, seed)) {
+                    }
+                    continue;
+                }
+                const std::uint64_t n = clean.fetch_add(1) + 1;
+                if (n % 500 == 0)
+                    std::cerr << n << "/" << schedules
+                              << " schedules clean\n";
+            }
+        });
+    }
+    for (std::thread &th : pool)
+        th.join();
+
+    if (firstBad.load() != kNone)
+        return firstBad.load();
+    for (const Coverage &c : covs) {
+        cov.schedules += c.schedules;
+        cov.ops += c.ops;
+        cov.commits += c.commits;
+        cov.aborts += c.aborts;
+        cov.capacityAborts += c.capacityAborts;
+        cov.vidResets += c.vidResets;
+        cov.spills += c.spills;
+        cov.refills += c.refills;
+        cov.soRefetches += c.soRefetches;
+        cov.slaConfirms += c.slaConfirms;
+        cov.slaMismatchAborts += c.slaMismatchAborts;
+    }
+    return kNone;
+}
+
 } // namespace
 
 int
@@ -83,6 +159,7 @@ main(int argc, char **argv)
     std::uint64_t schedules = 200;
     unsigned ops = 160;
     std::uint64_t seed0 = 1;
+    unsigned threads = 1;
     std::string corpusDir;
     std::string replayFile;
     bool shrink = true;
@@ -105,6 +182,10 @@ main(int argc, char **argv)
                 std::strtoul(next("--ops"), nullptr, 0));
         else if (a == "--seed0")
             seed0 = std::strtoull(next("--seed0"), nullptr, 0);
+        else if (a == "--threads")
+            threads = std::max(
+                1u, static_cast<unsigned>(
+                        std::strtoul(next("--threads"), nullptr, 0)));
         else if (a == "--corpus-out")
             corpusDir = next("--corpus-out");
         else if (a == "--no-shrink")
@@ -144,14 +225,27 @@ main(int argc, char **argv)
     }
 
     Coverage cov;
-    for (std::uint64_t seed = seed0; seed < seed0 + schedules; ++seed) {
-        Schedule s = generate(seed, ops);
-        Divergence d = runSchedule(s, &cov);
-        if (d.found)
-            return reportDivergence(s, d, shrink, corpusDir, seed);
-        if ((seed - seed0 + 1) % 500 == 0)
-            std::cerr << (seed - seed0 + 1) << "/" << schedules
-                      << " schedules clean\n";
+    if (threads > 1) {
+        const std::uint64_t bad =
+            runBatchThreaded(seed0, schedules, ops, threads, cov);
+        if (bad != ~std::uint64_t{0}) {
+            // Deterministic single-threaded re-run of the minimum
+            // diverging seed for the report and the shrink.
+            Schedule s = generate(bad, ops);
+            Divergence d = runSchedule(s);
+            return reportDivergence(s, d, shrink, corpusDir, bad);
+        }
+    } else {
+        for (std::uint64_t seed = seed0; seed < seed0 + schedules;
+             ++seed) {
+            Schedule s = generate(seed, ops);
+            Divergence d = runSchedule(s, &cov);
+            if (d.found)
+                return reportDivergence(s, d, shrink, corpusDir, seed);
+            if ((seed - seed0 + 1) % 500 == 0)
+                std::cerr << (seed - seed0 + 1) << "/" << schedules
+                          << " schedules clean\n";
+        }
     }
 
     std::cout << "fuzz campaign clean: " << cov.schedules

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Parallel-engine unit and edge-case tests (DESIGN.md §11): the
+ * EventQueue lane API, events landing exactly on time-window
+ * boundaries, zero-latency self-messages, and the degenerate
+ * one-tick-window configuration that reduces the engine to a
+ * quiesce-per-event sequential loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/executors.hh"
+#include "sim/event_queue.hh"
+#include "workloads/worklist.hh"
+
+namespace hmtx
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// EventQueue lane API
+// ---------------------------------------------------------------------
+
+TEST(EventQueueLane, PopNextMovesLaneEventOut)
+{
+    sim::EventQueue eq;
+    eq.scheduleLane(5, 2);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_EQ(eq.nextWhen(), 5u);
+
+    sim::EventQueue::Popped ev;
+    ASSERT_TRUE(eq.popNext(ev));
+    EXPECT_EQ(ev.when, 5u);
+    EXPECT_EQ(ev.lane, 2u);
+    EXPECT_FALSE(static_cast<bool>(ev.h));
+    EXPECT_EQ(ev.fn, nullptr);
+    EXPECT_EQ(eq.curTick(), 5u); // popNext advances time like step()
+    EXPECT_EQ(eq.executed(), 1u);
+    EXPECT_FALSE(eq.popNext(ev)); // empty queue
+}
+
+TEST(EventQueueLane, SameTickScheduleOrderPreserved)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    eq.scheduleLane(7, 0);
+    eq.schedule(7, [&] { ++fired; });
+    eq.scheduleLane(7, 3);
+    eq.scheduleLane(6, 1); // earlier tick pops first despite later seq
+
+    std::vector<std::uint32_t> order;
+    sim::EventQueue::Popped ev;
+    while (eq.popNext(ev)) {
+        order.push_back(ev.lane);
+        if (ev.lane == sim::EventQueue::kNoLane) {
+            ASSERT_NE(ev.fn, nullptr);
+            (*ev.fn)();
+        }
+    }
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 1u);
+    EXPECT_EQ(order[1], 0u);
+    EXPECT_EQ(order[2], sim::EventQueue::kNoLane);
+    EXPECT_EQ(order[3], 3u);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueLane, NextWhenTracksFrontier)
+{
+    sim::EventQueue eq;
+    eq.scheduleLane(10, 0);
+    eq.scheduleLane(10, 1);
+    eq.scheduleLane(12, 2);
+
+    sim::EventQueue::Popped ev;
+    ASSERT_TRUE(eq.popNext(ev));
+    // A same-tick event is still pending: the frontier must not move.
+    EXPECT_EQ(eq.nextWhen(), 10u);
+    ASSERT_TRUE(eq.popNext(ev));
+    EXPECT_EQ(eq.nextWhen(), 12u);
+}
+
+// ---------------------------------------------------------------------
+// Engine edge cases, driven through full machine runs
+// ---------------------------------------------------------------------
+
+/**
+ * Stage 2 computes delays chosen around the engine's time window W
+ * (min core-to-core latency): exactly W, one below, one above, a
+ * multiple, and zero (a zero-latency self-message — wakes next
+ * cycle). Every iteration therefore lands events exactly on, just
+ * before, and just after window boundaries.
+ */
+class WindowEdgeWorkload : public workloads::ChasedListWorkload
+{
+  public:
+    WindowEdgeWorkload(std::uint64_t iters, Cycles window)
+        : iters_(iters),
+          pattern_{window, window - 1, window + 1, 3 * window, 0}
+    {}
+
+    std::string name() const override { return "window_edge"; }
+    std::uint64_t iterations() const override { return iters_; }
+
+    void
+    setup(runtime::Machine& m) override
+    {
+        out_.init(m, iters_, 1);
+        std::vector<std::uint64_t> payloads(iters_);
+        for (std::uint64_t i = 0; i < iters_; ++i)
+            payloads[i] = i;
+        initWorkList(m, payloads);
+    }
+
+    sim::Task<void>
+    stage2(runtime::MemIf& mem, std::uint64_t iter) override
+    {
+        std::uint64_t i = co_await fetchWork(mem, iter);
+        std::uint64_t h = 0x9E37 ^ i;
+        for (std::size_t k = 0; k < pattern_.size(); ++k) {
+            co_await mem.compute(pattern_[(iter + k) %
+                                          pattern_.size()]);
+            h = workloads::mix64(h + k);
+            co_await mem.store(out_.at(i), h);
+        }
+    }
+
+    std::uint64_t
+    checksum(runtime::Machine& m) override
+    {
+        std::uint64_t s = 0;
+        for (std::uint64_t i = 0; i < iters_; ++i)
+            s = workloads::mix64(
+                s ^ m.sys().memory().read(out_.at(i), 8));
+        return s;
+    }
+
+  private:
+    std::uint64_t iters_;
+    std::vector<Cycles> pattern_;
+    workloads::IterRegion out_;
+};
+
+void
+expectIdentical(const runtime::ExecResult& rs,
+                const runtime::ExecResult& rp)
+{
+    EXPECT_EQ(rp.cycles, rs.cycles);
+    EXPECT_EQ(rp.checksum, rs.checksum);
+    EXPECT_EQ(rp.instructions, rs.instructions);
+    EXPECT_TRUE(rp.stats == rs.stats);
+}
+
+runtime::ExecResult
+runEngine(sim::MachineConfig cfg, sim::SimEngine engine,
+          unsigned engineThreads, Cycles window, std::uint64_t iters)
+{
+    cfg.engine = engine;
+    cfg.engineThreads = engineThreads;
+    WindowEdgeWorkload wl(iters, window);
+    return runtime::Runner::runHmtx(wl, cfg);
+}
+
+TEST(ParallelEngineEdge, EventsOnWindowBoundary)
+{
+    sim::MachineConfig cfg; // snoop bus: window = busCycles = 4
+    const Cycles window = cfg.busCycles;
+    runtime::ExecResult rs =
+        runEngine(cfg, sim::SimEngine::Sequential, 0, window, 40);
+    for (unsigned threads : {1u, 2u, 4u}) {
+        runtime::ExecResult rp = runEngine(
+            cfg, sim::SimEngine::Parallel, threads, window, 40);
+        expectIdentical(rs, rp);
+        EXPECT_GT(rp.parStats.windows, 0u);
+        EXPECT_GT(rp.parStats.eventsPerWindow(), 0.0);
+        EXPECT_LE(rp.parStats.laneEvents, rp.parStats.events);
+    }
+}
+
+TEST(ParallelEngineEdge, DirectoryWindowBoundary)
+{
+    sim::MachineConfig cfg;
+    cfg.fabric = sim::Fabric::Directory; // window = dirHop
+    const Cycles window = cfg.dirHop;
+    runtime::ExecResult rs =
+        runEngine(cfg, sim::SimEngine::Sequential, 0, window, 32);
+    runtime::ExecResult rp =
+        runEngine(cfg, sim::SimEngine::Parallel, 2, window, 32);
+    expectIdentical(rs, rp);
+}
+
+/** compute(0) everywhere: every stage turn is a zero-latency
+ *  self-message that must still wake strictly after its slot. */
+TEST(ParallelEngineEdge, ZeroLatencySelfMessages)
+{
+    sim::MachineConfig cfg;
+    runtime::ExecResult rs =
+        runEngine(cfg, sim::SimEngine::Sequential, 0, 1, 24);
+    for (unsigned threads : {1u, 2u}) {
+        runtime::ExecResult rp =
+            runEngine(cfg, sim::SimEngine::Parallel, threads, 1, 24);
+        expectIdentical(rs, rp);
+    }
+}
+
+/**
+ * Degenerate configuration: busCycles = 1 makes the window a single
+ * tick, so every event crosses a boundary and the engine quiesces
+ * after each one — operationally the sequential loop. Must still be
+ * bit-identical, and the window count must reflect the per-tick
+ * cadence.
+ */
+TEST(ParallelEngineEdge, OneTickWindowReducesToSequential)
+{
+    sim::MachineConfig cfg;
+    cfg.busCycles = 1;
+    runtime::ExecResult rs =
+        runEngine(cfg, sim::SimEngine::Sequential, 0, 1, 24);
+    for (unsigned threads : {1u, 2u}) {
+        runtime::ExecResult rp =
+            runEngine(cfg, sim::SimEngine::Parallel, threads, 1, 24);
+        expectIdentical(rs, rp);
+        EXPECT_GT(rp.parStats.windows, 0u);
+        // One-tick windows: at most a handful of same-tick events per
+        // window, never the whole run in one window.
+        EXPECT_LT(rp.parStats.eventsPerWindow(),
+                  double(rp.parStats.events));
+        EXPECT_EQ(rp.parStats.rollbacks, 0u);
+    }
+}
+
+} // namespace
+} // namespace hmtx

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * ParallelDifferential: the parallel event engine (DESIGN.md §11)
+ * must be bit-identical to the sequential engine — same cycles, same
+ * checksum, same instruction/branch/abort counts, same SysStats — on
+ * the full {bus, directory} x {lazy, eager} matrix, in both inline
+ * (engineThreads = 1) and forced-threaded (engineThreads >= 2) modes.
+ * Follows the ShardDifferential pattern (differential_fullscan_test):
+ * drive two identically-configured runs and compare everything the
+ * simulated machine can observe.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "runtime/executors.hh"
+#include "workloads/gzip.hh"
+#include "workloads/linked_list.hh"
+#include "workloads/stress.hh"
+
+namespace hmtx::workloads
+{
+namespace
+{
+
+using Combo = std::tuple<sim::Fabric, bool /*lazy*/,
+                         unsigned /*engineThreads*/>;
+
+/** Everything architecturally observable must match exactly.
+ *  (parStats/shardStats are simulator-side and excluded by design.) */
+void
+expectIdentical(const runtime::ExecResult& seqEng,
+                const runtime::ExecResult& parEng)
+{
+    EXPECT_EQ(parEng.cycles, seqEng.cycles);
+    EXPECT_EQ(parEng.checksum, seqEng.checksum);
+    EXPECT_EQ(parEng.instructions, seqEng.instructions);
+    EXPECT_EQ(parEng.transactions, seqEng.transactions);
+    EXPECT_EQ(parEng.vidResets, seqEng.vidResets);
+    EXPECT_EQ(parEng.branches, seqEng.branches);
+    EXPECT_EQ(parEng.mispredicts, seqEng.mispredicts);
+    EXPECT_TRUE(parEng.stats == seqEng.stats)
+        << "SysStats diverged (aborts " << seqEng.stats.aborts << " vs "
+        << parEng.stats.aborts << ", busTxns " << seqEng.stats.busTxns
+        << " vs " << parEng.stats.busTxns << ")";
+}
+
+class ParallelDifferential : public ::testing::TestWithParam<Combo>
+{
+  protected:
+    static sim::MachineConfig
+    make(const Combo& c, sim::SimEngine engine)
+    {
+        sim::MachineConfig cfg;
+        cfg.fabric = std::get<0>(c);
+        cfg.lazyCommit = std::get<1>(c);
+        cfg.engine = engine;
+        cfg.engineThreads = std::get<2>(c);
+        return cfg;
+    }
+};
+
+TEST_P(ParallelDifferential, LinkedListBitIdentical)
+{
+    LinkedListWorkload::Params p;
+    p.nodes = 80;
+    p.workRounds = 16;
+    LinkedListWorkload a(p), b(p);
+    runtime::ExecResult rs = runtime::Runner::runHmtx(
+        a, make(GetParam(), sim::SimEngine::Sequential));
+    runtime::ExecResult rp = runtime::Runner::runHmtx(
+        b, make(GetParam(), sim::SimEngine::Parallel));
+    expectIdentical(rs, rp);
+    EXPECT_EQ(rp.parStats.rollbacks, 0u);
+    EXPECT_GT(rp.parStats.sections, 0u);
+    EXPECT_GT(rp.parStats.intents, 0u);
+}
+
+TEST_P(ParallelDifferential, GzipBitIdentical)
+{
+    GzipWorkload::Params p;
+    p.blocks = 8;
+    p.wordsPerBlock = 120;
+    GzipWorkload a(p), b(p);
+    runtime::ExecResult rs = runtime::Runner::runHmtx(
+        a, make(GetParam(), sim::SimEngine::Sequential));
+    runtime::ExecResult rp = runtime::Runner::runHmtx(
+        b, make(GetParam(), sim::SimEngine::Parallel));
+    expectIdentical(rs, rp);
+}
+
+/** The abort/recovery path (misspeculation storms, group aborts,
+ *  queue resets) must replay identically under staged execution. */
+TEST_P(ParallelDifferential, StressConflictsBitIdentical)
+{
+    StressWorkload::Params p;
+    p.iterations = 48;
+    p.scratchWords = 24;
+    p.conflictRate = 0.25;
+    StressWorkload a(p), b(p);
+    runtime::ExecResult rs = runtime::Runner::runHmtx(
+        a, make(GetParam(), sim::SimEngine::Sequential));
+    runtime::ExecResult rp = runtime::Runner::runHmtx(
+        b, make(GetParam(), sim::SimEngine::Parallel));
+    expectIdentical(rs, rp);
+    EXPECT_GT(rp.stats.aborts, 0u); // the matrix cell really aborted
+    EXPECT_EQ(rp.parStats.rollbacks, 0u);
+}
+
+/** Sequential runs (one lane, long staged sections) too. */
+TEST_P(ParallelDifferential, SequentialScheduleBitIdentical)
+{
+    LinkedListWorkload::Params p;
+    p.nodes = 60;
+    LinkedListWorkload a(p), b(p);
+    runtime::ExecResult rs = runtime::Runner::runSequential(
+        a, make(GetParam(), sim::SimEngine::Sequential));
+    runtime::ExecResult rp = runtime::Runner::runSequential(
+        b, make(GetParam(), sim::SimEngine::Parallel));
+    expectIdentical(rs, rp);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ParallelDifferential,
+    ::testing::Combine(
+        ::testing::Values(sim::Fabric::SnoopBus,
+                          sim::Fabric::Directory),
+        ::testing::Bool(),          // lazy / eager commit
+        ::testing::Values(1u, 2u)), // inline / forced worker threads
+    [](const ::testing::TestParamInfo<Combo>& info) {
+        std::string n;
+        n += std::get<0>(info.param) == sim::Fabric::SnoopBus
+            ? "snoop"
+            : "dir";
+        n += std::get<1>(info.param) ? "_lazy" : "_eager";
+        n += std::get<2>(info.param) == 1 ? "_inline" : "_threaded";
+        return n;
+    });
+
+/** Worker count and threading mode honor the engineThreads policy. */
+TEST(ParallelEnginePolicy, WorkerClampAndIdleCores)
+{
+    LinkedListWorkload::Params p;
+    p.nodes = 24;
+
+    // Forced threads clamp to the simulated core count.
+    sim::MachineConfig cfg;
+    cfg.engine = sim::SimEngine::Parallel;
+    cfg.engineThreads = 64; // > numCores (4)
+    LinkedListWorkload a(p);
+    runtime::ExecResult r = runtime::Runner::runHmtx(a, cfg);
+    EXPECT_TRUE(r.parStats.threaded);
+    EXPECT_EQ(r.parStats.workers, cfg.numCores);
+
+    // Inline mode reports no workers; idleCores accounting must stay
+    // identical to the sequential engine's (engine choice never
+    // changes the simulated schedule).
+    cfg.engineThreads = 1;
+    LinkedListWorkload b(p), c(p);
+    runtime::ExecResult ri = runtime::Runner::runHmtx(b, cfg);
+    sim::MachineConfig scfg;
+    runtime::ExecResult rs = runtime::Runner::runHmtx(c, scfg);
+    EXPECT_FALSE(ri.parStats.threaded);
+    EXPECT_EQ(ri.parStats.workers, 0u);
+    EXPECT_EQ(ri.stats.idleCores, rs.stats.idleCores);
+}
+
+} // namespace
+} // namespace hmtx::workloads
