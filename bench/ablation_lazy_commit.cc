@@ -33,7 +33,7 @@ main()
         runtime::ExecResult rl = runtime::Runner::runHmtx(*a, lazy);
 
         sim::MachineConfig eager = lazy;
-        eager.lazyCommit = false;
+        eager.txMode = TxMode::EagerHmtx;
         auto b = workloads::makeByName(name);
         runtime::ExecResult re = runtime::Runner::runHmtx(*b, eager);
         requireChecksum(name, rl, re);

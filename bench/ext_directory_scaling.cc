@@ -57,7 +57,7 @@ timeShardRun(const char* name, unsigned cores, unsigned shards)
         // Naive SS 4.4 commit processing: every commit/abort walks the
         // speculative lines, which is exactly the bulk work the
         // sharded engine parallelizes.
-        cfg.lazyCommit = false;
+        cfg.txMode = TxMode::EagerHmtx;
         cfg.shards = shards;
         applyEngineEnv(cfg);
         auto wl = workloads::makeByName(name);
@@ -133,8 +133,16 @@ main(int argc, char** argv)
         std::fprintf(stderr, "FATAL: cannot open %s\n", outPath);
         return 1;
     }
-    std::fprintf(js, "{\n \"engine\": \"%s\",\n \"workloads\": {\n",
-                 envEngine);
+    // Echo the commit-mode axis so every BENCH report is
+    // self-describing even though this sweep runs the lazy default.
+    std::fprintf(js,
+                 "{\n \"engine\": \"%s\",\n"
+                 " \"config\": {\"txMode\": \"%s\", "
+                 "\"btxMaxRetries\": %u, \"btxAbortThreshold\": %u, "
+                 "\"limitedSetK\": %u},\n \"workloads\": {\n",
+                 envEngine, txModeName(envProbe.txMode),
+                 envProbe.btxMaxRetries, envProbe.btxAbortThreshold,
+                 envProbe.limitedSetK);
 
     bool dirWinsAtScale = true;
     for (std::size_t w = 0; w < benches.size(); ++w) {

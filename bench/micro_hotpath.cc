@@ -118,7 +118,7 @@ BM_EagerCommit(benchmark::State& state)
 {
     // Naive commit processing (§4.4): every commit walks the caches.
     auto cfg = makeCfg(state.range(0), state.range(1));
-    cfg.lazyCommit = false;
+    cfg.txMode = TxMode::EagerHmtx;
     sim::EventQueue eq;
     sim::CacheSystem sys(eq, cfg);
     populateBackground(sys, backgroundLines(state.range(0)));
@@ -236,6 +236,21 @@ main(int argc, char** argv)
 #else
     benchmark::AddCustomContext("hmtx_build_type", "unknown");
 #endif
+    // Commit-mode axis of the measured configs (the hot paths run the
+    // lazy default); keeps every BENCH report self-describing.
+    {
+        const hmtx::sim::MachineConfig cfg = makeCfg(true, false);
+        benchmark::AddCustomContext("hmtx_tx_mode",
+                                    hmtx::txModeName(cfg.txMode));
+        benchmark::AddCustomContext(
+            "hmtx_btx_max_retries",
+            std::to_string(cfg.btxMaxRetries));
+        benchmark::AddCustomContext(
+            "hmtx_btx_abort_threshold",
+            std::to_string(cfg.btxAbortThreshold));
+        benchmark::AddCustomContext(
+            "hmtx_limited_set_k", std::to_string(cfg.limitedSetK));
+    }
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

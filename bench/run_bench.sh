@@ -13,10 +13,16 @@
 #                       least as fast as the bus from 8 cores up, or if
 #                       (on a multi-CPU host) the sharded engine falls
 #                       short of 1.5x on the bulk-walk-heavy config.
+#   BENCH_modes.json    ext_mode_crossover commit-mode sweep (full
+#                       HMTX with unbounded sets vs best-effort HTM
+#                       with the serialized fallback, rising stores
+#                       per transaction on both fabrics); the run
+#                       fails if no crossover exists on either fabric.
 #
 # Run from the repository root:
 #
 #   bench/run_bench.sh [build-dir] [hotpath.json] [scaling.json]
+#                      [modes.json]
 #
 # A smoke ctest (bench_hotpath_smoke) asserting indexed/full-scan
 # behavioural identity runs as part of the normal test suite; this
@@ -28,6 +34,7 @@ ROOT=$(cd "$(dirname "$0")/.." && pwd)
 BUILD=${1:-"$ROOT/build-release"}
 OUT=${2:-"$ROOT/BENCH_hotpath.json"}
 SCALING_OUT=${3:-"$ROOT/BENCH_scaling.json"}
+MODES_OUT=${4:-"$ROOT/BENCH_modes.json"}
 RUNS=${FIG8_RUNS:-3}
 
 # Configure through the release preset so the benchmark binaries get
@@ -41,10 +48,14 @@ else
     cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "$BUILD" -j \
-    --target micro_hotpath fig8_speedup ext_directory_scaling
+    --target micro_hotpath fig8_speedup ext_directory_scaling \
+    ext_mode_crossover
 
 echo "== ext_directory_scaling (cores x fabric sweep) =="
 "$BUILD/bench/ext_directory_scaling" "$SCALING_OUT"
+
+echo "== ext_mode_crossover (commit-mode write-set sweep) =="
+"$BUILD/bench/ext_mode_crossover" "$MODES_OUT"
 
 echo "== micro_hotpath smoke (behavioural identity + speedup bound) =="
 "$BUILD/bench/micro_hotpath" --smoke

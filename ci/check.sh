@@ -32,24 +32,39 @@ for preset in "${PRESETS[@]}"; do
 done
 
 # Golden-model differential fuzzing (DESIGN.md §10): a fixed-seed
-# batch beyond what the fuzz_smoke ctest already covered. Override
-# FUZZ_SCHEDULES for longer campaigns (FUZZ_SCHEDULES=0 skips).
+# batch beyond what the fuzz_smoke ctest already covered, split across
+# the commit-mode cell groups — half the budget runs every cell on one
+# schedule, a quarter leans on the best-effort pair and a quarter on
+# the limited-set pair (disjoint seed ranges, so the focused batches
+# are not a subset of the first). Override FUZZ_SCHEDULES for longer
+# campaigns (FUZZ_SCHEDULES=0 skips).
 FUZZ_SCHEDULES=${FUZZ_SCHEDULES:-2000}
 if printf '%s\n' "${PRESETS[@]}" | grep -qx release \
     && [ "$FUZZ_SCHEDULES" -gt 0 ]; then
-    echo "==== fuzz: $FUZZ_SCHEDULES differential schedules ===="
     FUZZ_BIN="$ROOT/build-release/tests/fuzz/hmtx_fuzz"
     if [ ! -x "$FUZZ_BIN" ]; then
         echo "FATAL: $FUZZ_BIN missing after the release build" >&2
         exit 1
     fi
-    if ! "$FUZZ_BIN" --schedules "$FUZZ_SCHEDULES" --ops 160 \
-        --corpus-out "$ROOT/tests/fuzz/corpus"; then
-        echo "FATAL: differential fuzzing diverged; shrunken replay" \
-             "written to tests/fuzz/corpus (rerun with" \
-             "hmtx_fuzz --replay <file>)" >&2
-        exit 1
-    fi
+    FUZZ_HALF=$((FUZZ_SCHEDULES / 2))
+    FUZZ_QUARTER=$((FUZZ_SCHEDULES / 4))
+    fuzz_batch() { # <label> <cells> <seed0> <schedules>
+        echo "==== fuzz ($1 cells): $4 differential schedules ===="
+        if ! "$FUZZ_BIN" --schedules "$4" --ops 160 \
+            --cells "$2" --seed0 "$3" \
+            --corpus-out "$ROOT/tests/fuzz/corpus"; then
+            echo "FATAL: differential fuzzing ($1 cells) diverged;" \
+                 "shrunken replay written to tests/fuzz/corpus" \
+                 "(rerun with hmtx_fuzz --replay <file>" \
+                 "--cells $2)" >&2
+            exit 1
+        fi
+    }
+    fuzz_batch all all 1 "$FUZZ_HALF"
+    [ "$FUZZ_QUARTER" -gt 0 ] && \
+        fuzz_batch best-effort btx 500001 "$FUZZ_QUARTER"
+    [ "$FUZZ_QUARTER" -gt 0 ] && \
+        fuzz_batch limited-set ltd 600001 "$FUZZ_QUARTER"
 fi
 
 # Parallel event engine (DESIGN.md §11): the bit-identity smoke across
@@ -84,6 +99,19 @@ if printf '%s\n' "${PRESETS[@]}" | grep -qx release; then
              "hot-path regression gate" >&2
         exit 1
     fi
+    echo "==== bench: commit-mode crossover smoke ===="
+    cmake --build --preset release -j "$JOBS" \
+        --target ext_mode_crossover
+    CI_MODES_JSON=$(mktemp)
+    if ! "$ROOT/build-release/bench/ext_mode_crossover" \
+        "$CI_MODES_JSON" > /dev/null; then
+        echo "FATAL: ext_mode_crossover found no HMTX/best-effort" \
+             "crossover (or failed to converge) — the bounded-mode" \
+             "capacity behaviour regressed" >&2
+        exit 1
+    fi
+    rm -f "$CI_MODES_JSON"
+
     echo "==== bench: hot-path regression gate ===="
     cmake --build --preset release -j "$JOBS" --target micro_hotpath
     if ! "$ROOT/build-release/bench/micro_hotpath" --smoke; then

@@ -84,7 +84,7 @@ main(int argc, char** argv)
         std::printf("\n--- full statistics (%s) ---\n",
                     r.model.c_str());
         sim::StatsReport(r.stats, &r.indexStats, &r.shardStats,
-                         &r.parStats)
+                         &r.parStats, &cfg, &r.txStats)
             .print();
         return 0;
     }

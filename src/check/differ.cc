@@ -1,6 +1,10 @@
 /**
  * @file
- * The differential runner: golden model vs. the 4-cell config matrix.
+ * The differential runner: golden model vs. the grouped 10-cell config
+ * matrix. Each group (full-HMTX, best-effort, limited-set) runs the
+ * schedule independently against its own golden model — commit modes
+ * differ architecturally by design, so cross-cell comparison is only
+ * meaningful within a group.
  */
 
 #include <cstdio>
@@ -24,15 +28,43 @@ namespace hmtx::check
 namespace
 {
 
-/** Cells 0-3 drive the CacheSystem directly; cells 4-5 route every
- *  scripted access through the parallel event engine (DESIGN.md §11)
- *  so the staged-retirement path faces the same fuzz pressure. */
+/** Full-HMTX group: cells 0-3 drive the CacheSystem directly; cells
+ *  4-5 route every scripted access through the parallel event engine
+ *  (DESIGN.md §11) so the staged-retirement path faces the same fuzz
+ *  pressure. */
 constexpr int kCells = 6;
 constexpr int kEngineCellBase = 4;
 
 const char* const kCellNames[kCells] = {
     "bus/lazy",      "bus/eager",      "dir/lazy",
     "dir/eager",     "bus/lazy/peng",  "dir/eager/peng"};
+
+const char*
+groupName(unsigned g)
+{
+    switch (g) {
+    case kGroupHmtx: return "hmtx";
+    case kGroupBtx: return "btx";
+    case kGroupLtd: return "ltd";
+    default: return "?";
+    }
+}
+
+/** Policy the golden model and the mode cells of @p group share. */
+TxPolicyConfig
+groupPolicy(const FuzzConfig& c, unsigned g)
+{
+    TxPolicyConfig pc;
+    if (g == kGroupBtx) {
+        pc.mode = TxMode::BestEffort;
+        pc.btxMaxRetries = c.btxRetries;
+        pc.btxAbortThreshold = c.btxThreshold;
+    } else if (g == kGroupLtd) {
+        pc.mode = TxMode::LimitedSet;
+        pc.limitedSetK = c.limitedK;
+    }
+    return pc;
+}
 
 sim::MachineConfig
 cellConfig(const FuzzConfig& c, int i)
@@ -52,11 +84,13 @@ cellConfig(const FuzzConfig& c, int i)
         // staged access path itself.
         mc.fabric = i == kEngineCellBase ? sim::Fabric::SnoopBus
                                          : sim::Fabric::Directory;
-        mc.lazyCommit = i == kEngineCellBase;
+        mc.txMode = i == kEngineCellBase ? TxMode::LazyHmtx
+                                         : TxMode::EagerHmtx;
         return mc;
     }
     mc.fabric = i < 2 ? sim::Fabric::SnoopBus : sim::Fabric::Directory;
-    mc.lazyCommit = (i % 2) == 0;
+    mc.txMode = (i % 2) == 0 ? TxMode::LazyHmtx
+                             : TxMode::EagerHmtx;
     mc.shards = c.shards[i];
     mc.shardThreads = c.shardThreads[i];
     // One cell polices the incremental indexes after every bulk op;
@@ -64,6 +98,30 @@ cellConfig(const FuzzConfig& c, int i)
     // as cross-cell divergence even between cross-checks.
     mc.indexCrossCheck = i == 0;
     mc.forceFullScan = i == 1;
+    return mc;
+}
+
+/** Config for one {fabric} cell of a mode group (btx or ltd). */
+sim::MachineConfig
+modeCellConfig(const FuzzConfig& c, unsigned g, sim::Fabric f)
+{
+    sim::MachineConfig mc;
+    mc.numCores = c.numCores;
+    mc.l1SizeKB = c.l1KB;
+    mc.l1Assoc = c.l1Assoc;
+    mc.l2SizeKB = c.l2KB;
+    mc.l2Assoc = c.l2Assoc;
+    mc.vidBits = c.vidBits;
+    // Bounded modes exist to cap speculative footprints; the config
+    // layer rejects them with unbounded spec sets.
+    mc.unboundedSpecSets = false;
+    mc.slaEnabled = c.slaEnabled;
+    mc.fabric = f;
+    const TxPolicyConfig pc = groupPolicy(c, g);
+    mc.txMode = pc.mode;
+    mc.btxMaxRetries = pc.btxMaxRetries;
+    mc.btxAbortThreshold = pc.btxAbortThreshold;
+    mc.limitedSetK = pc.limitedSetK;
     return mc;
 }
 
@@ -221,22 +279,35 @@ struct PendingSla
 class Runner
 {
   public:
-    explicit Runner(const Schedule& s)
-        : s_(s), gold_(s.cfg.slaEnabled)
+    Runner(const Schedule& s, unsigned group)
+        : s_(s), gold_(s.cfg.slaEnabled, groupPolicy(s.cfg, group))
     {
-        for (int i = 0; i < kCells; ++i) {
-            const bool engine = i >= kEngineCellBase;
+        if (group == kGroupHmtx) {
+            for (int i = 0; i < kCells; ++i) {
+                const bool engine = i >= kEngineCellBase;
+                cells_.push_back(std::make_unique<Cell>(
+                    kCellNames[i], cellConfig(s.cfg, i),
+                    engine ? s.cfg.engineThreads[i - kEngineCellBase]
+                           : 1,
+                    engine));
+            }
+        } else {
+            const bool btx = group == kGroupBtx;
             cells_.push_back(std::make_unique<Cell>(
-                kCellNames[i], cellConfig(s.cfg, i),
-                engine ? s.cfg.engineThreads[i - kEngineCellBase] : 1,
-                engine));
+                btx ? "bus/btx" : "bus/ltd",
+                modeCellConfig(s.cfg, group, sim::Fabric::SnoopBus), 1,
+                false));
+            cells_.push_back(std::make_unique<Cell>(
+                btx ? "dir/btx" : "dir/ltd",
+                modeCellConfig(s.cfg, group, sim::Fabric::Directory),
+                1, false));
         }
         maxVid_ = cells_[0]->sys.config().maxVid();
         seedMemory();
     }
 
     Divergence
-    run(Coverage* cov)
+    run(Coverage* cov, bool primary)
     {
         for (std::size_t i = 0; i < s_.ops.size() && !div_.found; ++i) {
             step(i);
@@ -246,7 +317,7 @@ class Runner
         if (!div_.found)
             finalChecks();
         if (cov)
-            accumulate(*cov);
+            accumulate(*cov, primary);
         return div_;
     }
 
@@ -359,11 +430,18 @@ class Runner
         return true;
     }
 
-    /** Golden resync after any real abort. */
+    /**
+     * Golden resync after real aborts. The flush itself is idempotent,
+     * but the golden's TxPolicy counts consecutive aborts exactly as
+     * every cell's does, so abortAll() must run once per real
+     * abort-generation tick to keep the fallback state machines in
+     * lockstep.
+     */
     void
-    syncAbort()
+    syncAbort(std::uint64_t n = 1)
     {
-        gold_.abortAll();
+        for (std::uint64_t i = 0; i < n; ++i)
+            gold_.abortAll();
         pending_.clear();
     }
 
@@ -373,7 +451,8 @@ class Runner
      * a divergence. Returns false on divergence.
      */
     bool
-    acceptEnvAbort(std::size_t idx, bool capacity, const char* what)
+    acceptEnvAbort(std::size_t idx, std::uint64_t gen, bool capacity,
+                   const char* what)
     {
         if (!capacity) {
             fail(idx, std::string(what) +
@@ -381,7 +460,7 @@ class Runner
                           "no capacity abort recorded");
             return false;
         }
-        syncAbort();
+        syncAbort(gen);
         return true;
     }
 
@@ -437,7 +516,19 @@ class Runner
         if (vid > maxVid_)
             return; // outside the VID window; skip
         ++executed_;
-        std::uint64_t want = gold_.valueAt(op.addr, op.size, vid);
+        // Mirror the cells' policy consultation. A serialized access
+        // (best-effort fallback lock held by this VID) has full
+        // non-speculative semantics; wrong-path loads consult the lock
+        // passively, exactly as CacheSystem::load does.
+        bool serialized = false;
+        if (vid != kNonSpecVid)
+            serialized = wrongPath ? gold_.policy().serializes(vid)
+                                   : gold_.beginSpecAccess(vid);
+        const bool ltdAbort = !serialized && !wrongPath &&
+            vid != kNonSpecVid &&
+            gold_.limitedSetWouldAbort(op.addr, vid);
+        const Vid effVid = serialized ? kNonSpecVid : vid;
+        std::uint64_t want = gold_.valueAt(op.addr, op.size, effVid);
         sim::AccessResult r;
         std::uint64_t gen = 0;
         bool capacity = false;
@@ -448,10 +539,23 @@ class Runner
                     },
                     r, gen, capacity))
             return;
+        if (ltdAbort) {
+            // The limited-set predictor is deterministic: the cells
+            // key the same decision off identically maintained line
+            // sets, so the capacity abort is mandatory.
+            if (gen == 0 || !capacity) {
+                fail(idx, "golden predicted a limited-set capacity "
+                          "abort (vid " + std::to_string(vid) +
+                          "), load succeeded");
+                return;
+            }
+            syncAbort(gen);
+            return; // the abort consumed the access
+        }
         if (gen != 0) {
             // Loads never violate a dependence; only environmental
             // (capacity) aborts are acceptable here.
-            if (!acceptEnvAbort(idx, capacity, "load"))
+            if (!acceptEnvAbort(idx, gen, capacity, "load"))
                 return;
             if (r.aborted)
                 return; // the flush consumed the access itself
@@ -460,15 +564,16 @@ class Runner
             // against the post-abort state and became the first read
             // of the restarted transaction. Mirror it in the golden
             // model and re-derive the expected value post-flush.
-            want = gold_.valueAt(op.addr, op.size, vid);
+            want = gold_.valueAt(op.addr, op.size, effVid);
         }
         if (r.value != want) {
             fail(idx, "load value " + hex(r.value) +
                           " != golden " + hex(want) + " (vid " +
-                          std::to_string(vid) + ")");
+                          std::to_string(vid) +
+                          (serialized ? ", serialized)" : ")"));
             return;
         }
-        gold_.applyLoad(op.addr, vid, wrongPath);
+        gold_.applyLoad(op.addr, effVid, wrongPath);
         if (r.needSla && !wrongPath && vid != kNonSpecVid &&
             s_.cfg.slaEnabled) {
             pending_.push_back(
@@ -483,7 +588,13 @@ class Runner
         if (vid > maxVid_)
             return;
         ++executed_;
-        const bool predictAbort = gold_.storeAborts(op.addr, vid);
+        const bool serialized =
+            vid != kNonSpecVid && gold_.beginSpecAccess(vid);
+        const bool ltdAbort = !serialized && vid != kNonSpecVid &&
+            gold_.limitedSetWouldAbort(op.addr, vid);
+        const Vid effVid = serialized ? kNonSpecVid : vid;
+        const bool predictAbort =
+            !ltdAbort && gold_.storeAborts(op.addr, effVid);
         sim::AccessResult r;
         std::uint64_t gen = 0;
         bool capacity = false;
@@ -494,33 +605,50 @@ class Runner
                     },
                     r, gen, capacity))
             return;
+        if (ltdAbort) {
+            if (gen == 0 || !capacity) {
+                fail(idx, "golden predicted a limited-set capacity "
+                          "abort (vid " + std::to_string(vid) +
+                          "), store succeeded");
+                return;
+            }
+            syncAbort(gen);
+            return; // the abort consumed the store
+        }
         if (gen != 0) {
             if (!capacity) {
-                // A dependence abort: legal only if predicted, and it
-                // always consumes the store itself.
+                // A dependence abort: legal only if predicted. It
+                // consumes a speculative store; a serialized
+                // (fallback-holder) store retries internally after the
+                // flush it raised and always completes — fold it into
+                // the committed image below.
                 if (!predictAbort) {
                     fail(idx, "store: abort not predicted by golden "
                               "model and no capacity abort recorded");
                     return;
                 }
-                syncAbort();
-                return;
+                syncAbort(gen);
+                if (!serialized)
+                    return;
+            } else {
+                // Environmental flush. If the store itself was
+                // consumed, nothing was recorded. Otherwise it
+                // completed against the post-abort state (where any
+                // predicted dependence is gone too) — mirror it in the
+                // golden model below.
+                syncAbort(gen);
+                if (r.aborted)
+                    return;
             }
-            // Environmental flush. If the store itself was consumed,
-            // nothing was recorded. Otherwise it completed against the
-            // post-abort state (where any predicted dependence is gone
-            // too) — mirror it in the golden model below.
-            syncAbort();
-            if (r.aborted)
-                return;
         } else if (predictAbort) {
             fail(idx, "golden predicted a dependence abort "
                       "(vid " + std::to_string(vid) +
+                      (serialized ? ", serialized" : "") +
                       "), store succeeded");
             return;
         }
         gold_.applyStore(op.addr, op.value & sizeMask(op.size),
-                         op.size, vid);
+                         op.size, effVid);
     }
 
     /**
@@ -570,7 +698,7 @@ class Runner
         }
         if (gen0 != 0) {
             if (predictMismatch || cap0 != 0) {
-                syncAbort();
+                syncAbort(gen0);
                 return false; // state flushed; not a divergence
             }
             fail(idx, "slaConfirm aborted but golden predicted a "
@@ -765,20 +893,31 @@ class Runner
     }
 
     void
-    accumulate(Coverage& cov)
+    accumulate(Coverage& cov, bool primary)
     {
-        const auto& st = cells_[0]->sys.stats();
-        ++cov.schedules;
-        cov.ops += executed_;
-        cov.commits += st.commits;
-        cov.aborts += st.aborts;
-        cov.capacityAborts += st.capacityAborts;
-        cov.vidResets += st.vidResets;
-        cov.spills += st.specSpills;
-        cov.refills += st.specRefills;
-        cov.soRefetches += st.soRefetches;
-        cov.slaConfirms += st.slaConfirms;
-        cov.slaMismatchAborts += st.slaMismatchAborts;
+        // Base counters come from the first group in the mask only, so
+        // a multi-group campaign counts each schedule once; the mode
+        // counters are zero outside their group and sum unconditionally.
+        if (primary) {
+            const auto& st = cells_[0]->sys.stats();
+            ++cov.schedules;
+            cov.ops += executed_;
+            cov.commits += st.commits;
+            cov.aborts += st.aborts;
+            cov.capacityAborts += st.capacityAborts;
+            cov.vidResets += st.vidResets;
+            cov.spills += st.specSpills;
+            cov.refills += st.specRefills;
+            cov.soRefetches += st.soRefetches;
+            cov.slaConfirms += st.slaConfirms;
+            cov.slaMismatchAborts += st.slaMismatchAborts;
+        }
+        const TxModeStats& ts = cells_[0]->sys.txPolicy().stats();
+        cov.fallbackEntries += ts.fallbackEntries;
+        cov.fallbackAccesses += ts.fallbackAccesses;
+        cov.fallbackCommits += ts.fallbackCommits;
+        cov.fallbackWrapRemaps += ts.fallbackWrapRemaps;
+        cov.limitedSetAborts += ts.limitedSetAborts;
     }
 
     const Schedule& s_;
@@ -793,17 +932,29 @@ class Runner
 } // namespace
 
 Divergence
-runSchedule(const Schedule& s, Coverage* cov)
+runSchedule(const Schedule& s, Coverage* cov, unsigned groupMask)
 {
-    Runner r(s);
-    return r.run(cov);
+    bool primary = true;
+    for (unsigned g : {unsigned(kGroupHmtx), unsigned(kGroupBtx),
+                       unsigned(kGroupLtd)}) {
+        if (!(groupMask & g))
+            continue;
+        Runner r(s, g);
+        Divergence d = r.run(cov, primary);
+        primary = false;
+        if (d.found) {
+            d.what = std::string(groupName(g)) + " group: " + d.what;
+            return d;
+        }
+    }
+    return {};
 }
 
 Schedule
-shrinkSchedule(const Schedule& s, unsigned maxRuns)
+shrinkSchedule(const Schedule& s, unsigned maxRuns, unsigned groupMask)
 {
     Schedule cur = s;
-    if (!runSchedule(cur).found)
+    if (!runSchedule(cur, nullptr, groupMask).found)
         return cur;
     unsigned runs = 1;
     std::size_t chunk = cur.ops.size() / 2;
@@ -818,7 +969,7 @@ shrinkSchedule(const Schedule& s, unsigned maxRuns)
                 cand.ops.begin() + static_cast<std::ptrdiff_t>(i),
                 cand.ops.begin() + static_cast<std::ptrdiff_t>(i + chunk));
             ++runs;
-            if (runSchedule(cand).found) {
+            if (runSchedule(cand, nullptr, groupMask).found) {
                 cur.ops = std::move(cand.ops);
                 removedAny = true;
             } else {

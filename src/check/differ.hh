@@ -1,10 +1,13 @@
 /**
  * @file
  * Differential execution of fuzz schedules: one schedule runs against
- * the GoldenModel and six real CacheSystem cells — {SnoopBus,
- * DirectoryFabric} × {lazy, eager commit} with per-cell shard counts,
- * plus two cells that route every access through the parallel event
- * engine's staged-retirement path (DESIGN.md §11) — and every
+ * the GoldenModel and ten real CacheSystem cells in three groups —
+ * the six full-HMTX cells ({SnoopBus, DirectoryFabric} × {lazy, eager
+ * commit} with per-cell shard counts, plus two cells that route every
+ * access through the parallel event engine's staged-retirement path,
+ * DESIGN.md §11), two best-effort cells ({bus, dir} with the retry/
+ * fallback-lock policy), and two limited-set cells ({bus, dir}
+ * tracking only the first K speculative lines per VID) — and every
  * architecturally visible outcome is compared:
  *
  *  - per-op: load values vs. the golden visibility rule, abort
@@ -55,10 +58,37 @@ struct Coverage
     std::uint64_t soRefetches = 0;
     std::uint64_t slaConfirms = 0;
     std::uint64_t slaMismatchAborts = 0;
+    /** From the best-effort group's cells (TxModeStats). */
+    std::uint64_t fallbackEntries = 0;
+    std::uint64_t fallbackAccesses = 0;
+    std::uint64_t fallbackCommits = 0;
+    std::uint64_t fallbackWrapRemaps = 0;
+    /** From the limited-set group's cells. */
+    std::uint64_t limitedSetAborts = 0;
 };
 
-/** Runs @p s against the golden model and the config matrix. */
-Divergence runSchedule(const Schedule& s, Coverage* cov = nullptr);
+/**
+ * Cell groups of the differential matrix. Each group runs the whole
+ * schedule independently against its own golden model: cells of
+ * different commit modes diverge architecturally by design, so
+ * cross-cell comparison is only meaningful within a group.
+ *
+ *  - kGroupHmtx: the six full-HMTX cells — {bus, dir} × {lazy, eager}
+ *    with per-cell shard policies, plus the two parallel-engine cells;
+ *  - kGroupBtx: {bus, dir} best-effort cells (fallback serialization);
+ *  - kGroupLtd: {bus, dir} limited-set cells (first-K-lines tracking).
+ */
+enum GroupSet : unsigned
+{
+    kGroupHmtx = 1u << 0,
+    kGroupBtx = 1u << 1,
+    kGroupLtd = 1u << 2,
+    kGroupAll = kGroupHmtx | kGroupBtx | kGroupLtd,
+};
+
+/** Runs @p s against the golden model and the selected cell groups. */
+Divergence runSchedule(const Schedule& s, Coverage* cov = nullptr,
+                       unsigned groupMask = kGroupAll);
 
 /**
  * ddmin-style shrink: repeatedly deletes op chunks while the schedule
@@ -66,7 +96,8 @@ Divergence runSchedule(const Schedule& s, Coverage* cov = nullptr);
  * surface the same bug through a different check). Runs at most
  * @p maxRuns differential executions.
  */
-Schedule shrinkSchedule(const Schedule& s, unsigned maxRuns = 4000);
+Schedule shrinkSchedule(const Schedule& s, unsigned maxRuns = 4000,
+                        unsigned groupMask = kGroupAll);
 
 } // namespace hmtx::check
 

@@ -75,6 +75,26 @@ GoldenModel::storeAborts(Addr a, Vid vid) const
     return vid < mark;
 }
 
+bool
+GoldenModel::limitedSetWouldAbort(Addr a, Vid vid) const
+{
+    if (!policy_.limitsSpecSets())
+        return false;
+    auto it = rw_.find(vid);
+    if (it == rw_.end())
+        return policy_.limitedSetExceeded(0);
+    const auto& [reads, writes] = it->second;
+    const Addr la = lineAddr(a);
+    // Re-touching a line already in the sets never costs a new entry.
+    if (reads.count(la) || writes.count(la))
+        return false;
+    std::size_t combined = reads.size();
+    for (Addr w : writes)
+        if (!reads.count(w))
+            ++combined;
+    return policy_.limitedSetExceeded(combined);
+}
+
 void
 GoldenModel::applyLoad(Addr a, Vid vid, bool wrongPath)
 {
@@ -137,6 +157,7 @@ void
 GoldenModel::commit(Vid vid)
 {
     assert(vid == lc_ + 1 && "commits must occur consecutively (§4.7)");
+    policy_.onCommit(vid);
     lc_ = vid;
     // Committed versions stay in the word lists (they are the
     // committed image for later VIDs); line marks <= lc_ are inert
@@ -147,6 +168,7 @@ GoldenModel::commit(Vid vid)
 void
 GoldenModel::abortAll()
 {
+    policy_.onAbort();
     for (auto& [addr, w] : words_)
         w.vers.erase(w.vers.upper_bound(lc_), w.vers.end());
     // All surviving state is committed: marks reset exactly as the
@@ -160,6 +182,7 @@ void
 GoldenModel::vidReset()
 {
     assert(vidResetLegal());
+    policy_.onVidReset();
     for (auto& [addr, w] : words_) {
         w.base = wordValueAt(&w, lc_);
         w.vers.clear();

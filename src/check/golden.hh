@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/tx_policy.hh"
 #include "core/types.hh"
 
 namespace hmtx::check
@@ -55,13 +56,35 @@ class GoldenModel
      * @param slaEnabled mirror of MachineConfig::slaEnabled: when
      *        false, wrong-path loads plant read marks like any other
      *        load (the false-misspeculation source §5.1 removes)
+     * @param policy mirror of the cells' TxPolicyConfig: the golden
+     *        model runs the same TxPolicy state machine the cells do,
+     *        so fallback serialization (best-effort mode) and
+     *        limited-set capacity aborts are predicted, not treated as
+     *        environmental noise
      */
-    explicit GoldenModel(bool slaEnabled = true)
-        : slaEnabled_(slaEnabled)
+    explicit GoldenModel(bool slaEnabled = true,
+                         const TxPolicyConfig& policy = {})
+        : slaEnabled_(slaEnabled), policy_(policy)
     {}
 
     /** Highest committed VID. */
     Vid lc() const { return lc_; }
+
+    /** The mirrored commit-mode policy (read-only). */
+    const TxPolicy& policy() const { return policy_; }
+
+    /**
+     * Mirrors the policy consultation a cell performs at the top of
+     * every correct-path speculative access (load or store with
+     * VID != 0). Returns true when the access runs *serialized* — the
+     * best-effort fallback lock is (or becomes) held by @p vid — in
+     * which case the access has full non-speculative semantics: the
+     * expected value is valueAt(.., kNonSpecVid), no marks or R/W-set
+     * entries land, and a store folds the committed image. Mutating:
+     * advances the fallback state machine exactly as each cell does.
+     */
+    bool beginSpecAccess(Vid vid)
+    { return policy_.onSpecAccess(vid, lc_); }
 
     /** Seeds the committed base value of the word containing @p a. */
     void seed(Addr a, std::uint64_t v) { wordOf(a).base = v; }
@@ -88,6 +111,16 @@ class GoldenModel
      * recorded since the last reset/abort has committed (§4.6).
      */
     bool vidResetLegal() const { return rw_.empty(); }
+
+    /**
+     * True when a limited-set cell must capacity-abort a correct-path
+     * speculative access at @p a with VID @p vid: the line is new to
+     * the VID's combined read/write set and the set already holds K
+     * lines. Mirrors CacheSystem::limitedSetBlocks exactly — both key
+     * off identically maintained per-VID line sets. Always false
+     * outside limited-set mode.
+     */
+    bool limitedSetWouldAbort(Addr a, Vid vid) const;
 
     // --- application (mutating) ---------------------------------------
 
@@ -164,6 +197,7 @@ class GoldenModel
     std::uint64_t wordValueAt(const Word* w, Vid vid) const;
 
     bool slaEnabled_;
+    TxPolicy policy_;
     Vid lc_ = kNonSpecVid;
     std::unordered_map<Addr, Word> words_;
     std::unordered_map<Addr, LineCtl> lines_;

@@ -100,6 +100,17 @@ generate(std::uint64_t seed, unsigned numOps)
     for (unsigned& t : s.cfg.engineThreads)
         t = rng.chance(0.5) ? 1 : (rng.chance(0.5) ? 2 : 0);
 
+    // Best-effort group: small retry budgets so the fallback lock
+    // engages constantly; half the schedules add an early-fallback
+    // threshold (>= the budget — the config layer rejects less).
+    s.cfg.btxRetries = 1 + static_cast<unsigned>(rng.range(3));
+    s.cfg.btxThreshold = rng.chance(0.5)
+        ? 0
+        : s.cfg.btxRetries + static_cast<unsigned>(rng.range(8));
+    // Limited-set group: tiny K so the K-th-line boundary and the
+    // capacity-abort path fire on nearly every transaction.
+    s.cfg.limitedK = 1 + static_cast<unsigned>(rng.range(6));
+
     // Address pool: a clutch of lines that all collide in one set of
     // the tiny L1 *and* L2 (stride = max set span), plus a few
     // scattered lines. Collisions force evictions, overflow spills,
@@ -228,7 +239,8 @@ serialize(const Schedule& s)
     os << "\nenginethreads";
     for (unsigned t : c.engineThreads)
         os << ' ' << t;
-    os << "\n";
+    os << "\nbtx " << c.btxRetries << ' ' << c.btxThreshold << "\n"
+       << "limitedk " << c.limitedK << "\n";
     for (const Op& op : s.ops) {
         char buf[96];
         std::snprintf(buf, sizeof(buf), "%s %u %u %u 0x%llx 0x%llx\n",
@@ -313,6 +325,16 @@ parse(const std::string& text, Schedule& out, std::string& err)
             for (unsigned& t : c.engineThreads)
                 if (!(ls >> t))
                     return fail("bad enginethreads");
+        } else if (tok == "btx") {
+            if (!(ls >> c.btxRetries >> c.btxThreshold))
+                return fail("bad btx");
+            if (c.btxRetries == 0)
+                return fail("btx retries must be >= 1");
+            if (c.btxThreshold != 0 && c.btxThreshold < c.btxRetries)
+                return fail("btx threshold below retry budget");
+        } else if (tok == "limitedk") {
+            if (!(ls >> c.limitedK) || c.limitedK == 0)
+                return fail("bad limitedk");
         } else {
             OpKind kind;
             if (!kindOf(tok, kind))

@@ -76,6 +76,14 @@ struct FuzzConfig
      *  cells (same encoding as shardThreads). Older replay files omit
      *  this line; the defaults keep those cells inline. */
     unsigned engineThreads[2] = {1, 1};
+    /** Best-effort group policy: retry budget before the fallback lock
+     *  arms, and the total-abort threshold for early fallback (0 =
+     *  disabled). Older replay files omit the `btx` line. */
+    unsigned btxRetries = 2;
+    unsigned btxThreshold = 0;
+    /** Limited-set group policy: speculative lines tracked per VID.
+     *  Older replay files omit the `limitedk` line. */
+    unsigned limitedK = 4;
 };
 
 struct Schedule

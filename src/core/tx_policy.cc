@@ -1,0 +1,58 @@
+/**
+ * @file
+ * TxPolicy helpers: mode names and knob validation.
+ */
+
+#include "core/tx_policy.hh"
+
+#include <stdexcept>
+#include <string>
+
+namespace hmtx
+{
+
+const char*
+txModeName(TxMode m)
+{
+    switch (m) {
+      case TxMode::LazyHmtx:
+        return "lazy-hmtx";
+      case TxMode::EagerHmtx:
+        return "eager-hmtx";
+      case TxMode::BestEffort:
+        return "best-effort";
+      case TxMode::LimitedSet:
+        return "limited-set";
+    }
+    return "unknown";
+}
+
+void
+validateTxPolicyConfig(const TxPolicyConfig& cfg)
+{
+    if (cfg.mode == TxMode::LimitedSet && cfg.limitedSetK == 0)
+        throw std::invalid_argument(
+            "MachineConfig: limitedSetK == 0 with txMode=limited-set "
+            "would capacity-abort every speculative access; set K >= 1 "
+            "or use txMode=best-effort for a non-speculative path");
+    if (cfg.mode == TxMode::BestEffort) {
+        if (cfg.btxMaxRetries == 0)
+            throw std::invalid_argument(
+                "MachineConfig: btxMaxRetries == 0 with "
+                "txMode=best-effort never arms the fallback after an "
+                "abort yet never retries; set a retry budget >= 1");
+        if (cfg.btxAbortThreshold != 0 &&
+            cfg.btxAbortThreshold < cfg.btxMaxRetries)
+            throw std::invalid_argument(
+                "MachineConfig: btxAbortThreshold (" +
+                std::to_string(cfg.btxAbortThreshold) +
+                ") below btxMaxRetries (" +
+                std::to_string(cfg.btxMaxRetries) +
+                ") is contradictory: the early-fallback threshold "
+                "would fire before the first retry budget is even "
+                "consumed; use threshold >= maxRetries or 0 to "
+                "disable it");
+    }
+}
+
+} // namespace hmtx

@@ -45,15 +45,24 @@ VidCoordinator::beginIter(ThreadContext& tc, std::uint64_t iter)
 sim::Task<void>
 VidCoordinator::commitIter(ThreadContext& tc, std::uint64_t iter)
 {
-    if (recovering_ && *recovering_)
-        throw sim::TxAborted{};
     const std::uint64_t e = iter / maxVid_;
     const Vid v = vidOf(iter);
+    // The fallback lock holder must commit before joining recovery:
+    // its serialized stores already reached committed memory, so
+    // unwinding here would re-execute them on replay. It is VID
+    // LC+1 by construction, so it never waits in the loop below and
+    // recovery completes right after it commits and releases the lock.
+    if (recovering_ && *recovering_ &&
+        !m_.sys().txPolicy().serializes(v)) {
+        throw sim::TxAborted{};
+    }
     while (epoch_ != e || m_.sys().lcVid() != v - 1) {
         // Commits must occur consecutively (§4.7): wait for our turn.
         co_await sig_.wait();
-        if (recovering_ && *recovering_)
+        if (recovering_ && *recovering_ &&
+            !m_.sys().txPolicy().serializes(v)) {
             throw sim::TxAborted{};
+        }
     }
     co_await tc.commitMtx(v);
     ++committed_;
@@ -325,6 +334,7 @@ collect(Machine& m, LoopWorkload& wl, Shared* sh, std::string model)
     m.sys().flushDirtyToMemory();
     r.checksum = wl.checksum(m);
     r.stats = m.sys().stats();
+    r.txStats = m.sys().txPolicy().stats();
     r.indexStats = m.sys().indexStats();
     r.shardStats = m.sys().shardStats();
     if (const sim::ParallelEngine* pe = m.parallel())
@@ -387,6 +397,15 @@ ExecResult
 Runner::runPipeline(LoopWorkload& wl, const sim::MachineConfig& cfg,
                     unsigned workers)
 {
+    if (cfg.txMode == TxMode::BestEffort) {
+        throw std::invalid_argument(
+            "runPipeline: txMode=best-effort is incompatible with "
+            "pipelined schedules: a stage-1 fallback holder writes "
+            "committed memory before handing the iteration off, and "
+            "abort recovery would re-execute those writes; use a "
+            "DOALL schedule (the holder commits before joining "
+            "recovery) or a full-HMTX mode");
+    }
     Machine m(cfg);
     wl.setup(m);
     // Stage 1 owns core 0; replicated stage-2 workers fill the rest.
@@ -423,6 +442,14 @@ ExecResult
 Runner::runDoacross(LoopWorkload& wl, const sim::MachineConfig& cfg,
                     unsigned workers)
 {
+    if (cfg.txMode == TxMode::BestEffort) {
+        throw std::invalid_argument(
+            "runDoacross: txMode=best-effort is incompatible with "
+            "DOACROSS schedules: a fallback holder writes committed "
+            "memory before the dependence hand-off, and the schedule "
+            "has no recovery path that could replay consistently; "
+            "use a DOALL schedule or a full-HMTX mode");
+    }
     Machine m(cfg);
     wl.setup(m);
     workers = clampWorkers(m, workers, 0);

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/tx_policy.hh"
 #include "core/vid.hh"
 #include "runtime/machine.hh"
 #include "runtime/signal.hh"
@@ -42,6 +43,8 @@ struct ExecResult
     std::uint64_t mispredicts = 0;
     /** Memory-system statistics snapshot. */
     sim::SysStats stats;
+    /** Transaction-mode policy counters (fallback/limited-set). */
+    TxModeStats txStats;
     /** Simulator-side index diagnostics (not architectural). */
     sim::IndexStats indexStats;
     /** Sharded-engine diagnostics (simulator-side, like indexStats). */

@@ -14,8 +14,12 @@ ThreadContext::ThreadContext(Machine& m, CoreId core)
 bool
 ThreadContext::abortedSinceBegin() const
 {
+    // The best-effort fallback holder runs non-speculatively under the
+    // global lock: aborts flush everyone else's state, never its own,
+    // so it does not unwind (the lock would otherwise never release).
     return vid_ != kNonSpecVid &&
-        m_.sys().abortGen() != abortGenSeen_;
+        m_.sys().abortGen() != abortGenSeen_ &&
+        !m_.sys().txPolicy().serializes(vid_);
 }
 
 OpAwait
@@ -193,7 +197,7 @@ ThreadContext::applyBranch(Addr pc, bool taken)
             Addr wp = base + static_cast<Addr>(off);
             sim::AccessResult r =
                 m_.sys().load(core_, lineAddr(wp), 8, vid_, true);
-            if (r.aborted)
+            if (r.aborted && !m_.sys().txPolicy().serializes(vid_))
                 return OpAwait{&m_.eq(), m_.now() + cost, 0, true,
                                vid_};
         }

@@ -16,8 +16,9 @@ namespace hmtx::sim
 
 CacheSystem::CacheSystem(EventQueue& eq, const MachineConfig& cfg)
     : eq_(eq), cfg_(cfg), mem_(cfg.shardBanks()), cmp_(cfg.vidBits),
-      trace_(cfg.traceFlags)
+      policy_(cfg.txPolicy()), trace_(cfg.traceFlags)
 {
+    cfg_.validate();
     const unsigned banks = cfg.shardBanks();
     bankMask_ = banks - 1;
     // Worker threads only pay off with real banks, host parallelism,

@@ -155,6 +155,15 @@ class CacheSystem
 
     const MachineConfig& config() const { return cfg_; }
 
+    /**
+     * The transaction-mode policy (core/tx_policy.hh): owns the
+     * commit-walk, fallback-serialization, and limited-set decisions.
+     * The runtime consults serializes() to exempt the fallback lock
+     * holder from abort unwinding; reports read stats() as
+     * sim.txmode.* rows.
+     */
+    const TxPolicy& txPolicy() const { return policy_; }
+
     /** The configured coherence fabric (exposed for tests/reports). */
     const Interconnect& interconnect() const { return *net_; }
 
@@ -475,6 +484,23 @@ class CacheSystem
     AccessResult nonSpecStore(CoreId core, Addr a, std::uint64_t value,
                               unsigned size);
 
+    /**
+     * Load body shared by the speculative, non-speculative, and
+     * serialized-fallback paths; @p serialized forces non-speculative
+     * semantics (request VID 0, no marks/SLA) for a fallback holder.
+     */
+    AccessResult loadImpl(CoreId core, Addr a, unsigned size, Vid vid,
+                          bool wrongPath, bool serialized);
+
+    /**
+     * LimitedSet policy check: true when touching line @p la under
+     * @p vid would exceed the K-line speculative-set bound (the line
+     * is not already in the VID's sets and the sets are full). The
+     * caller must then raise a capacity abort instead of executing
+     * the access.
+     */
+    bool limitedSetBlocks(Vid vid, Addr la);
+
     EventQueue& eq_;
     /**
      * Logical access clock for replacement recency. Line::lastUse is
@@ -494,6 +520,8 @@ class CacheSystem
     std::uint64_t abortGen_ = 0;
     VidComparator cmp_;
     SysStats stats_;
+    /** Transaction-mode policy (commit walks, fallback, K bound). */
+    TxPolicy policy_;
     /** The coherence fabric (timing/occupancy; references stats_). */
     std::unique_ptr<Interconnect> net_;
     Trace trace_;

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <string>
 
 #include "sim/cache_system.hh"
@@ -259,9 +260,75 @@ CacheSystem::checkShadowAvoided(Addr la, Vid storeVid)
 
 // --- loads -----------------------------------------------------------------
 
+bool
+CacheSystem::limitedSetBlocks(Vid vid, Addr la)
+{
+    if (!policy_.limitsSpecSets())
+        return false;
+    auto it = rw_.find(vid);
+    if (it == rw_.end())
+        return policy_.limitedSetExceeded(0);
+    const RwSets& s = it->second;
+    // Re-touching a line already in the sets never costs a new entry.
+    if (s.reads.count(la) || s.writes.count(la))
+        return false;
+    std::size_t combined = s.reads.size();
+    for (Addr w : s.writes)
+        if (!s.reads.count(w))
+            ++combined;
+    return policy_.limitedSetExceeded(combined);
+}
+
 AccessResult
 CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
                   bool wrongPath)
+{
+    const bool spec = cfg_.hmtxEnabled && vid != kNonSpecVid;
+    bool serialized = false;
+    if (spec) {
+        // Wrong-path loads consult the lock passively: they must run
+        // non-speculatively when their VID holds it, but they neither
+        // engage it nor count as fallback work.
+        serialized = wrongPath ? policy_.serializes(vid)
+                               : policy_.onSpecAccess(vid, lcVid_);
+        if (!serialized && !wrongPath &&
+            limitedSetBlocks(vid, lineAddr(a))) {
+            AccessResult r;
+            r.latency = cfg_.l1Latency;
+            ++stats_.loads;
+            ++stats_.specLoads;
+            ++stats_.capacityAborts;
+            policy_.noteLimitedSetAbort();
+            triggerAbort(nullptr);
+            r.aborted = true;
+            return r;
+        }
+    }
+
+    AccessResult r = loadImpl(core, a, size, vid, wrongPath, serialized);
+    if (serialized) {
+        if (r.aborted) {
+            // The holder's own access collided with *other* VIDs'
+            // speculative state (capacity eviction impossible) and the
+            // global flush it raised cleared every speculative line —
+            // the holder itself has none. The retry must succeed.
+            AccessResult r2 =
+                loadImpl(core, a, size, vid, wrongPath, serialized);
+            if (r2.aborted)
+                throw std::logic_error(
+                    "fallback load aborted again after the global "
+                    "flush it triggered");
+            r2.latency += r.latency;
+            r = r2;
+        }
+        policy_.noteFallbackCycles(r.latency);
+    }
+    return r;
+}
+
+AccessResult
+CacheSystem::loadImpl(CoreId core, Addr a, unsigned size, Vid vid,
+                      bool wrongPath, bool serialized)
 {
     const Addr la = lineAddr(a);
     assert(lineOffset(a) + size <= kLineBytes);
@@ -270,7 +337,10 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
     r.latency = cfg_.l1Latency;
     ++stats_.loads;
 
-    const bool spec = cfg_.hmtxEnabled && vid != kNonSpecVid;
+    // A serialized fallback access runs with full non-speculative
+    // semantics: request VID 0, no marks, no SLA, no read/write sets.
+    const bool spec =
+        cfg_.hmtxEnabled && vid != kNonSpecVid && !serialized;
     if (wrongPath)
         ++stats_.wrongPathLoads;
     else if (spec)
@@ -500,9 +570,41 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
     if (!cfg_.hmtxEnabled || vid == kNonSpecVid)
         return nonSpecStore(core, a, value, size);
 
-    ++stats_.specStores;
+    if (policy_.onSpecAccess(vid, lcVid_)) {
+        // Serialized fallback: the lock holder writes committed
+        // memory directly. The store can still collide with *other*
+        // VIDs' speculative state; the global flush that raises
+        // cannot touch the holder (it owns no speculative state), so
+        // one retry after the flush always completes.
+        AccessResult r = nonSpecStore(core, a, value, size);
+        if (r.aborted) {
+            AccessResult r2 = nonSpecStore(core, a, value, size);
+            if (r2.aborted)
+                throw std::logic_error(
+                    "fallback store aborted again after the global "
+                    "flush it triggered");
+            r2.latency += r.latency;
+            r = r2;
+        }
+        policy_.noteFallbackCycles(r.latency);
+        return r;
+    }
+
     const Addr la = lineAddr(a);
     assert(lineOffset(a) + size <= kLineBytes);
+
+    if (limitedSetBlocks(vid, la)) {
+        AccessResult r;
+        r.latency = cfg_.l1Latency;
+        ++stats_.specStores;
+        ++stats_.capacityAborts;
+        policy_.noteLimitedSetAbort();
+        triggerAbort(nullptr);
+        r.aborted = true;
+        return r;
+    }
+
+    ++stats_.specStores;
 
     AccessResult r;
     r.latency = cfg_.l1Latency;

@@ -46,9 +46,11 @@ CacheSystem::commit(Vid vid)
         rw_.erase(it);
     }
 
+    policy_.onCommit(vid);
+
     Cycles cost =
         net_->post(eq_.curTick(), FabricOp::GroupCommit, 0);
-    if (!cfg_.lazyCommit) {
+    if (policy_.eagerWalk()) {
         // Naive §4.4 scheme: walk and transition every speculative
         // line now. The per-cache registry is exactly the ORB-like
         // structure the paper assumes locates them [34] — without it
@@ -106,9 +108,10 @@ CacheSystem::abortAll()
     rw_.clear();
     ++rwGen_; // stale Line rw marks must not suppress future inserts
     shadow_.clear();
+    policy_.onAbort();
     Cycles cost =
         net_->post(eq_.curTick(), FabricOp::GroupAbort, 0);
-    if (!cfg_.lazyCommit) {
+    if (policy_.eagerWalk()) {
         cost += touched * cfg_.eagerPerLineCycles;
         net_->occupy(eq_.curTick(), cost);
     }
@@ -153,6 +156,7 @@ CacheSystem::vidReset()
         });
     stats_.writebacks += agg.n[1];
     lcVid_ = kNonSpecVid;
+    policy_.onVidReset();
     ++rwGen_; // VIDs recycle after the reset; invalidate rw marks
     shadow_.clear();
     ++stats_.vidResets;

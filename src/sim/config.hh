@@ -7,7 +7,9 @@
 #define HMTX_SIM_CONFIG_HH
 
 #include <cstdint>
+#include <stdexcept>
 
+#include "core/tx_policy.hh"
 #include "core/types.hh"
 
 namespace hmtx::sim
@@ -108,11 +110,24 @@ struct MachineConfig
     bool slaEnabled = true;
 
     /**
-     * Lazy commit/abort processing (§5.3). When disabled the naive
-     * scheme of §4.4 is modeled: every commit/abort walks all
-     * speculative lines and charges time per line.
+     * Transaction-mode axis (core/tx_policy.hh). LazyHmtx is the
+     * paper's O(1) watermark commit (§5.3); EagerHmtx models the naive
+     * §4.4 scheme where every commit/abort walks all speculative lines
+     * and charges time per line; BestEffort and LimitedSet are the
+     * capacity-bounded HTM variants (serialized fallback after N
+     * aborts / first-K-lines speculative sets).
      */
-    bool lazyCommit = true;
+    TxMode txMode = TxMode::LazyHmtx;
+
+    /** BestEffort: speculative attempts before arming the fallback. */
+    unsigned btxMaxRetries = 2;
+
+    /** BestEffort: cumulative-abort threshold collapsing the retry
+     *  budget to one attempt (0 = disabled). */
+    unsigned btxAbortThreshold = 0;
+
+    /** LimitedSet: max distinct speculative lines per VID. */
+    unsigned limitedSetK = 4;
 
     /**
      * Vachharajani-style policy that creates a new cache line version
@@ -205,6 +220,40 @@ struct MachineConfig
 
     /** Largest usable VID for this configuration. */
     Vid maxVid() const { return (Vid{1} << vidBits) - 1; }
+
+    /** The TxPolicy knobs this configuration selects. */
+    TxPolicyConfig
+    txPolicy() const
+    {
+        return {txMode, btxMaxRetries, btxAbortThreshold, limitedSetK};
+    }
+
+    /**
+     * Rejects contradictory or unsupported knob combinations with a
+     * descriptive std::invalid_argument. CacheSystem calls this at
+     * construction, so a bad config fails loudly instead of silently
+     * simulating something other than what was asked for.
+     */
+    void
+    validate() const
+    {
+        validateTxPolicyConfig(txPolicy());
+        const bool bounded = txMode == TxMode::BestEffort ||
+            txMode == TxMode::LimitedSet;
+        if (bounded && unboundedSpecSets)
+            throw std::invalid_argument(
+                "MachineConfig: unboundedSpecSets contradicts the "
+                "capacity-bounded txMode (best-effort / limited-set "
+                "exist to model machines *without* the overflow "
+                "table); disable one of the two");
+        if (bounded && engine == SimEngine::Parallel)
+            throw std::invalid_argument(
+                "MachineConfig: engine=Parallel is not supported with "
+                "the best-effort/limited-set modes: the staged engine "
+                "pre-issues lane accesses that the fallback lock and "
+                "the K bound must observe in exact order; use the "
+                "sequential engine for these cells");
+    }
 
     /** Number of sets in the L1. */
     unsigned

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <string>
 
+#include "sim/config.hh"
 #include "sim/stats.hh"
 
 namespace hmtx::sim
@@ -31,12 +32,21 @@ class StatsReport
      *              routing / epoch barriers); printed when given
      * @param par   optional parallel-engine diagnostics (time windows
      *              / staged retirement); printed when given
+     * @param cfg   optional machine config; echoes the commit-mode
+     *              axis (TxMode, retry budget, K) so reports are
+     *              self-describing
+     * @param tx    optional commit-mode policy counters (fallback
+     *              serialization, limited-set aborts); printed when
+     *              given
      */
     explicit StatsReport(const SysStats& s,
                          const IndexStats* idx = nullptr,
                          const ShardStats* shard = nullptr,
-                         const ParStats* par = nullptr)
-        : s_(s), idx_(idx), shard_(shard), par_(par)
+                         const ParStats* par = nullptr,
+                         const MachineConfig* cfg = nullptr,
+                         const TxModeStats* tx = nullptr)
+        : s_(s), idx_(idx), shard_(shard), par_(par), cfg_(cfg),
+          tx_(tx)
     {}
 
     /** Writes the report to @p out. */
@@ -51,6 +61,19 @@ class StatsReport
                         const char* desc) {
             std::fprintf(out, "%-28s %14.4f  # %s\n", name, v, desc);
         };
+
+        if (cfg_) {
+            std::fprintf(out, "%-28s %14s  # %s\n", "config.txMode",
+                         txModeName(cfg_->txMode),
+                         "commit-mode policy (TxPolicy axis)");
+            row("config.btxMaxRetries", double(cfg_->btxMaxRetries),
+                "best-effort retries before the fallback lock");
+            row("config.btxAbortThreshold",
+                double(cfg_->btxAbortThreshold),
+                "total-abort threshold for early fallback (0 = off)");
+            row("config.limitedSetK", double(cfg_->limitedSetK),
+                "speculative lines tracked per VID (limited-set)");
+        }
 
         row("mem.loads", double(s_.loads), "loads issued");
         row("mem.stores", double(s_.stores), "stores issued");
@@ -188,6 +211,32 @@ class StatsReport
                 "speculation rollbacks (always 0: conservative "
                 "engine)");
         }
+
+        if (tx_) {
+            row("sim.txmode.retryAborts", double(tx_->retryAborts),
+                "aborts charged against the retry budget");
+            row("sim.txmode.fallbackEntries",
+                double(tx_->fallbackEntries),
+                "times the serialized fallback lock engaged");
+            row("sim.txmode.fallbackAccesses",
+                double(tx_->fallbackAccesses),
+                "accesses executed under the fallback lock");
+            row("sim.txmode.fallbackCommits",
+                double(tx_->fallbackCommits),
+                "commits that released the fallback lock");
+            row("sim.txmode.fallbackCycles",
+                double(tx_->fallbackCycles),
+                "memory-system cycles of serialized execution");
+            row("sim.txmode.fallbackWrapRemaps",
+                double(tx_->fallbackWrapRemaps),
+                "VID-window resets absorbed while the lock was held");
+            row("sim.txmode.earlyFallbacks",
+                double(tx_->earlyFallbacks),
+                "fallbacks taken early via the abort threshold");
+            row("sim.txmode.limitedSetAborts",
+                double(tx_->limitedSetAborts),
+                "capacity aborts from the K-line set limit");
+        }
     }
 
   private:
@@ -195,6 +244,8 @@ class StatsReport
     const IndexStats* idx_;
     const ShardStats* shard_;
     const ParStats* par_;
+    const MachineConfig* cfg_;
+    const TxModeStats* tx_;
 };
 
 } // namespace hmtx::sim

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Unit tests of the TxPolicy state machine (commit-mode axis): the
+ * best-effort retry/fallback lock, the early-fallback threshold, the
+ * limited-set K bound, and the config validation that guards the
+ * knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/tx_policy.hh"
+
+namespace hmtx
+{
+namespace
+{
+
+TxPolicyConfig
+btxConfig(unsigned retries, unsigned threshold = 0)
+{
+    TxPolicyConfig c;
+    c.mode = TxMode::BestEffort;
+    c.btxMaxRetries = retries;
+    c.btxAbortThreshold = threshold;
+    return c;
+}
+
+// --- retry budget ----------------------------------------------------------
+
+/** The boundary matters: N-1 consecutive aborts retry, the N-th arms. */
+TEST(TxPolicy, ArmsExactlyAtRetryBudget)
+{
+    TxPolicy p(btxConfig(3));
+    p.onAbort();
+    p.onAbort();
+    EXPECT_FALSE(p.fallbackArmed()); // N-1: still retrying
+    EXPECT_FALSE(p.onSpecAccess(1, 0));
+    p.onAbort();
+    EXPECT_TRUE(p.fallbackArmed()); // N: give up on speculation
+    EXPECT_EQ(p.stats().retryAborts, 3u);
+    EXPECT_EQ(p.stats().earlyFallbacks, 0u);
+}
+
+/** Forward progress resets the consecutive count. */
+TEST(TxPolicy, CommitResetsConsecutiveAborts)
+{
+    TxPolicy p(btxConfig(2));
+    p.onAbort();
+    p.onCommit(1);
+    p.onAbort();
+    EXPECT_FALSE(p.fallbackArmed()); // never 2 in a row
+    p.onAbort();
+    EXPECT_TRUE(p.fallbackArmed());
+}
+
+/** Only the oldest uncommitted transaction (LC+1) takes the lock. */
+TEST(TxPolicy, OnlyLcPlusOneEngagesTheLock)
+{
+    TxPolicy p(btxConfig(1));
+    p.onAbort();
+    ASSERT_TRUE(p.fallbackArmed());
+    EXPECT_FALSE(p.onSpecAccess(5, 0)); // a younger VID: still spec
+    EXPECT_TRUE(p.fallbackArmed());
+    EXPECT_FALSE(p.fallbackHeld());
+    EXPECT_TRUE(p.onSpecAccess(1, 0)); // LC+1 engages
+    EXPECT_TRUE(p.fallbackHeld());
+    EXPECT_FALSE(p.fallbackArmed());
+    EXPECT_EQ(p.fallbackVid(), 1u);
+    EXPECT_EQ(p.stats().fallbackEntries, 1u);
+}
+
+/** While held: the holder serializes, everyone else speculates. */
+TEST(TxPolicy, OnlyTheHolderSerializes)
+{
+    TxPolicy p(btxConfig(1));
+    p.onAbort();
+    ASSERT_TRUE(p.onSpecAccess(3, 2));
+    EXPECT_TRUE(p.serializes(3));
+    EXPECT_FALSE(p.serializes(4));
+    EXPECT_TRUE(p.onSpecAccess(3, 2));  // holder access
+    EXPECT_FALSE(p.onSpecAccess(4, 2)); // non-holder stays spec
+    EXPECT_EQ(p.stats().fallbackAccesses, 2u);
+}
+
+TEST(TxPolicy, HolderCommitReleasesTheLock)
+{
+    TxPolicy p(btxConfig(1));
+    p.onAbort();
+    ASSERT_TRUE(p.onSpecAccess(1, 0));
+    p.onCommit(2); // some other VID: lock survives
+    EXPECT_TRUE(p.fallbackHeld());
+    p.onCommit(1); // the holder: released
+    EXPECT_FALSE(p.fallbackHeld());
+    EXPECT_FALSE(p.serializes(1));
+    EXPECT_EQ(p.stats().fallbackCommits, 1u);
+}
+
+/** Aborts while the lock is held keep charging the budget, and the
+ *  next LC+1 after release can re-engage. */
+TEST(TxPolicy, LockReengagesAfterRelease)
+{
+    TxPolicy p(btxConfig(1));
+    p.onAbort();
+    ASSERT_TRUE(p.onSpecAccess(1, 0));
+    p.onCommit(1);
+    ASSERT_FALSE(p.fallbackHeld());
+    p.onAbort(); // budget 1: re-arms immediately
+    EXPECT_TRUE(p.fallbackArmed());
+    EXPECT_TRUE(p.onSpecAccess(2, 1));
+    EXPECT_EQ(p.stats().fallbackEntries, 2u);
+}
+
+// --- early-fallback threshold ----------------------------------------------
+
+/** Once cumulative aborts cross the threshold, the budget collapses to
+ *  one attempt even though the consecutive count never reaches N. */
+TEST(TxPolicy, ThresholdForcesEarlyFallback)
+{
+    TxPolicy p(btxConfig(3, 5));
+    for (int i = 0; i < 4; ++i) {
+        p.onAbort();
+        p.onCommit(static_cast<Vid>(i + 1)); // keep consecutive at 1
+        EXPECT_FALSE(p.fallbackArmed());
+    }
+    p.onAbort(); // 5th total: threshold hit, budget is now 1
+    EXPECT_TRUE(p.fallbackArmed());
+    EXPECT_EQ(p.stats().earlyFallbacks, 1u);
+}
+
+/** Below the threshold the full budget applies. */
+TEST(TxPolicy, ThresholdInertBelowTheLine)
+{
+    TxPolicy p(btxConfig(2, 10));
+    p.onAbort();
+    EXPECT_FALSE(p.fallbackArmed());
+    p.onAbort();
+    EXPECT_TRUE(p.fallbackArmed()); // via the normal budget
+    EXPECT_EQ(p.stats().earlyFallbacks, 0u);
+}
+
+// --- VID-window wraparound -------------------------------------------------
+
+/** A reset while the lock is held renames the holder to VID 1 (the
+ *  oldest VID of the fresh window) instead of losing the lock. */
+TEST(TxPolicy, VidResetRemapsHeldFallbackVid)
+{
+    TxPolicy p(btxConfig(1));
+    p.onAbort();
+    ASSERT_TRUE(p.onSpecAccess(15, 14));
+    p.onVidReset();
+    EXPECT_TRUE(p.fallbackHeld());
+    EXPECT_EQ(p.fallbackVid(), 1u);
+    EXPECT_TRUE(p.serializes(1));
+    EXPECT_FALSE(p.serializes(15));
+    EXPECT_EQ(p.stats().fallbackWrapRemaps, 1u);
+    p.onCommit(1);
+    EXPECT_FALSE(p.fallbackHeld());
+}
+
+TEST(TxPolicy, VidResetWithoutLockIsInert)
+{
+    TxPolicy p(btxConfig(2));
+    p.onVidReset();
+    EXPECT_EQ(p.stats().fallbackWrapRemaps, 0u);
+    EXPECT_FALSE(p.fallbackHeld());
+}
+
+// --- non-best-effort modes -------------------------------------------------
+
+TEST(TxPolicy, OtherModesNeverSerialize)
+{
+    for (TxMode m : {TxMode::LazyHmtx, TxMode::EagerHmtx,
+                     TxMode::LimitedSet}) {
+        TxPolicyConfig c;
+        c.mode = m;
+        TxPolicy p(c);
+        for (int i = 0; i < 8; ++i)
+            p.onAbort();
+        EXPECT_FALSE(p.fallbackArmed()) << txModeName(m);
+        EXPECT_FALSE(p.onSpecAccess(1, 0)) << txModeName(m);
+        EXPECT_EQ(p.stats().retryAborts, 0u) << txModeName(m);
+    }
+}
+
+TEST(TxPolicy, EagerWalkOnlyInEagerMode)
+{
+    TxPolicyConfig c;
+    for (TxMode m : {TxMode::LazyHmtx, TxMode::EagerHmtx,
+                     TxMode::BestEffort, TxMode::LimitedSet}) {
+        c.mode = m;
+        EXPECT_EQ(TxPolicy(c).eagerWalk(), m == TxMode::EagerHmtx)
+            << txModeName(m);
+    }
+}
+
+// --- limited-set bound -----------------------------------------------------
+
+TEST(TxPolicy, LimitedSetBoundaryIsExact)
+{
+    TxPolicyConfig c;
+    c.mode = TxMode::LimitedSet;
+    c.limitedSetK = 4;
+    TxPolicy p(c);
+    EXPECT_TRUE(p.limitsSpecSets());
+    EXPECT_FALSE(p.limitedSetExceeded(3)); // 4th line still fits
+    EXPECT_TRUE(p.limitedSetExceeded(4));  // 5th does not
+}
+
+TEST(TxPolicy, OnlyLimitedSetModeBoundsSets)
+{
+    for (TxMode m : {TxMode::LazyHmtx, TxMode::EagerHmtx,
+                     TxMode::BestEffort}) {
+        TxPolicyConfig c;
+        c.mode = m;
+        EXPECT_FALSE(TxPolicy(c).limitsSpecSets()) << txModeName(m);
+    }
+}
+
+// --- validation (satellite: misconfiguration rejection) --------------------
+
+TEST(TxPolicyConfigValidation, RejectsZeroK)
+{
+    TxPolicyConfig c;
+    c.mode = TxMode::LimitedSet;
+    c.limitedSetK = 0;
+    EXPECT_THROW(validateTxPolicyConfig(c), std::invalid_argument);
+    try {
+        validateTxPolicyConfig(c);
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("limitedSetK"),
+                  std::string::npos);
+    }
+}
+
+TEST(TxPolicyConfigValidation, RejectsZeroRetries)
+{
+    TxPolicyConfig c = btxConfig(0);
+    EXPECT_THROW(validateTxPolicyConfig(c), std::invalid_argument);
+    try {
+        validateTxPolicyConfig(c);
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("btxMaxRetries"),
+                  std::string::npos);
+    }
+}
+
+TEST(TxPolicyConfigValidation, RejectsThresholdBelowRetries)
+{
+    EXPECT_THROW(validateTxPolicyConfig(btxConfig(3, 2)),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(validateTxPolicyConfig(btxConfig(3, 3)));
+    EXPECT_NO_THROW(validateTxPolicyConfig(btxConfig(3, 0)));
+}
+
+TEST(TxPolicyConfigValidation, AcceptsOtherModesWithZeroKnobs)
+{
+    // The bounded-mode knobs are inert outside their mode.
+    TxPolicyConfig c;
+    c.mode = TxMode::LazyHmtx;
+    c.limitedSetK = 0;
+    c.btxMaxRetries = 0;
+    EXPECT_NO_THROW(validateTxPolicyConfig(c));
+}
+
+TEST(TxModeNames, AreStable)
+{
+    EXPECT_STREQ(txModeName(TxMode::LazyHmtx), "lazy-hmtx");
+    EXPECT_STREQ(txModeName(TxMode::EagerHmtx), "eager-hmtx");
+    EXPECT_STREQ(txModeName(TxMode::BestEffort), "best-effort");
+    EXPECT_STREQ(txModeName(TxMode::LimitedSet), "limited-set");
+}
+
+} // namespace
+} // namespace hmtx

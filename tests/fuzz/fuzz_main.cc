@@ -52,13 +52,42 @@ usage()
     std::cerr <<
         "usage: hmtx_fuzz [--schedules N] [--ops N] [--seed0 S]\n"
         "                 [--threads N] [--corpus-out DIR]\n"
-        "                 [--no-shrink]\n"
-        "       hmtx_fuzz --replay FILE [--shrink]\n";
+        "                 [--no-shrink] [--cells GROUPS]\n"
+        "       hmtx_fuzz --replay FILE [--shrink] [--cells GROUPS]\n"
+        "GROUPS: comma list of hmtx, btx, ltd, or all (default)\n";
+}
+
+bool
+parseCells(const std::string& arg, unsigned& mask)
+{
+    mask = 0;
+    std::size_t pos = 0;
+    while (pos <= arg.size()) {
+        std::size_t comma = arg.find(',', pos);
+        std::string tok = arg.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (tok == "all")
+            mask |= kGroupAll;
+        else if (tok == "hmtx")
+            mask |= kGroupHmtx;
+        else if (tok == "btx")
+            mask |= kGroupBtx;
+        else if (tok == "ltd")
+            mask |= kGroupLtd;
+        else
+            return false;
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return mask != 0;
 }
 
 int
 reportDivergence(const Schedule &sched, const Divergence &d, bool shrink,
-                 const std::string &corpusDir, std::uint64_t seed)
+                 const std::string &corpusDir, std::uint64_t seed,
+                 unsigned groupMask)
 {
     std::cerr << "DIVERGENCE (seed " << seed << ", op "
               << d.opIndex << "): " << d.what << "\n";
@@ -66,10 +95,10 @@ reportDivergence(const Schedule &sched, const Divergence &d, bool shrink,
     Schedule minimal = sched;
     if (shrink) {
         std::cerr << "shrinking " << sched.ops.size() << " ops...\n";
-        minimal = shrinkSchedule(sched);
+        minimal = shrinkSchedule(sched, 4000, groupMask);
         std::cerr << "minimal schedule: " << minimal.ops.size()
                   << " ops\n";
-        Divergence dmin = runSchedule(minimal);
+        Divergence dmin = runSchedule(minimal, nullptr, groupMask);
         if (dmin.found)
             std::cerr << "minimal divergence: " << dmin.what << "\n";
     }
@@ -98,7 +127,8 @@ reportDivergence(const Schedule &sched, const Divergence &d, bool shrink,
  */
 std::uint64_t
 runBatchThreaded(std::uint64_t seed0, std::uint64_t schedules,
-                 unsigned ops, unsigned threads, Coverage &cov)
+                 unsigned ops, unsigned threads, unsigned groupMask,
+                 Coverage &cov)
 {
     constexpr std::uint64_t kNone = ~std::uint64_t{0};
     std::atomic<std::uint64_t> nextSeed{seed0};
@@ -116,7 +146,7 @@ runBatchThreaded(std::uint64_t seed0, std::uint64_t schedules,
                 if (seed >= end || seed >= firstBad.load())
                     return;
                 Schedule s = generate(seed, ops);
-                if (runSchedule(s, &covs[t]).found) {
+                if (runSchedule(s, &covs[t], groupMask).found) {
                     std::uint64_t cur = firstBad.load();
                     while (seed < cur &&
                            !firstBad.compare_exchange_weak(cur, seed)) {
@@ -147,6 +177,11 @@ runBatchThreaded(std::uint64_t seed0, std::uint64_t schedules,
         cov.soRefetches += c.soRefetches;
         cov.slaConfirms += c.slaConfirms;
         cov.slaMismatchAborts += c.slaMismatchAborts;
+        cov.fallbackEntries += c.fallbackEntries;
+        cov.fallbackAccesses += c.fallbackAccesses;
+        cov.fallbackCommits += c.fallbackCommits;
+        cov.fallbackWrapRemaps += c.fallbackWrapRemaps;
+        cov.limitedSetAborts += c.limitedSetAborts;
     }
     return kNone;
 }
@@ -164,6 +199,7 @@ main(int argc, char **argv)
     std::string replayFile;
     bool shrink = true;
     bool replayShrink = false;
+    unsigned groupMask = kGroupAll;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -194,7 +230,13 @@ main(int argc, char **argv)
             replayFile = next("--replay");
         else if (a == "--shrink")
             replayShrink = true;
-        else {
+        else if (a == "--cells") {
+            if (!parseCells(next("--cells"), groupMask)) {
+                std::cerr << "bad --cells value\n";
+                usage();
+                return 2;
+            }
+        } else {
             std::cerr << "unknown argument: " << a << "\n";
             usage();
             return 2;
@@ -215,33 +257,43 @@ main(int argc, char **argv)
             std::cerr << replayFile << ": parse error: " << err << "\n";
             return 2;
         }
-        Divergence d = runSchedule(s);
+        Coverage rcov;
+        Divergence d = runSchedule(s, &rcov, groupMask);
         if (!d.found) {
             std::cout << replayFile << ": no divergence ("
-                      << s.ops.size() << " ops)\n";
+                      << s.ops.size() << " ops)\n"
+                      << "  fallbackEntries=" << rcov.fallbackEntries
+                      << " fallbackAccesses=" << rcov.fallbackAccesses
+                      << " fallbackCommits=" << rcov.fallbackCommits
+                      << " wrapRemaps=" << rcov.fallbackWrapRemaps
+                      << " limitedSetAborts=" << rcov.limitedSetAborts
+                      << "\n";
             return 0;
         }
-        return reportDivergence(s, d, replayShrink, corpusDir, 0);
+        return reportDivergence(s, d, replayShrink, corpusDir, 0,
+                                groupMask);
     }
 
     Coverage cov;
     if (threads > 1) {
-        const std::uint64_t bad =
-            runBatchThreaded(seed0, schedules, ops, threads, cov);
+        const std::uint64_t bad = runBatchThreaded(
+            seed0, schedules, ops, threads, groupMask, cov);
         if (bad != ~std::uint64_t{0}) {
             // Deterministic single-threaded re-run of the minimum
             // diverging seed for the report and the shrink.
             Schedule s = generate(bad, ops);
-            Divergence d = runSchedule(s);
-            return reportDivergence(s, d, shrink, corpusDir, bad);
+            Divergence d = runSchedule(s, nullptr, groupMask);
+            return reportDivergence(s, d, shrink, corpusDir, bad,
+                                    groupMask);
         }
     } else {
         for (std::uint64_t seed = seed0; seed < seed0 + schedules;
              ++seed) {
             Schedule s = generate(seed, ops);
-            Divergence d = runSchedule(s, &cov);
+            Divergence d = runSchedule(s, &cov, groupMask);
             if (d.found)
-                return reportDivergence(s, d, shrink, corpusDir, seed);
+                return reportDivergence(s, d, shrink, corpusDir, seed,
+                                        groupMask);
             if ((seed - seed0 + 1) % 500 == 0)
                 std::cerr << (seed - seed0 + 1) << "/" << schedules
                           << " schedules clean\n";
@@ -258,6 +310,11 @@ main(int argc, char **argv)
               << " refills=" << cov.refills
               << " soRefetches=" << cov.soRefetches << "\n"
               << "  slaConfirms=" << cov.slaConfirms
-              << " slaMismatchAborts=" << cov.slaMismatchAborts << "\n";
+              << " slaMismatchAborts=" << cov.slaMismatchAborts << "\n"
+              << "  fallbackEntries=" << cov.fallbackEntries
+              << " fallbackAccesses=" << cov.fallbackAccesses
+              << " fallbackCommits=" << cov.fallbackCommits
+              << " wrapRemaps=" << cov.fallbackWrapRemaps
+              << " limitedSetAborts=" << cov.limitedSetAborts << "\n";
     return 0;
 }

@@ -25,7 +25,7 @@ MachineConfig
 config(bool lazy, bool tiny, Fabric fabric = Fabric::SnoopBus)
 {
     MachineConfig cfg;
-    cfg.lazyCommit = lazy;
+    cfg.txMode = lazy ? TxMode::LazyHmtx : TxMode::EagerHmtx;
     cfg.fabric = fabric;
     if (fabric == Fabric::Directory)
         cfg.dirBanks = 8;

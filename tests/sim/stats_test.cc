@@ -76,6 +76,45 @@ TEST(StatsReport, PrintsEveryStatGroup)
     // Optional groups stay absent unless their stats are supplied.
     EXPECT_EQ(out.find("sim.parallel."), std::string::npos);
     EXPECT_EQ(out.find("sim.shard."), std::string::npos);
+    EXPECT_EQ(out.find("config.txMode"), std::string::npos);
+    EXPECT_EQ(out.find("sim.txmode."), std::string::npos);
+}
+
+TEST(StatsReport, EchoesTxModeConfigAndCounters)
+{
+    SysStats s;
+    MachineConfig cfg;
+    cfg.txMode = TxMode::BestEffort;
+    cfg.btxMaxRetries = 3;
+    cfg.btxAbortThreshold = 9;
+    cfg.limitedSetK = 5;
+    TxModeStats tx;
+    tx.fallbackEntries = 4;
+    tx.fallbackAccesses = 17;
+    tx.fallbackCommits = 4;
+    tx.fallbackCycles = 420;
+    tx.retryAborts = 11;
+    tx.earlyFallbacks = 1;
+    tx.limitedSetAborts = 0;
+
+    char buf[16384];
+    std::memset(buf, 0, sizeof(buf));
+    std::FILE* f = fmemopen(buf, sizeof(buf) - 1, "w");
+    ASSERT_NE(f, nullptr);
+    StatsReport(s, nullptr, nullptr, nullptr, &cfg, &tx).print(f);
+    std::fclose(f);
+
+    std::string out(buf);
+    for (const char* key :
+         {"config.txMode", "best-effort", "config.btxMaxRetries",
+          "config.btxAbortThreshold", "config.limitedSetK",
+          "sim.txmode.retryAborts", "sim.txmode.fallbackEntries",
+          "sim.txmode.fallbackAccesses", "sim.txmode.fallbackCommits",
+          "sim.txmode.fallbackCycles", "sim.txmode.fallbackWrapRemaps",
+          "sim.txmode.earlyFallbacks",
+          "sim.txmode.limitedSetAborts"}) {
+        EXPECT_NE(out.find(key), std::string::npos) << key;
+    }
 }
 
 TEST(StatsReport, PrintsParallelEngineGroupWhenGiven)

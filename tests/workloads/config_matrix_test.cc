@@ -31,7 +31,8 @@ class ConfigMatrix : public ::testing::TestWithParam<Combo>
         sim::MachineConfig cfg;
         cfg.l2SizeKB = 512;
         cfg.fabric = std::get<0>(c);
-        cfg.lazyCommit = std::get<1>(c);
+        cfg.txMode = std::get<1>(c) ? TxMode::LazyHmtx
+                                    : TxMode::EagerHmtx;
         cfg.vidBits = std::get<2>(c);
         cfg.unboundedSpecSets = std::get<3>(c);
         return cfg;

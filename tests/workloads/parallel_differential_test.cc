@@ -54,7 +54,8 @@ class ParallelDifferential : public ::testing::TestWithParam<Combo>
     {
         sim::MachineConfig cfg;
         cfg.fabric = std::get<0>(c);
-        cfg.lazyCommit = std::get<1>(c);
+        cfg.txMode = std::get<1>(c) ? TxMode::LazyHmtx
+                                    : TxMode::EagerHmtx;
         cfg.engine = engine;
         cfg.engineThreads = std::get<2>(c);
         return cfg;
