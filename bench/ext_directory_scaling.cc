@@ -113,6 +113,50 @@ timeEngineRun(const char* name, unsigned cores, sim::SimEngine engine)
     return s;
 }
 
+/** One cell of the commute-apply / fast-path sweep. */
+struct ApplySample
+{
+    unsigned cores;
+    bool commute;
+    bool fastPath;
+    double wallMs;
+    runtime::ExecResult r;
+};
+
+/** Best-of-3 host wall clock of a parallel-engine run with the
+ *  commute-aware apply and the zero-event fast path (DESIGN.md §13)
+ *  toggled. Config otherwise identical to timeEngineRun so simulated
+ *  cycles must match the engine sweep bit for bit. */
+ApplySample
+timeApplyRun(const char* name, unsigned cores, bool commute,
+             bool fastPath)
+{
+    ApplySample s{cores, commute, fastPath, 0.0, {}};
+    for (int rep = 0; rep < 3; ++rep) {
+        sim::MachineConfig cfg;
+        cfg.numCores = cores;
+        cfg.fabric = sim::Fabric::Directory;
+        cfg.dirBanks = 16;
+        cfg.dirLookup = 10;
+        cfg.dirHop = 10;
+        cfg.engine = sim::SimEngine::Parallel;
+        cfg.engineThreads = 0; // auto: clamp to host CPUs
+        cfg.applyCommute = commute;
+        cfg.fastPath = fastPath;
+        auto wl = workloads::makeByName(name);
+        const auto t0 = std::chrono::steady_clock::now();
+        runtime::ExecResult r = runtime::Runner::runHmtx(*wl, cfg);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (rep == 0 || ms < s.wallMs) {
+            s.wallMs = ms;
+            s.r = std::move(r);
+        }
+    }
+    return s;
+}
+
 } // namespace
 
 int
@@ -326,6 +370,63 @@ main(int argc, char** argv)
     }
     rule(88);
 
+    // --- commute-apply / fast-path sweep -------------------------------
+    // Three parallel-engine cells per core count: serial apply,
+    // commute-aware apply, and commute-aware apply with the zero-event
+    // fast path. Simulated cycles must equal the engine sweep's
+    // sequential base bit for bit (DESIGN.md §13) — the knobs may only
+    // move host time and the sim.parallel.apply.* / sim.fastpath.*
+    // diagnostics. As above, the wall-clock gate is only armed when
+    // the host can actually run workers in parallel.
+    std::printf("\ncommute-aware apply + fast path, %s, parallel "
+                "engine (host CPUs: %u)\n",
+                shardBench, hostCpus);
+    rule(88);
+    std::printf("%-7s | %-8s %-9s | %-10s %-9s | %-12s %-10s\n",
+                "cores", "apply", "fastpath", "wall ms", "speedup",
+                "batches", "fast hits");
+    rule(88);
+
+    bool applySpeedupMet = true;
+    std::vector<ApplySample> applySamples;
+    for (std::size_t ci = 0; ci < 2; ++ci) {
+        const unsigned cores = ci == 0 ? 16u : 32u;
+        ApplySample serial =
+            timeApplyRun(shardBench, cores, false, false);
+        ApplySample commute =
+            timeApplyRun(shardBench, cores, true, false);
+        ApplySample fast = timeApplyRun(shardBench, cores, true, true);
+        const runtime::ExecResult& engBase = engineSamples[2 * ci].r;
+        for (const ApplySample* s : {&serial, &commute, &fast}) {
+            requireChecksum(shardBench, shardSeq, s->r);
+            if (s->r.cycles != engBase.cycles) {
+                std::fprintf(stderr,
+                             "FATAL: apply/fast-path knobs changed "
+                             "simulated time (%llu vs %llu cycles)\n",
+                             static_cast<unsigned long long>(
+                                 s->r.cycles),
+                             static_cast<unsigned long long>(
+                                 engBase.cycles));
+                return 1;
+            }
+            std::printf(
+                "%-7u | %-8s %-9s | %9.2f %8.2fx | %12llu %10llu\n",
+                s->cores, s->commute ? "commute" : "serial",
+                s->fastPath ? "on" : "off", s->wallMs,
+                serial.wallMs / s->wallMs,
+                static_cast<unsigned long long>(
+                    s->r.parStats.commuteBatches),
+                static_cast<unsigned long long>(
+                    s->r.fastStats.hits()));
+        }
+        if (hostCpus > 1 && commute.wallMs >= serial.wallMs)
+            applySpeedupMet = false;
+        applySamples.push_back(std::move(serial));
+        applySamples.push_back(std::move(commute));
+        applySamples.push_back(std::move(fast));
+    }
+    rule(88);
+
     std::fprintf(js, " },\n \"host_cpus\": %u,\n \"shard_sweep\": [\n",
                  hostCpus);
     for (std::size_t i = 0; i < shardSamples.size(); ++i) {
@@ -375,16 +476,48 @@ main(int argc, char** argv)
             static_cast<unsigned long long>(s.r.parStats.rollbacks),
             i + 1 < engineSamples.size() ? "," : "");
     }
+    std::fprintf(js, " ],\n \"apply_sweep\": [\n");
+    for (std::size_t i = 0; i < applySamples.size(); ++i) {
+        const ApplySample& s = applySamples[i];
+        const ApplySample& base = applySamples[i - i % 3];
+        std::fprintf(
+            js,
+            "  {\"workload\": \"%s\", \"cores\": %u, "
+            "\"apply\": \"%s\", \"fastpath\": %s, "
+            "\"wall_ms\": %.3f, \"speedup_vs_serial\": %.4f, "
+            "\"commute_batches\": %llu, \"commute_applied\": %llu, "
+            "\"commute_conflicts\": %llu, "
+            "\"commute_serial_fallbacks\": %llu, "
+            "\"fast_hits\": %llu, \"fast_hit_rate\": %.4f}%s\n",
+            shardBench, s.cores, s.commute ? "commute" : "serial",
+            s.fastPath ? "true" : "false", s.wallMs,
+            base.wallMs / s.wallMs,
+            static_cast<unsigned long long>(
+                s.r.parStats.commuteBatches),
+            static_cast<unsigned long long>(
+                s.r.parStats.commuteApplied),
+            static_cast<unsigned long long>(
+                s.r.parStats.commuteConflicts),
+            static_cast<unsigned long long>(
+                s.r.parStats.commuteSerialFallbacks),
+            static_cast<unsigned long long>(s.r.fastStats.hits()),
+            s.r.fastStats.hitRate(),
+            i + 1 < applySamples.size() ? "," : "");
+    }
     std::fprintf(js,
                  " ],\n \"shard_speedup_gate_active\": %s,\n"
                  " \"shard_speedup_met\": %s,\n"
                  " \"parallel_speedup_gate_active\": %s,\n"
                  " \"parallel_speedup_met\": %s,\n"
+                 " \"apply_speedup_gate_active\": %s,\n"
+                 " \"apply_speedup_met\": %s,\n"
                  " \"directory_wins_at_8plus_cores\": %s\n}\n",
                  hostCpus > 1 ? "true" : "false",
                  shardSpeedupMet ? "true" : "false",
                  hostCpus > 1 ? "true" : "false",
                  parallelSpeedupMet ? "true" : "false",
+                 hostCpus > 1 ? "true" : "false",
+                 applySpeedupMet ? "true" : "false",
                  dirWinsAtScale ? "true" : "false");
     std::fclose(js);
     std::printf("\nwrote %s\n", outPath);
@@ -398,7 +531,8 @@ main(int argc, char** argv)
         "core count) saturates as cores multiply,\nwhile directory "
         "banks let transactions to independent lines proceed "
         "concurrently.\n");
-    return dirWinsAtScale && shardSpeedupMet && parallelSpeedupMet
+    return dirWinsAtScale && shardSpeedupMet && parallelSpeedupMet &&
+            applySpeedupMet
         ? 0
         : 2;
 }

@@ -30,6 +30,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "bench/common.hh"
 #include "sim/cache_system.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats_report.hh"
@@ -47,6 +48,7 @@ sim::MachineConfig
 cellConfig(TxMode mode, sim::Fabric fabric)
 {
     sim::MachineConfig cfg;
+    bench::applyEngineEnv(cfg);
     cfg.numCores = kCores;
     // Tiny hierarchy so the write-set sweep crosses the capacity
     // boundary mid-sweep instead of at absurd W.

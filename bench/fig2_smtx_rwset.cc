@@ -17,6 +17,7 @@ int
 main()
 {
     sim::MachineConfig cfg;
+    applyEngineEnv(cfg);
 
     std::printf("Figure 2: SMTX whole-program speedup over "
                 "sequential (4 cores)\n");

@@ -14,6 +14,7 @@ int
 main()
 {
     sim::MachineConfig cfg;
+    applyEngineEnv(cfg);
 
     std::printf("Figure 9: Average read/write set size per "
                 "transaction in kB\n");

@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/common.hh"
 #include "core/comparator.hh"
 #include "core/version_rules.hh"
 #include "sim/cache_system.hh"
@@ -79,6 +80,7 @@ BM_CacheL1Hit(benchmark::State& state)
 {
     sim::EventQueue eq;
     sim::MachineConfig cfg;
+    bench::applyEngineEnv(cfg);
     cfg.l2SizeKB = 256;
     sim::CacheSystem sys(eq, cfg);
     sys.store(0, 0x1000, 1, 8, 0);
@@ -94,6 +96,7 @@ BM_SpeculativeStoreChain(benchmark::State& state)
     // the full NewVersion + group-commit path.
     sim::EventQueue eq;
     sim::MachineConfig cfg;
+    bench::applyEngineEnv(cfg);
     cfg.l2SizeKB = 256;
     sim::CacheSystem sys(eq, cfg);
     for (auto _ : state) {
@@ -112,6 +115,7 @@ BM_UncommittedForwarding(benchmark::State& state)
 {
     sim::EventQueue eq;
     sim::MachineConfig cfg;
+    bench::applyEngineEnv(cfg);
     cfg.l2SizeKB = 256;
     sim::CacheSystem sys(eq, cfg);
     for (auto _ : state) {
@@ -130,6 +134,7 @@ BM_AbortFlush(benchmark::State& state)
 {
     sim::EventQueue eq;
     sim::MachineConfig cfg;
+    bench::applyEngineEnv(cfg);
     cfg.l2SizeKB = 256;
     sim::CacheSystem sys(eq, cfg);
     for (auto _ : state) {

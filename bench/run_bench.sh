@@ -3,16 +3,20 @@
 #
 #   BENCH_hotpath.json  micro_hotpath google-benchmark results
 #                       (indexed vs forced full scan, seed and Table 2
-#                       geometries) plus end-to-end fig8_speedup
-#                       timings.
+#                       geometries; zero-event fast path off vs on on
+#                       the hit-dominated stream) plus end-to-end
+#                       fig8_speedup timings.
 #   BENCH_scaling.json  ext_directory_scaling cores x fabric sweep
 #                       (snoop bus vs directory, 2-32 cores) plus the
 #                       sharded-engine host-throughput sweep (shards=1
-#                       vs shards=host CPUs at 16/32 simulated cores);
-#                       the run fails if the directory fabric is not at
-#                       least as fast as the bus from 8 cores up, or if
-#                       (on a multi-CPU host) the sharded engine falls
-#                       short of 1.5x on the bulk-walk-heavy config.
+#                       vs shards=host CPUs at 16/32 simulated cores)
+#                       and the apply=serial|commute / fast-path sweep
+#                       on the parallel engine; the run fails if the
+#                       directory fabric is not at least as fast as
+#                       the bus from 8 cores up, or if (on a multi-CPU
+#                       host) the sharded engine falls short of 1.5x
+#                       on the bulk-walk-heavy config or commute apply
+#                       is not faster than serial apply.
 #   BENCH_modes.json    ext_mode_crossover commit-mode sweep (full
 #                       HMTX with unbounded sets vs best-effort HTM
 #                       with the serialized fallback, rising stores
@@ -104,10 +108,18 @@ for op in ("BM_AbortAll", "BM_VidReset", "BM_EagerCommit"):
     if idx and full:
         ratios[op] = round(full / idx, 1)
 
+# Zero-event fast path (DESIGN.md section 13): per-access speedup of
+# the hit-dominated stream with the fast path on vs off. ci/check.sh
+# gates this at >= 1.20x on every release run.
+fp_off = by_name.get("BM_HitFastPath/0")
+fp_on = by_name.get("BM_HitFastPath/1")
+fastpath = round(fp_off / fp_on, 2) if fp_off and fp_on else None
+
 out = {
     "fig8_wall_ms": [int(t) for t in times],
     "fig8_best_ms": min(int(t) for t in times),
     "table2_index_speedups": ratios,
+    "fastpath_hit_speedup": fastpath,
     "micro_hotpath": micro,
 }
 with open(out_path, "w") as f:

@@ -110,6 +110,9 @@ generate(std::uint64_t seed, unsigned numOps)
     // Limited-set group: tiny K so the K-th-line boundary and the
     // capacity-abort path fire on nearly every transaction.
     s.cfg.limitedK = 1 + static_cast<unsigned>(rng.range(6));
+    // Zero-event fast path: random per-cell toggles, so each schedule
+    // doubles as a fast-on vs fast-off differential across cells.
+    s.cfg.fastPathMask = static_cast<unsigned>(rng.range(1u << 10));
 
     // Address pool: a clutch of lines that all collide in one set of
     // the tiny L1 *and* L2 (stride = max set span), plus a few
@@ -240,7 +243,8 @@ serialize(const Schedule& s)
     for (unsigned t : c.engineThreads)
         os << ' ' << t;
     os << "\nbtx " << c.btxRetries << ' ' << c.btxThreshold << "\n"
-       << "limitedk " << c.limitedK << "\n";
+       << "limitedk " << c.limitedK << "\n"
+       << "fastpath " << c.fastPathMask << "\n";
     for (const Op& op : s.ops) {
         char buf[96];
         std::snprintf(buf, sizeof(buf), "%s %u %u %u 0x%llx 0x%llx\n",
@@ -335,6 +339,9 @@ parse(const std::string& text, Schedule& out, std::string& err)
         } else if (tok == "limitedk") {
             if (!(ls >> c.limitedK) || c.limitedK == 0)
                 return fail("bad limitedk");
+        } else if (tok == "fastpath") {
+            if (!(ls >> c.fastPathMask))
+                return fail("bad fastpath");
         } else {
             OpKind kind;
             if (!kindOf(tok, kind))

@@ -339,6 +339,7 @@ collect(Machine& m, LoopWorkload& wl, Shared* sh, std::string model)
     r.shardStats = m.sys().shardStats();
     if (const sim::ParallelEngine* pe = m.parallel())
         r.parStats = pe->stats();
+    r.fastStats = m.sys().fastStats();
     r.transactions = r.stats.committedTxs;
     for (CoreId c = 0; c < m.config().numCores; ++c) {
         r.instructions += m.ctx(c).instructions();

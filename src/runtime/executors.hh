@@ -52,6 +52,9 @@ struct ExecResult
     /** Parallel-engine diagnostics (simulator-side, like shardStats;
      *  excluded from differential equality). */
     sim::ParStats parStats;
+    /** Zero-event fast-path diagnostics (simulator-side, like
+     *  parStats; excluded from differential equality). */
+    sim::FastStats fastStats;
     /** SMTX runs only: value-validation failures detected by the
      *  commit process (0 for every abort-free run). */
     std::uint64_t smtxMisspeculations = 0;

@@ -48,6 +48,21 @@ Machine::Machine(const sim::MachineConfig& cfg)
             [this](std::uint32_t lane, const sim::LaneIntent& in) {
                 return ctxs_[lane]->applyStaged(in);
             });
+        if (cfg.applyCommute && sys_.fastPathEnabled()) {
+            peng_->setFastPath(
+                [this](std::uint32_t lane, const sim::LaneIntent& in,
+                       void*& line, std::uint64_t& klass) {
+                    return ctxs_[lane]->tryFastStaged(in, line, klass);
+                },
+                [this](std::uint32_t lane, const sim::LaneIntent& in,
+                       void* line, Tick stamp) {
+                    return ctxs_[lane]->fastStaged(in, line, stamp);
+                },
+                [this](std::uint32_t lane, const sim::LaneIntent& in) {
+                    ctxs_[lane]->accountFastStaged(in);
+                },
+                [this](unsigned n) { return sys_.reserveUseClock(n); });
+        }
     }
 }
 

@@ -91,6 +91,50 @@ ThreadContext::applyStaged(const sim::LaneIntent& in)
     return {r.wake, r.value, r.abort, r.vid};
 }
 
+bool
+ThreadContext::tryFastStaged(const sim::LaneIntent& in, void*& line,
+                             std::uint64_t& klass)
+{
+    const bool isStore = in.kind == sim::LaneIntent::Kind::Store;
+    if (!isStore && in.kind != sim::LaneIntent::Kind::Load) {
+        // Compute/branch turns never touch the memory system: under
+        // the §9 relation they commute with every other intent. They
+        // join the batch as coordinator-serial members (null line).
+        line = nullptr;
+        klass = 0;
+        return true;
+    }
+    if (!m_.sys().fastPathEnabled() || abortedSinceBegin())
+        return false;
+    sim::Line* l = m_.sys().fastProbe(core_, in.addr, vid_, isStore);
+    if (l == nullptr)
+        return false;
+    line = l;
+    klass = lineAddr(in.addr);
+    return true;
+}
+
+sim::StagedResult
+ThreadContext::fastStaged(const sim::LaneIntent& in, void* line,
+                          Tick stamp)
+{
+    const bool isStore = in.kind == sim::LaneIntent::Kind::Store;
+    ++insts_;
+    noteAddr(in.addr);
+    const std::uint64_t v = m_.sys().fastData(
+        *static_cast<sim::Line*>(line), in.addr, in.value, in.size,
+        isStore, stamp);
+    return {m_.now() + 1 + m_.config().l1Latency,
+            isStore ? in.value : v, false, vid_};
+}
+
+void
+ThreadContext::accountFastStaged(const sim::LaneIntent& in)
+{
+    m_.sys().fastAccount(in.kind == sim::LaneIntent::Kind::Store,
+                         m_.sys().fastEffVid(vid_) != kNonSpecVid);
+}
+
 OpAwait
 ThreadContext::load(Addr a, unsigned size)
 {
@@ -112,8 +156,11 @@ ThreadContext::applyLoad(Addr a, unsigned size)
     noteAddr(a);
     if (r.needSla && !sla_.full())
         sla_.push({a, vid_, r.value, size});
-    return OpAwait{&m_.eq(), m_.now() + 1 + r.latency, r.value,
-                   r.aborted, vid_};
+    OpAwait op{&m_.eq(), m_.now() + 1 + r.latency, r.value,
+               r.aborted, vid_};
+    op.fastHint = r.fastHit && !r.aborted;
+    op.fstats = &m_.sys().fastStats();
+    return op;
 }
 
 OpAwait
@@ -135,8 +182,11 @@ ThreadContext::applyStore(Addr a, std::uint64_t v, unsigned size)
         return abortedOp();
     sim::AccessResult r = m_.sys().store(core_, a, v, size, vid_);
     noteAddr(a);
-    return OpAwait{&m_.eq(), m_.now() + 1 + r.latency, v, r.aborted,
-                   vid_};
+    OpAwait op{&m_.eq(), m_.now() + 1 + r.latency, v, r.aborted,
+               vid_};
+    op.fastHint = r.fastHit && !r.aborted;
+    op.fstats = &m_.sys().fastStats();
+    return op;
 }
 
 OpAwait

@@ -17,6 +17,7 @@
 #include "sim/event_queue.hh"
 #include "sim/parallel_engine.hh"
 #include "sim/rng.hh"
+#include "sim/stats.hh"
 #include "sim/task.hh"
 
 namespace hmtx::runtime
@@ -44,16 +45,29 @@ struct OpAwait
      *  inline fields above. */
     sim::ParallelEngine* eng = nullptr;
     std::uint32_t lane = 0;
+    /** The access retired on the zero-event fast path (DESIGN.md §13):
+     *  if nothing else can fire before `wake`, skip the event queue
+     *  entirely and continue the coroutine without suspending. */
+    bool fastHint = false;
+    /** Bypass counter sink, set alongside fastHint. */
+    sim::FastStats* fstats = nullptr;
 
     bool await_ready() const noexcept { return false; }
 
-    void
+    bool
     await_suspend(std::coroutine_handle<> h) const
     {
-        if (eng != nullptr)
+        if (eng != nullptr) {
             eng->stageSuspend(lane, h);
-        else
-            eq->scheduleResume(wake, h);
+            return true;
+        }
+        if (fastHint && eq->tryBypass(wake)) {
+            if (fstats != nullptr)
+                ++fstats->eventBypasses;
+            return false; // zero events: continue inline at `wake`
+        }
+        eq->scheduleResume(wake, h);
+        return true;
     }
 
     std::uint64_t
@@ -148,6 +162,26 @@ class ThreadContext
      * sequential engine's exact order.
      */
     sim::StagedResult applyStaged(const sim::LaneIntent& in);
+
+    /**
+     * Commute-aware apply, classify hook (coordinator): true when
+     * @p in would retire on the zero-event fast path for this lane's
+     * current VID. Fills the probed line and the commutativity class
+     * (the line address). No architectural side effects.
+     */
+    bool tryFastStaged(const sim::LaneIntent& in, void*& line,
+                       std::uint64_t& klass);
+
+    /**
+     * Commute-aware apply, data half (worker-safe): payload move, LRU
+     * stamp, and this lane's local counters for a classified intent.
+     */
+    sim::StagedResult fastStaged(const sim::LaneIntent& in, void* line,
+                                 Tick stamp);
+
+    /** Commute-aware apply, accounting half (coordinator, in
+     *  retirement order): the shared SysStats bumps of a fast hit. */
+    void accountFastStaged(const sim::LaneIntent& in);
 
   private:
     bool abortedSinceBegin() const;

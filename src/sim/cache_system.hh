@@ -62,6 +62,12 @@ struct AccessResult
     bool aborted = false;
     /** True when the request was satisfied by the local L1. */
     bool l1Hit = false;
+    /**
+     * True when the zero-event fast path retired the access
+     * (simulator-side: architectural effects are identical to the full
+     * path; the runtime uses this as the event-bypass hint).
+     */
+    bool fastHit = false;
 };
 
 /**
@@ -211,6 +217,69 @@ class CacheSystem
 
     /** Sharded-engine diagnostics (simulator-side). */
     const ShardStats& shardStats() const { return shard_->stats(); }
+
+    /** Fast-path diagnostics (simulator-side, DESIGN.md §13). */
+    const FastStats& fastStats() const { return fastStats_; }
+    FastStats& fastStats() { return fastStats_; }
+
+    // --- zero-event fast path (DESIGN.md §13) --------------------------
+    //
+    // The split API exists for the commute-aware apply: the parallel
+    // engine classifies intents on the coordinator (fastProbe), runs
+    // the data halves of a non-conflicting batch on worker threads
+    // (fastData — touches only the probed line, safe across distinct
+    // banks), and accounts stats back on the coordinator (fastAccount).
+    // The sequential inline composition of the three is what load() /
+    // store() use.
+
+    /**
+     * Probe half: returns the line that can retire (core, a, vid) as a
+     * pure L1 hit with no protocol side effects, or nullptr when the
+     * access must take the full path. Validates the per-line
+     * generation tag plus the dynamic guards (shadow map empty,
+     * read/write-set marks current) that plant-time checks cannot
+     * freeze. Counts FastStats attempts/rejections; never mutates
+     * architectural state.
+     */
+    Line* fastProbe(CoreId core, Addr a, Vid vid, bool isStore);
+
+    /**
+     * Data half of a fast retirement: reads (or writes) the payload
+     * and stamps the pre-reserved recency tick. Worker-safe as long as
+     * concurrent calls touch lines of pairwise-distinct engine banks
+     * (distinct banks => distinct sets => distinct lines and payload
+     * planes; set vectors never resize on hits).
+     */
+    std::uint64_t fastData(Line& l, Addr a, std::uint64_t value,
+                           unsigned size, bool isStore, Tick stamp);
+
+    /** Stats half of a fast retirement (coordinator side). */
+    void fastAccount(bool isStore, bool spec);
+
+    /**
+     * Reserves @p n recency-clock stamps in issue order and returns
+     * the first; each fast retirement consumes exactly one, so a
+     * commute batch pre-assigns stamps before fanning out.
+     */
+    Tick
+    reserveUseClock(unsigned n)
+    {
+        const Tick first = useClock_ + 1;
+        useClock_ += n;
+        return first;
+    }
+
+    /** True when the fast path is armed for this configuration. */
+    bool fastPathEnabled() const { return fastEnabled_; }
+
+    /** Request VID as the fast path keys it: non-speculative accesses
+     *  (VID 0, or any VID with HMTX disabled) share one tag slot. */
+    Vid
+    fastEffVid(Vid vid) const
+    {
+        return cfg_.hmtxEnabled && vid != kNonSpecVid ? vid
+                                                      : kNonSpecVid;
+    }
 
   private:
     // --- protocol-engine bridge ---------------------------------------
@@ -501,6 +570,46 @@ class CacheSystem
      */
     bool limitedSetBlocks(Vid vid, Addr la);
 
+    // --- zero-event fast path internals --------------------------------
+    /**
+     * Inline composition of probe + data + account: retires the access
+     * entirely on the fast path when eligible. Returns false (leaving
+     * @p r untouched) when the access must take the full path.
+     */
+    bool fastAccess(CoreId core, Addr a, std::uint64_t value,
+                    unsigned size, Vid vid, bool isStore,
+                    AccessResult& r);
+
+    /**
+     * Plants a fast-path tag on @p l for direction @p isStore under
+     * the current generation. Called at the slow-path exits whose
+     * post-state makes an identical re-access a pure hit; entering the
+     * current generation invalidates whatever the other direction's
+     * tag said in a previous one (same discipline as the rw marks).
+     */
+    void
+    fpTag(Line& l, Vid vid, bool isStore)
+    {
+        if (!fastEnabled_)
+            return;
+        if (l.fpGen != fastGen_) {
+            l.fpGen = fastGen_;
+            l.fpLoadVid = kFpNoVid;
+            l.fpStoreVid = kFpNoVid;
+        }
+        (isStore ? l.fpStoreVid : l.fpLoadVid) = vid;
+    }
+
+    /**
+     * Invalidates @p l's fast-path tags. syncLine() calls this for
+     * every indexed mutation; the handful of protocol actions that
+     * mutate a line's tag/flags *without* going through syncLine
+     * (read-mark raises, sharer-bit sets, mark folds) must call it
+     * explicitly — a stale tag there would let a fast store silently
+     * succeed where the slow path aborts on a dependence.
+     */
+    static void fpClear(Line& l) { l.fpGen = 0; }
+
     EventQueue& eq_;
     /**
      * Logical access clock for replacement recency. Line::lastUse is
@@ -588,6 +697,21 @@ class CacheSystem
      * Starts at 1: default-initialized lines (rwGen = 0) are stale.
      */
     std::uint32_t rwGen_ = 1;
+
+    /**
+     * Generation validating Line fast-path tags (DESIGN.md §13);
+     * bumped by every bulk protocol operation (commit, abortAll,
+     * vidReset, flushDirtyToMemory) — i.e. whenever lcVid_, rwGen_, or
+     * a bulk walk could change what an access observes — so every
+     * valid tag was planted at the current LC VID with the current
+     * read/write-set era. Starts at 1: default-initialized lines
+     * (fpGen = 0) are stale.
+     */
+    std::uint64_t fastGen_ = 1;
+    /** fastPath knob resolved against the gates that disable it
+     *  (copy-on-read ablation, non-plain TxPolicy). */
+    bool fastEnabled_ = false;
+    FastStats fastStats_;
 };
 
 } // namespace hmtx::sim

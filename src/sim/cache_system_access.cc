@@ -27,6 +27,11 @@ CacheSystem::applyReadMark(CoreId core, Line& l, Vid vid, AccessResult& r)
         return;
     if (act == ReadMarkAction::RaiseHigh) {
         r.needSla = true;
+        // Mark raise without syncLine: invalidate fast-path tags
+        // explicitly (a stale fast-store tag would silently succeed
+        // where the slow path aborts on the dependence this mark
+        // records).
+        fpClear(l);
         l.tag.high = vid;
         l.highFromWrongPath = false;
         return;
@@ -283,6 +288,17 @@ AccessResult
 CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
                   bool wrongPath)
 {
+    // Zero-event fast path (DESIGN.md §13): a tagged pure L1 hit
+    // skips the policy preamble, findLocal's reconcile pass, and the
+    // mark machinery. Wrong-path loads are excluded — they feed the
+    // shadow map. The plain-policy gate inside fastEnabled_ makes the
+    // skipped preamble a guaranteed no-op.
+    if (fastEnabled_ && !wrongPath) {
+        AccessResult fr;
+        if (fastAccess(core, a, 0, size, vid, false, fr))
+            return fr;
+    }
+
     const bool spec = cfg_.hmtxEnabled && vid != kNonSpecVid;
     bool serialized = false;
     if (spec) {
@@ -305,7 +321,32 @@ CacheSystem::load(CoreId core, Addr a, unsigned size, Vid vid,
         }
     }
 
+    const std::uint64_t gen0 = abortGen_;
     AccessResult r = loadImpl(core, a, size, vid, wrongPath, serialized);
+    if (!serialized) {
+        // A global flush can race the access mid-flight without
+        // consuming it: an *optional* allocation (S-S sharer copy,
+        // §5.4 refetch merge) evicts a victim whose mark cannot be
+        // carried, the capacity abort flushes every speculative line —
+        // including the mark this very load planted — and the access
+        // then completes against pre-flush state. Architecturally the
+        // completed access is the first access of the *restarted*
+        // transaction, so it must re-plant its marks (and serve the
+        // committed value) on post-flush state: re-run it. Post-flush
+        // evictions only meet plain lines, so the retry settles.
+        std::uint64_t gen = gen0;
+        unsigned guard = 0;
+        while (!r.aborted && abortGen_ != gen) {
+            if (++guard > 4)
+                throw std::logic_error(
+                    "load flush-retry did not settle");
+            gen = abortGen_;
+            AccessResult r2 =
+                loadImpl(core, a, size, vid, wrongPath, serialized);
+            r2.latency += r.latency;
+            r = r2;
+        }
+    }
     if (serialized) {
         if (r.aborted) {
             // The holder's own access collided with *other* VIDs'
@@ -365,6 +406,7 @@ CacheSystem::loadImpl(CoreId core, Addr a, unsigned size, Vid vid,
                 // aggregate these distributed marks.
                 if (vid > v->tag.high) {
                     r.needSla = true;
+                    fpClear(*v); // mark raise without syncLine
                     v->tag.high = vid;
                 }
             } else {
@@ -387,7 +429,10 @@ CacheSystem::loadImpl(CoreId core, Addr a, unsigned size, Vid vid,
             r.value = readData(o, a, size);
             if (isSpec(o.state)) {
                 // The speculative owner responds; requester keeps a
-                // silent S-S copy covering VIDs <= the request's.
+                // silent S-S copy covering VIDs <= the request's. The
+                // owner's mark/sharer mutations below bypass syncLine,
+                // so its fast-path tags go explicitly.
+                fpClear(o);
                 if (mark && reqVid > o.tag.high) {
                     r.needSla = true;
                     o.tag.high = reqVid;
@@ -485,6 +530,7 @@ CacheSystem::loadImpl(CoreId core, Addr a, unsigned size, Vid vid,
                     }
                 }
                 if (exist) {
+                    fpClear(*exist); // coverage raise without syncLine
                     exist->tag.high =
                         std::max(exist->tag.high, reqVid + 1);
                     exist->lastUse = ++useClock_;
@@ -557,6 +603,32 @@ CacheSystem::loadImpl(CoreId core, Addr a, unsigned size, Vid vid,
             ++stats_.corDuplicates;
         }
     }
+
+    // Plant the fast-path load tag when an identical re-access would
+    // be a pure hit: local hit, and the mark logic is a guaranteed
+    // no-op on the line's *post*-access state (this access may itself
+    // have planted the mark that makes the next one free). The probe
+    // re-validates the rw-mark short-circuit dynamically, so recording
+    // state needs no freezing here.
+    // ...and the line must keep serving this prober across commits
+    // (commit() does not bump fastGen_). A nonspec probe re-binds to
+    // the moving lcVid_ watermark, so a speculative version — whose
+    // nonspec visibility ends when its bounding VID commits (the
+    // reconcile the probe skips would retire it) — must never carry a
+    // nonspec tag; only plain MOESI lines qualify. A spec prober is
+    // fenced by the probe's own-commit watermark, and its live read
+    // mark pins tag.high above lcVid_, so no commit of another VID
+    // can fold the line out from under the tag.
+    if (fastEnabled_ && r.l1Hit && !wrongPath && !serialized) {
+        const bool pure = spec
+            ? (v->state == State::SpecShared && v->latestCopy
+                   ? vid <= v->tag.high
+                   : classifyReadMark(v->state, v->tag, vid) ==
+                         ReadMarkAction::None)
+            : !isSpec(v->state);
+        if (pure)
+            fpTag(*v, fastEffVid(vid), false);
+    }
     return r;
 }
 
@@ -566,6 +638,15 @@ AccessResult
 CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
                    unsigned size, Vid vid)
 {
+    // Zero-event fast path (DESIGN.md §13): a tagged silent in-place
+    // write skips the policy preamble, the limited-set check (a no-op
+    // under the plain-policy gate), and findLocal's reconcile pass.
+    if (fastEnabled_) {
+        AccessResult fr;
+        if (fastAccess(core, a, value, size, vid, true, fr))
+            return fr;
+    }
+
     ++stats_.stores;
     if (!cfg_.hmtxEnabled || vid == kNonSpecVid)
         return nonSpecStore(core, a, value, size);
@@ -622,6 +703,10 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
         ++stats_.l1Hits;
         recordWrite(vid, la, v);
         checkShadowAvoided(la, vid);
+        // Re-running this store is a pure in-place hit from here on
+        // (state/tags final, rw mark planted); tag it for the fast
+        // path. Planted after syncLine, so the tag survives.
+        fpTag(*v, vid, true);
         return r;
     }
 
@@ -686,6 +771,7 @@ CacheSystem::store(CoreId core, Addr a, std::uint64_t value,
                     eff.high = std::max(eff.high, l.tag.high);
                     if (l.highFromWrongPath &&
                         l.tag.high > owner->tag.high) {
+                        fpClear(*owner); // flag set without syncLine
                         owner->highFromWrongPath = true;
                     }
                 }
@@ -783,6 +869,11 @@ CacheSystem::nonSpecStore(CoreId core, Addr a, std::uint64_t value,
         v->lastUse = ++useClock_;
         r.l1Hit = true;
         ++stats_.l1Hits;
+        // The line is now M and dirty: re-running this store is a pure
+        // in-place write. fpTag is a no-op when the caller is the
+        // serialized-fallback path (fastEnabled_ is false for the
+        // bounded policies), so the tag never lies about a lock hold.
+        fpTag(*v, kNonSpecVid, true);
         return r;
     }
 
@@ -896,6 +987,123 @@ CacheSystem::slaConfirm(CoreId core, const SlaEntry& e)
         applyReadMark(core, *cur, e.vid, dummy);
     }
     ++stats_.slaConfirms;
+    return true;
+}
+
+// --- zero-event hit fast path (DESIGN.md §13) --------------------------------
+
+/**
+ * Probe for a currently-valid fast-path tag. Scans the L1 set
+ * directly — no reconcile, no VidComparator counts: the comparator
+ * diagnostics are not part of SysStats or any differential comparison,
+ * and the tag's validity already proves reconcile would be a no-op
+ * (lcVid_ unchanged since the tag was planted).
+ *
+ * Returns the tagged line when the access can retire on the fast path,
+ * nullptr when it must take the full path. A tag for the right VID
+ * whose generation is stale counts as a rejection but keeps scanning:
+ * two versions of the same line address may coexist in a set, and the
+ * protocol's uniqueness invariant only guarantees at most one
+ * *currently-valid* tag per (address, VID, direction).
+ */
+Line*
+CacheSystem::fastProbe(CoreId core, Addr a, Vid vid, bool isStore)
+{
+    ++fastStats_.attempts;
+    const Addr la = lineAddr(a);
+    const Vid eff = fastEffVid(vid);
+    const bool spec = eff != kNonSpecVid;
+    for (Line& l : caches_[core].set(la).lines) {
+        if (l.base != la || l.state == State::Invalid)
+            continue;
+        if ((isStore ? l.fpStoreVid : l.fpLoadVid) != eff)
+            continue;
+        if (l.fpGen != fastGen_) {
+            ++fastStats_.genRejections;
+            continue;
+        }
+        if (spec) {
+            // Commit watermark: tags planted by now-committed VIDs are
+            // dead (commit() does not bump fastGen_ — see the comment
+            // there), and a committed line's pending reconcile is real
+            // work the fast path must not skip.
+            if (vid <= lcVid_)
+                return nullptr;
+            // Dynamic guards for state the tag cannot vouch for:
+            // shadow_ can be populated by a wrong-path load that never
+            // touched this line (checkShadowAvoided's side effects
+            // would then diverge), and another VID's slow-path access
+            // can steal the line's rw mark without invalidating the
+            // fast tags. The current rw mark proves the
+            // recordRead/recordWrite hash insert is a no-op.
+            if (isStore && !shadow_.empty())
+                return nullptr;
+            if (l.rwGen != rwGen_ ||
+                (isStore ? l.rwWriteVid : l.rwReadVid) != vid)
+                return nullptr;
+        }
+        return &l;
+    }
+    return nullptr;
+}
+
+/**
+ * Data half of a fast retirement: the only line mutations (payload
+ * bytes + LRU stamp). Pure payload moves via dataOf — safe to run on
+ * an engine worker thread when the commute-aware apply batches
+ * accesses on distinct banks (distinct banks imply distinct lines and
+ * payload planes).
+ */
+std::uint64_t
+CacheSystem::fastData(Line& l, Addr a, std::uint64_t value,
+                      unsigned size, bool isStore, Tick stamp)
+{
+    l.lastUse = stamp;
+    if (isStore) {
+        writeData(l, a, value, size);
+        return 0;
+    }
+    return readData(l, a, size);
+}
+
+/**
+ * Accounting half of a fast retirement: exactly the SysStats bumps the
+ * full path performs on the corresponding pure hit. Coordinator-only.
+ */
+void
+CacheSystem::fastAccount(bool isStore, bool spec)
+{
+    if (isStore) {
+        ++stats_.stores;
+        if (spec)
+            ++stats_.specStores;
+        ++fastStats_.storeHits;
+    } else {
+        ++stats_.loads;
+        if (spec)
+            ++stats_.specLoads;
+        ++fastStats_.loadHits;
+    }
+    ++stats_.l1Hits;
+}
+
+/**
+ * Complete inline fast access: probe, data, accounting. Returns true
+ * and fills `r` when the access retired on the fast path.
+ */
+bool
+CacheSystem::fastAccess(CoreId core, Addr a, std::uint64_t value,
+                        unsigned size, Vid vid, bool isStore,
+                        AccessResult& r)
+{
+    Line* l = fastProbe(core, a, vid, isStore);
+    if (!l)
+        return false;
+    r.value = fastData(*l, a, value, size, isStore, ++useClock_);
+    r.latency = cfg_.l1Latency;
+    r.l1Hit = true;
+    r.fastHit = true;
+    fastAccount(isStore, fastEffVid(vid) != kNonSpecVid);
     return true;
 }
 

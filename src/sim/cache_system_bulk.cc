@@ -25,6 +25,12 @@ CacheSystem::commit(Vid vid)
             std::to_string(vid));
     }
     lcVid_ = vid;
+    // Fast-path tags survive commits: a tag only ever matches a probe
+    // with its own (VID, direction), VIDs advance monotonically until
+    // vidReset, and fastProbe rejects VIDs at or below the watermark —
+    // so tags whose reconcile the commit un-no-ops are unreachable,
+    // and for live VIDs the fold is deferred exactly as lazy commit
+    // already defers it (every slow access reconciles first).
     ++stats_.commits;
     ++stats_.committedTxs;
     trace_.event(TraceCommit, eq_.curTick(), "commit VID %u", vid);
@@ -78,6 +84,10 @@ Cycles
 CacheSystem::abortAll()
 {
     ++abortGen_;
+    // No fastGen_ bump: the walk below syncLines (and thereby
+    // fp-clears) every speculative line, rwGen_ retires all rw marks,
+    // and committed lines — the only other tag carriers — are exactly
+    // the lines an abort leaves untouched.
     ++stats_.aborts;
     WalkScratch agg = shardedWalk(
         OvPhase::AfterLines,
@@ -127,6 +137,7 @@ CacheSystem::vidReset()
     // walk folds versions and rewrites memory, so throwing after it
     // would leave the machine reset in all but name — exactly the
     // stale-tag hazard §4.6 warns about.
+    ++fastGen_; // VID recycling / bulk rewrite: retire all fast tags
     if (!rw_.empty()) {
         throw std::logic_error(
             "vidReset with outstanding uncommitted transactions");
@@ -168,6 +179,7 @@ CacheSystem::vidReset()
 void
 CacheSystem::flushDirtyToMemory()
 {
+    ++fastGen_; // VID recycling / bulk rewrite: retire all fast tags
     WalkScratch agg = shardedWalk(
         OvPhase::BeforeLines,
         [&](Line& l, WalkScratch& s) {

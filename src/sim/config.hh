@@ -218,6 +218,32 @@ struct MachineConfig
      */
     unsigned engineThreads = 0;
 
+    /**
+     * Zero-event hit fast path (DESIGN.md §13, simulator-side): a
+     * guarded inline path retires an access without probing the full
+     * protocol machinery — and, under the runtime, without scheduling
+     * an event — when the local L1 copy is already in the exact
+     * required state for the requesting VID. Eligibility is validated
+     * by per-line generation tags that every protocol action on the
+     * line (and every bulk operation) invalidates, so simulated
+     * behaviour (stats, timings, memory images) is bit-identical with
+     * the fast path on or off. Off by default; benches and tests
+     * enable it explicitly.
+     */
+    bool fastPath = false;
+
+    /**
+     * Commute-aware apply for the parallel engine (DESIGN.md §13):
+     * when the ready prefix of staged intents contains several
+     * fast-path-eligible accesses on pairwise-distinct banks (the §9
+     * address partition), the coordinator applies their data halves
+     * concurrently on the existing host workers instead of strictly
+     * one at a time; any intent that misses, conflicts, or shares a
+     * bank with an earlier one falls back to the exact sequential
+     * order. Inert unless fastPath is set and engine == Parallel.
+     */
+    bool applyCommute = true;
+
     /** Largest usable VID for this configuration. */
     Vid maxVid() const { return (Vid{1} << vidBits) - 1; }
 

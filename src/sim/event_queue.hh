@@ -145,6 +145,38 @@ class EventQueue
     }
 
     /**
+     * Zero-event time advance (DESIGN.md §13): jump simulated time to
+     * @p wake without allocating, scheduling, or executing an event,
+     * exactly as if a resumption had been scheduled at @p wake and
+     * immediately fired as the sole event of that tick. Legal — and
+     * taken — only when nothing else could fire first: the queue is
+     * empty, or every pending event lies strictly after @p wake. The
+     * target bucket is provably free of pending events in that case
+     * (any wheel event aliasing it would itself be pending at or
+     * before @p wake), so the jump preserves the wheel invariants.
+     * executed() intentionally does not count bypassed wake-ups.
+     * @return true when the jump was taken (@p wake is now curTick())
+     */
+    bool
+    tryBypass(Tick wake)
+    {
+        if (wake < now_)
+            return false;
+        if (pending() != 0 && nextWhen() <= wake)
+            return false;
+        // Retire the current tick's bucket exactly as advance() does.
+        auto* b = &wheel_[bucketOf(now_)];
+        if (drainIdx_ != 0) {
+            b->clear();
+            drainIdx_ = 0;
+            const std::size_t bi = bucketOf(now_);
+            occ_[bi >> 6] &= ~(std::uint64_t{1} << (bi & 63));
+        }
+        now_ = wake;
+        return true;
+    }
+
+    /**
      * Tick of the next pending event. @pre pending() != 0
      * (Public for the parallel engine's dispatch-horizon check.)
      */

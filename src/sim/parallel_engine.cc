@@ -1,5 +1,7 @@
 #include "sim/parallel_engine.hh"
 
+#include <algorithm>
+
 #include "runtime/queue.hh" // header-only SpscRing (PR 3 machinery)
 
 namespace hmtx::sim
@@ -68,6 +70,19 @@ ParallelEngine::workerMain(unsigned w)
             continue;
         if (lane == kStopJob)
             return;
+        if (lane & kFastJobBit) {
+            // Commute-batch data half: apply the payload move for the
+            // already-classified intent and report completion. The
+            // release on the counter pairs with the coordinator's
+            // acquire in commitBatch() and covers ln.result.
+            const std::uint32_t li = lane & ~kFastJobBit;
+            Lane& fl = lanes_[li];
+            fl.result =
+                fastApply_(li, fl.intent, fl.fastLine, fl.fastStamp);
+            fastOutstanding_.fetch_sub(1, std::memory_order_release);
+            fastOutstanding_.notify_all();
+            continue;
+        }
         Lane& ln = lanes_[lane];
         runLane(ln);
         // Publish only after the coroutine fully suspended: the
@@ -121,10 +136,9 @@ ParallelEngine::beginSection(std::uint32_t lane,
 }
 
 void
-ParallelEngine::commitHead()
+ParallelEngine::waitHead()
 {
-    const std::uint32_t lane = fifo_.front();
-    Lane& ln = lanes_[lane];
+    Lane& ln = lanes_[fifo_.front()];
     std::uint32_t p = ln.phase.load(std::memory_order_acquire);
     if (p != kReady) {
         ++stats_.barrierStalls;
@@ -133,6 +147,14 @@ ParallelEngine::commitHead()
             p = ln.phase.load(std::memory_order_acquire);
         } while (p != kReady);
     }
+}
+
+void
+ParallelEngine::commitHead()
+{
+    const std::uint32_t lane = fifo_.front();
+    Lane& ln = lanes_[lane];
+    waitHead();
     fifo_.pop_front();
     if (ln.hasIntent) {
         // Retire the staged access at its own slot (now_ still equals
@@ -163,6 +185,132 @@ ParallelEngine::commitHead()
 }
 
 void
+ParallelEngine::commitReady()
+{
+    if (!classify_) {
+        commitHead();
+        return;
+    }
+    // Gather the maximal prefix of published intents that would retire
+    // on the zero-event fast path, stopping at the first unpublished
+    // turn, section completion, slow-path intent, or class collision.
+    // Classification is stable across the batch: the data halves only
+    // move payload bytes and LRU stamps, never tags or protocol state.
+    batchLines_.clear();
+    batchKlass_.clear();
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < fifo_.size(); ++i) {
+        Lane& ln = lanes_[fifo_[i]];
+        if (ln.phase.load(std::memory_order_acquire) != kReady ||
+            !ln.hasIntent)
+            break;
+        void* line = nullptr;
+        std::uint64_t klass = 0;
+        if (!classify_(fifo_[i], ln.intent, line, klass))
+            break;
+        if (line != nullptr) {
+            // Memory member: collides only with earlier *memory*
+            // members of its own class — compute/branch members
+            // (null line) commute with everything.
+            bool conflict = false;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (batchLines_[j] != nullptr &&
+                    batchKlass_[j] == klass) {
+                    conflict = true;
+                    break;
+                }
+            }
+            if (conflict) {
+                // Same commutativity class as an earlier member: the
+                // §9 relation does not let these two reorder, so the
+                // batch ends here and this intent retires in a later
+                // round.
+                ++stats_.commuteConflicts;
+                break;
+            }
+        }
+        batchLines_.push_back(line);
+        batchKlass_.push_back(klass);
+        ++n;
+    }
+    if (n >= 2) {
+        commitBatch(n);
+        return;
+    }
+    if (lanes_[fifo_.front()].hasIntent)
+        ++stats_.commuteSerialFallbacks;
+    commitHead();
+}
+
+void
+ParallelEngine::commitBatch(std::size_t n)
+{
+    ++stats_.commuteBatches;
+    stats_.commuteApplied += n;
+    // LRU stamps are assigned in retirement order *before* the data
+    // halves run, so the concurrent applies produce exactly the stamps
+    // the serial order would have. Only memory members consume stamps;
+    // compute/branch members (null line) never touch the use clock.
+    std::size_t nFast = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (batchLines_[i] != nullptr)
+            ++nFast;
+    const Tick first =
+        nFast != 0 ? reserve_(static_cast<unsigned>(nFast)) : 0;
+    if (threads_.empty() || nFast < 2) {
+        Tick stamp = first;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (batchLines_[i] == nullptr)
+                continue;
+            const std::uint32_t lane = fifo_[i];
+            Lane& ln = lanes_[lane];
+            ln.result =
+                fastApply_(lane, ln.intent, batchLines_[i], stamp++);
+        }
+    } else {
+        fastOutstanding_.store(static_cast<std::uint32_t>(nFast),
+                               std::memory_order_relaxed);
+        Tick stamp = first;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (batchLines_[i] == nullptr)
+                continue;
+            const std::uint32_t lane = fifo_[i];
+            Lane& ln = lanes_[lane];
+            ln.fastLine = batchLines_[i];
+            ln.fastStamp = stamp++;
+            const bool ok = rings_[lane % rings_.size()]->ring.tryPush(
+                lane | kFastJobBit);
+            assert(ok);
+            (void)ok;
+        }
+        std::uint32_t left =
+            fastOutstanding_.load(std::memory_order_acquire);
+        while (left != 0) {
+            fastOutstanding_.wait(left, std::memory_order_acquire);
+            left = fastOutstanding_.load(std::memory_order_acquire);
+        }
+    }
+    // Accounting and wake-up scheduling in exact retirement order, as
+    // if each member had been committed alone. Compute/branch members
+    // apply here in full (they commute with the concurrent data halves
+    // above: they never read or write cache state).
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t lane = fifo_.front();
+        Lane& ln = lanes_[lane];
+        assert(eq_.curTick() == ln.slotTick);
+        if (batchLines_[i] == nullptr)
+            ln.result = apply_(lane, ln.intent);
+        else
+            account_(lane, ln.intent);
+        assert(ln.result.wake > ln.slotTick);
+        eq_.scheduleLane(ln.result.wake, lane);
+        ++stats_.intents;
+        ln.phase.store(kIdle, std::memory_order_relaxed);
+        fifo_.pop_front();
+    }
+}
+
+void
 ParallelEngine::drainAll()
 {
     while (!fifo_.empty())
@@ -174,16 +322,29 @@ ParallelEngine::run()
 {
     for (;;) {
         // Retire whatever is already published, in slot order; the
-        // coordinator's applies overlap the workers' staging.
-        while (!fifo_.empty() && headReady())
-            commitHead();
+        // coordinator's applies overlap the workers' staging. In
+        // commute mode, hold retirement while more events are due at
+        // the head's own slot: dispatching those lane turns first
+        // lets commitReady() gather a multi-intent batch. Sound —
+        // staging is pure with respect to simulator state, and the
+        // retirement order itself never changes.
+        while (!fifo_.empty() && headReady()) {
+            if (classify_ && eq_.pending() != 0 &&
+                eq_.nextWhen() == lanes_[fifo_.front()].slotTick)
+                break;
+            commitReady();
+        }
         if (!fifo_.empty()) {
             const Tick front = lanes_[fifo_.front()].slotTick;
             if (eq_.pending() == 0 || eq_.nextWhen() > front) {
                 // Advancing time past an in-flight slot is unsound
                 // (a completing section may schedule work there), so
-                // block on the head before touching the queue again.
-                commitHead();
+                // block on the head before touching the queue again —
+                // then retire through the gather: by the time the
+                // head publishes, the rest of the prefix usually has
+                // too, so threaded staging still forms batches.
+                waitHead();
+                commitReady();
                 continue;
             }
         } else if (eq_.pending() == 0) {

@@ -96,6 +96,37 @@ class ParallelEngine
     using ApplyFn =
         std::function<StagedResult(std::uint32_t lane, const LaneIntent&)>;
 
+    // Commute-aware apply (DESIGN.md §13). The runtime injects four
+    // hooks; the engine stays ignorant of protocol types (the probed
+    // line travels as an opaque pointer).
+    //
+    // ClassifyFn: coordinator-side. True when the intent may join a
+    // commute batch. Memory intents qualify when they would retire on
+    // the zero-event fast path; `line` is then the probed L1 line and
+    // `klass` the commutativity class (the line address — the finest
+    // refinement of the §9 bank partition). Compute/branch intents
+    // qualify unconditionally with `line == nullptr`: they never
+    // touch the memory system, so they commute with every other
+    // member and are applied in full on the coordinator. Must be free
+    // of architectural side effects.
+    using ClassifyFn = std::function<bool(
+        std::uint32_t lane, const LaneIntent&, void*& line,
+        std::uint64_t& klass)>;
+    // FastApplyFn: data half of a fast retirement (payload move, LRU
+    // stamp, lane-local counters). Runs on a worker thread; touches
+    // only the probed line and the lane's own context, so members of a
+    // batch with pairwise-distinct classes commute.
+    using FastApplyFn = std::function<StagedResult(
+        std::uint32_t lane, const LaneIntent&, void* line, Tick stamp)>;
+    // AccountFn: coordinator-side accounting half (shared SysStats
+    // bumps), run once per batch member in retirement order.
+    using AccountFn =
+        std::function<void(std::uint32_t lane, const LaneIntent&)>;
+    // ReserveFn: pre-assigns a contiguous run of n LRU stamps in
+    // retirement order before the data halves run concurrently;
+    // returns the first stamp.
+    using ReserveFn = std::function<Tick(unsigned n)>;
+
     /**
      * @param lanes    number of simulated cores (one lane each)
      * @param workers  host staging threads; 0 = inline on coordinator
@@ -107,6 +138,23 @@ class ParallelEngine
 
     /** Injected by the runtime glue once thread contexts exist. */
     void setApply(ApplyFn fn) { apply_ = std::move(fn); }
+
+    /**
+     * Enables the commute-aware apply: when the ready prefix of the
+     * retirement queue holds >= 2 fast-path-eligible intents on
+     * pairwise-distinct classes, their data halves run concurrently on
+     * the existing workers while accounting and wake-up scheduling
+     * stay in exact retirement order. Never set for configurations
+     * where the fast path is disabled.
+     */
+    void
+    setFastPath(ClassifyFn c, FastApplyFn f, AccountFn a, ReserveFn r)
+    {
+        classify_ = std::move(c);
+        fastApply_ = std::move(f);
+        account_ = std::move(a);
+        reserve_ = std::move(r);
+    }
 
     /** True when lane @p lane is inside a staged section — its memory
      *  operations must capture intents instead of executing. */
@@ -187,6 +235,10 @@ class ParallelEngine
         StagedResult result;
         /** Tick of the event slot this turn was dispatched at. */
         Tick slotTick = 0;
+        /** Fast-job operands (coordinator writes before the ring push,
+         *  worker reads after the pop — synchronized by the ring). */
+        void* fastLine = nullptr;
+        Tick fastStamp = 0;
     };
 
     /** Runs one staged turn of @p lane (worker thread or inline). */
@@ -204,9 +256,24 @@ class ParallelEngine
                    std::memory_order_acquire) == kReady;
     }
 
+    /** Blocks until the retirement-queue head's outcome is published
+     *  (counts a barrier stall when it has to wait). */
+    void waitHead();
+
     /** Retires the retirement-queue head; blocks on the worker if the
      *  outcome is not yet published. */
     void commitHead();
+
+    /**
+     * Retires the head knowing it is ready: gathers the maximal
+     * fast-eligible prefix on pairwise-distinct classes and commits it
+     * as one concurrent batch, else falls back to commitHead().
+     */
+    void commitReady();
+
+    /** Commits the first @p n queue entries (classified into
+     *  batchLines_) concurrently. @pre n >= 2 */
+    void commitBatch(std::size_t n);
 
     void workerMain(unsigned w);
 
@@ -222,11 +289,25 @@ class ParallelEngine
     bool inCommit_ = false;
 
     /** Per-worker SPSC job rings (coordinator -> worker): a slot holds
-     *  a lane index, or kStopJob to shut the worker down. */
+     *  a lane index (high bit set = fast-apply job for that lane), or
+     *  kStopJob to shut the worker down. */
     static constexpr std::uint32_t kStopJob = ~std::uint32_t{0};
+    static constexpr std::uint32_t kFastJobBit = 0x80000000u;
     struct WorkerRing;
     std::vector<std::unique_ptr<WorkerRing>> rings_;
     std::vector<std::thread> threads_;
+
+    // Commute-aware apply hooks and scratch (coordinator-owned).
+    ClassifyFn classify_;
+    FastApplyFn fastApply_;
+    AccountFn account_;
+    ReserveFn reserve_;
+    /** Probed lines / classes of the batch being gathered, indexed in
+     *  queue order. */
+    std::vector<void*> batchLines_;
+    std::vector<std::uint64_t> batchKlass_;
+    /** Fast jobs still running on workers (batch completion barrier). */
+    std::atomic<std::uint32_t> fastOutstanding_{0};
 
     Tick windowTicks_ = 1;
     Tick windowEnd_ = 0;

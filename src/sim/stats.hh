@@ -234,12 +234,62 @@ struct ParStats
      *  undo one); reported to make that confirmation visible. */
     std::uint64_t rollbacks = 0;
 
+    // Commute-aware apply (DESIGN.md §13). A "batch" is a ready
+    // prefix of >= 2 fast-path-eligible intents on pairwise-distinct
+    // banks whose data halves were applied concurrently.
+    /** Concurrent-retire batches executed. */
+    std::uint64_t commuteBatches = 0;
+    /** Intents applied inside those batches. */
+    std::uint64_t commuteApplied = 0;
+    /** Ready intents excluded from a batch by a bank collision with
+     *  an earlier batch member. */
+    std::uint64_t commuteConflicts = 0;
+    /** Ready intents that fell back to the exact sequential retire
+     *  order (miss, protocol action required, or ineligible kind). */
+    std::uint64_t commuteSerialFallbacks = 0;
+
     /** Mean popped events per accounting window. */
     double
     eventsPerWindow() const
     {
         return windows == 0 ? 0.0
                             : double(events) / double(windows);
+    }
+};
+
+/**
+ * Diagnostics for the zero-event hit fast path (DESIGN.md §13). Like
+ * ParStats these are simulator-side: the fast path retires an access
+ * with identical architectural effects to the full path, so runs with
+ * the fast path on and off are bit-identical in SysStats but differ
+ * here.
+ */
+struct FastStats
+{
+    /** Fast probes attempted (every load/store when enabled). */
+    std::uint64_t attempts = 0;
+    /** Loads retired by the fast path. */
+    std::uint64_t loadHits = 0;
+    /** Stores retired by the fast path. */
+    std::uint64_t storeHits = 0;
+    /** Probes that found a tag for the right VID but rejected it
+     *  because the generation was stale (the line or the system was
+     *  touched by a protocol action since the tag was planted). */
+    std::uint64_t genRejections = 0;
+    /** Event-queue schedules bypassed entirely (access retired with
+     *  no event allocated; runtime-driven runs only). */
+    std::uint64_t eventBypasses = 0;
+
+    /** Total fast-path retirements. */
+    std::uint64_t hits() const { return loadHits + storeHits; }
+
+    /** Fraction of fast probes that retired on the fast path. */
+    double
+    hitRate() const
+    {
+        return attempts == 0 ? 0.0
+            : static_cast<double>(hits()) /
+                static_cast<double>(attempts);
     }
 };
 

@@ -38,15 +38,19 @@ class StatsReport
      * @param tx    optional commit-mode policy counters (fallback
      *              serialization, limited-set aborts); printed when
      *              given
+     * @param fast  optional zero-event fast-path counters (hits,
+     *              generation-tag rejections, event bypasses);
+     *              printed when given
      */
     explicit StatsReport(const SysStats& s,
                          const IndexStats* idx = nullptr,
                          const ShardStats* shard = nullptr,
                          const ParStats* par = nullptr,
                          const MachineConfig* cfg = nullptr,
-                         const TxModeStats* tx = nullptr)
+                         const TxModeStats* tx = nullptr,
+                         const FastStats* fast = nullptr)
         : s_(s), idx_(idx), shard_(shard), par_(par), cfg_(cfg),
-          tx_(tx)
+          tx_(tx), fast_(fast)
     {}
 
     /** Writes the report to @p out. */
@@ -210,6 +214,37 @@ class StatsReport
             row("sim.parallel.rollbacks", double(par_->rollbacks),
                 "speculation rollbacks (always 0: conservative "
                 "engine)");
+            row("sim.parallel.apply.batches",
+                double(par_->commuteBatches),
+                "commute-aware batches committed concurrently");
+            row("sim.parallel.apply.applied",
+                double(par_->commuteApplied),
+                "intents applied through commute batches");
+            row("sim.parallel.apply.conflicts",
+                double(par_->commuteConflicts),
+                "batches cut short by a commutativity-class clash");
+            row("sim.parallel.apply.serialFallbacks",
+                double(par_->commuteSerialFallbacks),
+                "intents retired alone in exact serial order");
+        }
+
+        if (fast_) {
+            row("sim.fastpath.attempts", double(fast_->attempts),
+                "accesses probed for the zero-event fast path");
+            row("sim.fastpath.hits", double(fast_->hits()),
+                "accesses retired without touching the event queue");
+            row("sim.fastpath.loadHits", double(fast_->loadHits),
+                "fast-path load hits");
+            row("sim.fastpath.storeHits", double(fast_->storeHits),
+                "fast-path store hits");
+            row("sim.fastpath.genRejections",
+                double(fast_->genRejections),
+                "probes rejected by a stale generation tag");
+            row("sim.fastpath.eventBypasses",
+                double(fast_->eventBypasses),
+                "wake-ups retired inline via the queue bypass");
+            rate("sim.fastpath.hitRate", fast_->hitRate(),
+                 "fraction of probed accesses retired fast");
         }
 
         if (tx_) {
@@ -246,6 +281,7 @@ class StatsReport
     const ParStats* par_;
     const MachineConfig* cfg_;
     const TxModeStats* tx_;
+    const FastStats* fast_;
 };
 
 } // namespace hmtx::sim

@@ -182,6 +182,9 @@ runBatchThreaded(std::uint64_t seed0, std::uint64_t schedules,
         cov.fallbackCommits += c.fallbackCommits;
         cov.fallbackWrapRemaps += c.fallbackWrapRemaps;
         cov.limitedSetAborts += c.limitedSetAborts;
+        cov.fastAttempts += c.fastAttempts;
+        cov.fastHits += c.fastHits;
+        cov.fastGenRejections += c.fastGenRejections;
     }
     return kNone;
 }
@@ -267,6 +270,10 @@ main(int argc, char **argv)
                       << " fallbackCommits=" << rcov.fallbackCommits
                       << " wrapRemaps=" << rcov.fallbackWrapRemaps
                       << " limitedSetAborts=" << rcov.limitedSetAborts
+                      << "\n"
+                      << "  fastAttempts=" << rcov.fastAttempts
+                      << " fastHits=" << rcov.fastHits
+                      << " fastGenRejections=" << rcov.fastGenRejections
                       << "\n";
             return 0;
         }
@@ -315,6 +322,9 @@ main(int argc, char **argv)
               << " fallbackAccesses=" << cov.fallbackAccesses
               << " fallbackCommits=" << cov.fallbackCommits
               << " wrapRemaps=" << cov.fallbackWrapRemaps
-              << " limitedSetAborts=" << cov.limitedSetAborts << "\n";
+              << " limitedSetAborts=" << cov.limitedSetAborts << "\n"
+              << "  fastAttempts=" << cov.fastAttempts
+              << " fastHits=" << cov.fastHits
+              << " fastGenRejections=" << cov.fastGenRejections << "\n";
     return 0;
 }

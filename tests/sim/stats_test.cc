@@ -78,6 +78,7 @@ TEST(StatsReport, PrintsEveryStatGroup)
     EXPECT_EQ(out.find("sim.shard."), std::string::npos);
     EXPECT_EQ(out.find("config.txMode"), std::string::npos);
     EXPECT_EQ(out.find("sim.txmode."), std::string::npos);
+    EXPECT_EQ(out.find("sim.fastpath."), std::string::npos);
 }
 
 TEST(StatsReport, EchoesTxModeConfigAndCounters)
@@ -143,7 +144,9 @@ TEST(StatsReport, PrintsParallelEngineGroupWhenGiven)
           "sim.parallel.windows", "sim.parallel.eventsPerWindow",
           "sim.parallel.laneEvents", "sim.parallel.sections",
           "sim.parallel.intents", "sim.parallel.barrierStalls",
-          "sim.parallel.rollbacks"}) {
+          "sim.parallel.rollbacks", "sim.parallel.apply.batches",
+          "sim.parallel.apply.applied", "sim.parallel.apply.conflicts",
+          "sim.parallel.apply.serialFallbacks"}) {
         EXPECT_NE(out.find(key), std::string::npos) << key;
     }
     EXPECT_DOUBLE_EQ(p.eventsPerWindow(), 25.0);
@@ -153,6 +156,43 @@ TEST(ParStats, EventsPerWindowHandlesZeroWindows)
 {
     ParStats p;
     EXPECT_EQ(p.eventsPerWindow(), 0.0);
+}
+
+TEST(StatsReport, PrintsFastPathGroupWhenGiven)
+{
+    SysStats s;
+    FastStats f;
+    f.attempts = 200;
+    f.loadHits = 40;
+    f.storeHits = 10;
+    f.genRejections = 6;
+    f.eventBypasses = 30;
+
+    char buf[16384];
+    std::memset(buf, 0, sizeof(buf));
+    std::FILE* out_f = fmemopen(buf, sizeof(buf) - 1, "w");
+    ASSERT_NE(out_f, nullptr);
+    StatsReport(s, nullptr, nullptr, nullptr, nullptr, nullptr, &f)
+        .print(out_f);
+    std::fclose(out_f);
+
+    std::string out(buf);
+    for (const char* key :
+         {"sim.fastpath.attempts", "sim.fastpath.hits",
+          "sim.fastpath.loadHits", "sim.fastpath.storeHits",
+          "sim.fastpath.genRejections", "sim.fastpath.eventBypasses",
+          "sim.fastpath.hitRate"}) {
+        EXPECT_NE(out.find(key), std::string::npos) << key;
+    }
+    EXPECT_EQ(f.hits(), 50u);
+    EXPECT_DOUBLE_EQ(f.hitRate(), 0.25);
+}
+
+TEST(FastStats, HitRateHandlesZeroAttempts)
+{
+    FastStats f;
+    EXPECT_EQ(f.hits(), 0u);
+    EXPECT_EQ(f.hitRate(), 0.0);
 }
 
 } // namespace

@@ -1,12 +1,15 @@
 /**
  * @file
  * ParallelDifferential: the parallel event engine (DESIGN.md §11)
- * must be bit-identical to the sequential engine — same cycles, same
- * checksum, same instruction/branch/abort counts, same SysStats — on
- * the full {bus, directory} x {lazy, eager} matrix, in both inline
- * (engineThreads = 1) and forced-threaded (engineThreads >= 2) modes.
+ * and the zero-event fast path with commute-aware apply (DESIGN.md
+ * §13) must be bit-identical to the plain sequential engine — same
+ * cycles, same checksum, same instruction/branch/abort counts, same
+ * SysStats — on the full {bus, directory} x {lazy, eager} matrix, in
+ * both inline (engineThreads = 1) and forced-threaded
+ * (engineThreads >= 2) modes, across all fast-path modes
+ * {off, fastpath+serial apply, fastpath+commute apply}.
  * Follows the ShardDifferential pattern (differential_fullscan_test):
- * drive two identically-configured runs and compare everything the
+ * drive identically-configured runs and compare everything the
  * simulated machine can observe.
  */
 
@@ -24,40 +27,64 @@ namespace hmtx::workloads
 namespace
 {
 
+/** Fast-path mode axis: off, fastpath with strictly-serial apply,
+ *  fastpath with commute-aware apply. */
+enum : unsigned
+{
+    kFpOff = 0,
+    kFpSerial = 1,
+    kFpCommute = 2,
+};
+
 using Combo = std::tuple<sim::Fabric, bool /*lazy*/,
-                         unsigned /*engineThreads*/>;
+                         unsigned /*engineThreads*/,
+                         unsigned /*fast-path mode*/>;
 
 /** Everything architecturally observable must match exactly.
- *  (parStats/shardStats are simulator-side and excluded by design.) */
+ *  (parStats/fastStats/shardStats are simulator-side and excluded by
+ *  design.) */
 void
-expectIdentical(const runtime::ExecResult& seqEng,
-                const runtime::ExecResult& parEng)
+expectIdentical(const runtime::ExecResult& ref,
+                const runtime::ExecResult& got)
 {
-    EXPECT_EQ(parEng.cycles, seqEng.cycles);
-    EXPECT_EQ(parEng.checksum, seqEng.checksum);
-    EXPECT_EQ(parEng.instructions, seqEng.instructions);
-    EXPECT_EQ(parEng.transactions, seqEng.transactions);
-    EXPECT_EQ(parEng.vidResets, seqEng.vidResets);
-    EXPECT_EQ(parEng.branches, seqEng.branches);
-    EXPECT_EQ(parEng.mispredicts, seqEng.mispredicts);
-    EXPECT_TRUE(parEng.stats == seqEng.stats)
-        << "SysStats diverged (aborts " << seqEng.stats.aborts << " vs "
-        << parEng.stats.aborts << ", busTxns " << seqEng.stats.busTxns
-        << " vs " << parEng.stats.busTxns << ")";
+    EXPECT_EQ(got.cycles, ref.cycles);
+    EXPECT_EQ(got.checksum, ref.checksum);
+    EXPECT_EQ(got.instructions, ref.instructions);
+    EXPECT_EQ(got.transactions, ref.transactions);
+    EXPECT_EQ(got.vidResets, ref.vidResets);
+    EXPECT_EQ(got.branches, ref.branches);
+    EXPECT_EQ(got.mispredicts, ref.mispredicts);
+    EXPECT_TRUE(got.stats == ref.stats)
+        << "SysStats diverged (aborts " << ref.stats.aborts << " vs "
+        << got.stats.aborts << ", busTxns " << ref.stats.busTxns
+        << " vs " << got.stats.busTxns << ", l1Hits "
+        << ref.stats.l1Hits << " vs " << got.stats.l1Hits << ")";
 }
 
 class ParallelDifferential : public ::testing::TestWithParam<Combo>
 {
   protected:
+    /** Reference cell: plain sequential engine, fast path off. */
     static sim::MachineConfig
-    make(const Combo& c, sim::SimEngine engine)
+    makeRef(const Combo& c)
     {
         sim::MachineConfig cfg;
         cfg.fabric = std::get<0>(c);
         cfg.txMode = std::get<1>(c) ? TxMode::LazyHmtx
                                     : TxMode::EagerHmtx;
-        cfg.engine = engine;
+        cfg.engine = sim::SimEngine::Sequential;
         cfg.engineThreads = std::get<2>(c);
+        return cfg;
+    }
+
+    /** Candidate cell: requested engine with the combo's fast mode. */
+    static sim::MachineConfig
+    make(const Combo& c, sim::SimEngine engine)
+    {
+        sim::MachineConfig cfg = makeRef(c);
+        cfg.engine = engine;
+        cfg.fastPath = std::get<3>(c) != kFpOff;
+        cfg.applyCommute = std::get<3>(c) == kFpCommute;
         return cfg;
     }
 };
@@ -67,15 +94,42 @@ TEST_P(ParallelDifferential, LinkedListBitIdentical)
     LinkedListWorkload::Params p;
     p.nodes = 80;
     p.workRounds = 16;
-    LinkedListWorkload a(p), b(p);
-    runtime::ExecResult rs = runtime::Runner::runHmtx(
-        a, make(GetParam(), sim::SimEngine::Sequential));
+    LinkedListWorkload a(p), b(p), c(p);
+    runtime::ExecResult ref =
+        runtime::Runner::runHmtx(a, makeRef(GetParam()));
+    // Sequential engine with the combo's fast mode: exercises the
+    // zero-event bypass (EventQueue::tryBypass) on every pure hit.
+    runtime::ExecResult rf = runtime::Runner::runHmtx(
+        b, make(GetParam(), sim::SimEngine::Sequential));
     runtime::ExecResult rp = runtime::Runner::runHmtx(
-        b, make(GetParam(), sim::SimEngine::Parallel));
-    expectIdentical(rs, rp);
+        c, make(GetParam(), sim::SimEngine::Parallel));
+    expectIdentical(ref, rf);
+    expectIdentical(ref, rp);
     EXPECT_EQ(rp.parStats.rollbacks, 0u);
     EXPECT_GT(rp.parStats.sections, 0u);
     EXPECT_GT(rp.parStats.intents, 0u);
+    if (std::get<3>(GetParam()) != kFpOff) {
+        // The fast path must actually fire on this hit-heavy workload.
+        // (eventBypasses is asserted in FastPathBypass below: on the
+        // busier directory-fabric queues another event is usually
+        // pending before the wake, so the bypass legally declines.)
+        EXPECT_GT(rf.fastStats.hits(), 0u);
+        EXPECT_GT(rp.fastStats.hits(), 0u);
+    } else {
+        EXPECT_EQ(rf.fastStats.attempts, 0u);
+        EXPECT_EQ(rp.fastStats.attempts, 0u);
+    }
+    if (std::get<3>(GetParam()) == kFpCommute) {
+        // Batches need >= 2 lane turns at one slot with nothing else
+        // due there. The snoopy bus delivers that; the directory
+        // fabric interleaves per-tick protocol callbacks, and every
+        // callback forces a full serial drain first — so batching is
+        // legitimately (and verifiably) rare there and not asserted.
+        if (std::get<0>(GetParam()) == sim::Fabric::SnoopBus)
+            EXPECT_GT(rp.parStats.commuteBatches, 0u);
+    } else {
+        EXPECT_EQ(rp.parStats.commuteBatches, 0u);
+    }
 }
 
 TEST_P(ParallelDifferential, GzipBitIdentical)
@@ -83,28 +137,36 @@ TEST_P(ParallelDifferential, GzipBitIdentical)
     GzipWorkload::Params p;
     p.blocks = 8;
     p.wordsPerBlock = 120;
-    GzipWorkload a(p), b(p);
-    runtime::ExecResult rs = runtime::Runner::runHmtx(
-        a, make(GetParam(), sim::SimEngine::Sequential));
+    GzipWorkload a(p), b(p), c(p);
+    runtime::ExecResult ref =
+        runtime::Runner::runHmtx(a, makeRef(GetParam()));
+    runtime::ExecResult rf = runtime::Runner::runHmtx(
+        b, make(GetParam(), sim::SimEngine::Sequential));
     runtime::ExecResult rp = runtime::Runner::runHmtx(
-        b, make(GetParam(), sim::SimEngine::Parallel));
-    expectIdentical(rs, rp);
+        c, make(GetParam(), sim::SimEngine::Parallel));
+    expectIdentical(ref, rf);
+    expectIdentical(ref, rp);
 }
 
 /** The abort/recovery path (misspeculation storms, group aborts,
- *  queue resets) must replay identically under staged execution. */
+ *  queue resets) must replay identically under staged execution and
+ *  under the fast path: every abort bumps the generation and kills
+ *  all outstanding tags. */
 TEST_P(ParallelDifferential, StressConflictsBitIdentical)
 {
     StressWorkload::Params p;
     p.iterations = 48;
     p.scratchWords = 24;
     p.conflictRate = 0.25;
-    StressWorkload a(p), b(p);
-    runtime::ExecResult rs = runtime::Runner::runHmtx(
-        a, make(GetParam(), sim::SimEngine::Sequential));
+    StressWorkload a(p), b(p), c(p);
+    runtime::ExecResult ref =
+        runtime::Runner::runHmtx(a, makeRef(GetParam()));
+    runtime::ExecResult rf = runtime::Runner::runHmtx(
+        b, make(GetParam(), sim::SimEngine::Sequential));
     runtime::ExecResult rp = runtime::Runner::runHmtx(
-        b, make(GetParam(), sim::SimEngine::Parallel));
-    expectIdentical(rs, rp);
+        c, make(GetParam(), sim::SimEngine::Parallel));
+    expectIdentical(ref, rf);
+    expectIdentical(ref, rp);
     EXPECT_GT(rp.stats.aborts, 0u); // the matrix cell really aborted
     EXPECT_EQ(rp.parStats.rollbacks, 0u);
 }
@@ -114,12 +176,15 @@ TEST_P(ParallelDifferential, SequentialScheduleBitIdentical)
 {
     LinkedListWorkload::Params p;
     p.nodes = 60;
-    LinkedListWorkload a(p), b(p);
-    runtime::ExecResult rs = runtime::Runner::runSequential(
-        a, make(GetParam(), sim::SimEngine::Sequential));
+    LinkedListWorkload a(p), b(p), c(p);
+    runtime::ExecResult ref =
+        runtime::Runner::runSequential(a, makeRef(GetParam()));
+    runtime::ExecResult rf = runtime::Runner::runSequential(
+        b, make(GetParam(), sim::SimEngine::Sequential));
     runtime::ExecResult rp = runtime::Runner::runSequential(
-        b, make(GetParam(), sim::SimEngine::Parallel));
-    expectIdentical(rs, rp);
+        c, make(GetParam(), sim::SimEngine::Parallel));
+    expectIdentical(ref, rf);
+    expectIdentical(ref, rp);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -128,7 +193,8 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(sim::Fabric::SnoopBus,
                           sim::Fabric::Directory),
         ::testing::Bool(),          // lazy / eager commit
-        ::testing::Values(1u, 2u)), // inline / forced worker threads
+        ::testing::Values(1u, 2u),  // inline / forced worker threads
+        ::testing::Values(kFpOff, kFpSerial, kFpCommute)),
     [](const ::testing::TestParamInfo<Combo>& info) {
         std::string n;
         n += std::get<0>(info.param) == sim::Fabric::SnoopBus
@@ -136,6 +202,9 @@ INSTANTIATE_TEST_SUITE_P(
             : "dir";
         n += std::get<1>(info.param) ? "_lazy" : "_eager";
         n += std::get<2>(info.param) == 1 ? "_inline" : "_threaded";
+        n += std::get<3>(info.param) == kFpOff ? "_fpoff"
+            : std::get<3>(info.param) == kFpSerial ? "_fpserial"
+                                                   : "_fpcommute";
         return n;
     });
 
@@ -165,6 +234,58 @@ TEST(ParallelEnginePolicy, WorkerClampAndIdleCores)
     EXPECT_FALSE(ri.parStats.threaded);
     EXPECT_EQ(ri.parStats.workers, 0u);
     EXPECT_EQ(ri.stats.idleCores, rs.stats.idleCores);
+}
+
+/** The bounded policies and copy-on-read must gate the fast path off
+ *  entirely (no probes, no tags), even when the knob is set.
+ *  (Sequential schedules: the bounded modes reject pipelined ones.) */
+TEST(FastPathGate, BoundedPoliciesDisableFastPath)
+{
+    StressWorkload::Params p;
+    p.iterations = 24;
+    p.scratchWords = 16;
+    for (TxMode mode : {TxMode::BestEffort, TxMode::LimitedSet}) {
+        sim::MachineConfig on;
+        on.txMode = mode;
+        on.fastPath = true;
+        sim::MachineConfig off = on;
+        off.fastPath = false;
+        StressWorkload a(p), b(p);
+        runtime::ExecResult ron = runtime::Runner::runSequential(a, on);
+        runtime::ExecResult roff =
+            runtime::Runner::runSequential(b, off);
+        EXPECT_EQ(ron.fastStats.attempts, 0u);
+        EXPECT_EQ(ron.cycles, roff.cycles);
+        EXPECT_TRUE(ron.stats == roff.stats);
+    }
+    sim::MachineConfig cor;
+    cor.copyOnRead = true;
+    cor.fastPath = true;
+    StressWorkload d(p);
+    runtime::ExecResult rcor = runtime::Runner::runSequential(d, cor);
+    EXPECT_EQ(rcor.fastStats.attempts, 0u);
+}
+
+/** On a quiet queue (single-lane sequential schedule, snoopy bus) the
+ *  fast path must retire hits with literally zero events: the
+ *  event-queue bypass fires and executed() stays behind the
+ *  fast-path-off run's count. */
+TEST(FastPathBypass, SequentialHitsScheduleNoEvents)
+{
+    LinkedListWorkload::Params p;
+    p.nodes = 60;
+    p.workRounds = 16;
+    sim::MachineConfig off;
+    sim::MachineConfig on = off;
+    on.fastPath = true;
+    LinkedListWorkload a(p), b(p);
+    runtime::ExecResult roff = runtime::Runner::runSequential(a, off);
+    runtime::ExecResult ron = runtime::Runner::runSequential(b, on);
+    EXPECT_EQ(ron.cycles, roff.cycles);
+    EXPECT_EQ(ron.checksum, roff.checksum);
+    EXPECT_TRUE(ron.stats == roff.stats);
+    EXPECT_GT(ron.fastStats.hits(), 0u);
+    EXPECT_GT(ron.fastStats.eventBypasses, 0u);
 }
 
 } // namespace
