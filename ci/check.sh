@@ -67,6 +67,40 @@ if printf '%s\n' "${PRESETS[@]}" | grep -qx release \
         fuzz_batch limited-set ltd 600001 "$FUZZ_QUARTER"
 fi
 
+# Bounded-exhaustive model checking (DESIGN.md §14): enumerate every
+# interleaving of MC_BUDGET small 2-core programs per cell group and
+# replay each through the differential matrix, sleep-set-pruned. A
+# divergence writes a flattened witness to tests/fuzz/corpus exactly
+# like a fuzz divergence. Override MC_BUDGET for longer campaigns
+# (MC_BUDGET=0 skips).
+MC_BUDGET=${MC_BUDGET:-300}
+if printf '%s\n' "${PRESETS[@]}" | grep -qx release \
+    && [ "$MC_BUDGET" -gt 0 ]; then
+    MC_BIN="$ROOT/build-release/tests/fuzz/hmtx_mc"
+    if [ ! -x "$MC_BIN" ]; then
+        echo "FATAL: $MC_BIN missing after the release build" >&2
+        exit 1
+    fi
+    mc_batch() { # <label> <cells> <seed0> <extra args...>
+        local label=$1 cells=$2 seed0=$3
+        shift 3
+        echo "==== model check ($label cells): $MC_BUDGET programs ===="
+        if ! "$MC_BIN" --programs "$MC_BUDGET" --cells "$cells" \
+            --seed0 "$seed0" --corpus-out "$ROOT/tests/fuzz/corpus" \
+            "$@"; then
+            echo "FATAL: bounded-exhaustive model checking ($label" \
+                 "cells) diverged; shrunken replay written to" \
+                 "tests/fuzz/corpus (rerun with hmtx_fuzz --replay" \
+                 "<file> --cells $cells)" >&2
+            exit 1
+        fi
+    }
+    mc_batch all all 1 --ops 6
+    mc_batch best-effort btx 100001 --ops 7
+    mc_batch limited-set ltd 200001 --ops 7
+    mc_batch delivery-order all 300001 --ops 5 --delivery 3
+fi
+
 # Parallel event engine (DESIGN.md §11): the bit-identity smoke across
 # the full {bus,directory} x {lazy,eager} x {inline,threaded} matrix,
 # plus a small threaded fuzz batch from a distinct seed range (the main

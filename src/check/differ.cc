@@ -288,7 +288,8 @@ struct PendingSla
 class Runner
 {
   public:
-    Runner(const Schedule& s, unsigned group)
+    Runner(const Schedule& s, unsigned group,
+           const RunHooks* hooks = nullptr)
         : s_(s), gold_(s.cfg.slaEnabled, groupPolicy(s.cfg, group))
     {
         if (group == kGroupHmtx) {
@@ -312,6 +313,9 @@ class Runner
                 1, false));
         }
         maxVid_ = cells_[0]->sys.config().maxVid();
+        if (hooks != nullptr && hooks->onCell)
+            for (auto& c : cells_)
+                hooks->onCell(c->name, c->sys);
         seedMemory();
     }
 
@@ -949,14 +953,15 @@ class Runner
 } // namespace
 
 Divergence
-runSchedule(const Schedule& s, Coverage* cov, unsigned groupMask)
+runSchedule(const Schedule& s, Coverage* cov, unsigned groupMask,
+            const RunHooks* hooks)
 {
     bool primary = true;
     for (unsigned g : {unsigned(kGroupHmtx), unsigned(kGroupBtx),
                        unsigned(kGroupLtd)}) {
         if (!(groupMask & g))
             continue;
-        Runner r(s, g);
+        Runner r(s, g, hooks);
         Divergence d = r.run(cov, primary);
         primary = false;
         if (d.found) {

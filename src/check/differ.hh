@@ -28,9 +28,15 @@
 #define HMTX_CHECK_DIFFER_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "check/schedule.hh"
+
+namespace hmtx::sim
+{
+class CacheSystem;
+}
 
 namespace hmtx::check
 {
@@ -91,9 +97,22 @@ enum GroupSet : unsigned
     kGroupAll = kGroupHmtx | kGroupBtx | kGroupLtd,
 };
 
+/**
+ * Optional per-run instrumentation. The model checker
+ * (check/explorer.hh) uses onCell to install a DeliveryChooser on
+ * each cell's fabric before the schedule replays; plain fuzzing
+ * passes no hooks and runs exactly as before.
+ */
+struct RunHooks
+{
+    /** Called once per constructed matrix cell, before any op runs. */
+    std::function<void(const char* cellName, sim::CacheSystem&)> onCell;
+};
+
 /** Runs @p s against the golden model and the selected cell groups. */
 Divergence runSchedule(const Schedule& s, Coverage* cov = nullptr,
-                       unsigned groupMask = kGroupAll);
+                       unsigned groupMask = kGroupAll,
+                       const RunHooks* hooks = nullptr);
 
 /**
  * ddmin-style shrink: repeatedly deletes op chunks while the schedule

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Bounded-exhaustive interleaving model checker (DESIGN.md §14).
+ *
+ * The fuzzer (check/differ.hh) samples the schedule space; this layer
+ * *enumerates* it for small programs. A program is a Schedule whose
+ * per-core op order is binding while the cross-core interleaving is
+ * free (Schedule::isProgram); explore() walks every merge of the
+ * per-core sequences at the protocol-decision preemption points —
+ * which core issues its next access, and (optionally) which way each
+ * DirectoryFabric delivery decision goes — and replays each complete
+ * interleaving through the differential runner against the
+ * GoldenModel. Any divergence comes back with the flattened
+ * interleaving as a replayable witness.
+ *
+ * Pruning is sleep-set DPOR (landslide-style, Godefroid's algorithm)
+ * keyed on the line-address commutativity classes the commute-aware
+ * apply already uses (§13): accesses to different lines commute;
+ * same-line accesses, potentially-aborting ops (stores, every bulk
+ * op), and ops coupled through the TxPolicy state machine or the SLA
+ * FIFO do not. With the relation below, sleep sets visit exactly one
+ * linearization per Mazurkiewicz trace, so a clean pruned pass proves
+ * every interleaving clean — see §14 for the soundness argument and
+ * its one stated assumption (no environmental capacity aborts, which
+ * generateProgram guarantees by construction and ExploreStats
+ * reports as a tripwire).
+ */
+
+#ifndef HMTX_CHECK_EXPLORER_HH
+#define HMTX_CHECK_EXPLORER_HH
+
+#include <cstdint>
+
+#include "check/differ.hh"
+#include "check/schedule.hh"
+
+namespace hmtx::check
+{
+
+/** Knobs for one exhaustive exploration of a program. */
+struct ExploreConfig
+{
+    /** Cell groups every interleaving replays against (differ.hh). */
+    unsigned groupMask = kGroupAll;
+    /** Sleep-set/DPOR pruning; off = enumerate every interleaving. */
+    bool prune = true;
+    /** Max complete interleavings to replay before giving up (the
+     *  space is multinomial in the per-core op counts). */
+    std::uint64_t maxInterleavings = 1u << 20;
+    /**
+     * Directory delivery-order exploration: branch on the first N
+     * DeliveryChooser decision points of each interleaving (2^N
+     * replays worst-case per interleaving). 0 = FIFO only, no
+     * chooser installed — the pre-§14 behaviour.
+     */
+    unsigned deliveryPoints = 0;
+};
+
+/** What one exploration did, for reports and coverage assertions. */
+struct ExploreStats
+{
+    /** Complete interleavings replayed through the differ. */
+    std::uint64_t explored = 0;
+    /** Branch choices cut by the sleep sets (each cuts a subtree). */
+    std::uint64_t pruned = 0;
+    /** Extra replays spent on delivery-order branching. */
+    std::uint64_t deliveryRuns = 0;
+    /** Delivery decision points the fabric reported (max per replay,
+     *  summed over interleavings; 0 unless deliveryPoints > 0). */
+    std::uint64_t deliveryPointsSeen = 0;
+    /**
+     * Replays in which an *environmental* capacity abort fired.
+     * The pruning soundness argument (§14) assumes none; a nonzero
+     * count means the program over-pressured the tiny caches and the
+     * pruned pass must not be read as exhaustive.
+     */
+    std::uint64_t envAborts = 0;
+    /** maxInterleavings was hit; the pass is a prefix, not a proof. */
+    bool budgetExhausted = false;
+};
+
+/** Outcome of explore(). */
+struct ExploreResult
+{
+    /** First divergence met, untouched (found == false when clean). */
+    Divergence div;
+    /** The diverging interleaving, flattened to a plain replayable
+     *  schedule (valid only when div.found). */
+    Schedule witness;
+    ExploreStats stats;
+};
+
+/**
+ * Exhaustively explores @p program (its ops split by core, per-core
+ * order preserved). Stops at the first divergence or when the budget
+ * is exhausted. Throws std::invalid_argument if an op names a core
+ * outside cfg.numCores.
+ */
+ExploreResult explore(const Schedule& program,
+                      const ExploreConfig& cfg = {});
+
+/**
+ * The independence relation the sleep sets prune with — exposed so
+ * tests can pin it down. @p a and @p b are ops of *different* cores;
+ * @p hasSlaOps tells whether the surrounding program contains
+ * explicit SlaConfirm/SlaMismatch ops (they consume the pending-SLA
+ * FIFO, coupling correct-path loads); @p groupMask is the cell-group
+ * mask the exploration replays against (the bounded modes couple
+ * spec accesses through the TxPolicy state machine).
+ */
+bool opsIndependent(const Op& a, const Op& b, bool hasSlaOps,
+                    unsigned groupMask);
+
+/**
+ * Generates a random small program for model checking: @p cores
+ * per-core sequences totalling @p numOps ops over 2-3 cache lines
+ * chosen to collide in *no* L1/L2 set, so environmental capacity
+ * aborts cannot fire and the pruning argument holds (§14). The same
+ * (seed, cores, numOps) triple always yields the same program.
+ */
+Schedule generateProgram(std::uint64_t seed, unsigned cores,
+                         unsigned numOps);
+
+} // namespace hmtx::check
+
+#endif // HMTX_CHECK_EXPLORER_HH

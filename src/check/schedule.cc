@@ -4,6 +4,7 @@
  */
 
 #include <cstdio>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
@@ -245,6 +246,8 @@ serialize(const Schedule& s)
     os << "\nbtx " << c.btxRetries << ' ' << c.btxThreshold << "\n"
        << "limitedk " << c.limitedK << "\n"
        << "fastpath " << c.fastPathMask << "\n";
+    if (s.isProgram)
+        os << "program 1\n";
     for (const Op& op : s.ops) {
         char buf[96];
         std::snprintf(buf, sizeof(buf), "%s %u %u %u 0x%llx 0x%llx\n",
@@ -264,8 +267,14 @@ parse(const std::string& text, Schedule& out, std::string& err)
     std::istringstream is(text);
     std::string line;
     out = Schedule{};
+    out.omittedKnobs = kOmitEngineThreads | kOmitBtx | kOmitLimitedK |
+        kOmitFastPath;
     bool sawVersion = false, sawEnd = false;
     unsigned lineNo = 0;
+    // Hand-edited witnesses must fail loudly, not replay the wrong
+    // schedule: every config token may appear at most once, and only
+    // before the first op line.
+    std::set<std::string> seenCfg;
     while (std::getline(is, line)) {
         ++lineNo;
         if (line.empty() || line[0] == '#')
@@ -281,78 +290,33 @@ parse(const std::string& text, Schedule& out, std::string& err)
         std::istringstream ls(line);
         std::string tok;
         ls >> tok;
-        auto fail = [&](const char* what) {
+        auto fail = [&](const std::string& what) {
             err = "line " + std::to_string(lineNo) + ": " + what;
             return false;
         };
+        /** The line must hold nothing beyond the parsed fields. */
+        auto lineDone = [&] {
+            std::string extra;
+            return !(ls >> extra);
+        };
         FuzzConfig& c = out.cfg;
+        OpKind kind;
         if (tok == "end") {
             sawEnd = true;
             break;
-        } else if (tok == "cores") {
-            if (!(ls >> c.numCores))
-                return fail("bad cores");
-        } else if (tok == "l1kb") {
-            if (!(ls >> c.l1KB))
-                return fail("bad l1kb");
-        } else if (tok == "l1assoc") {
-            if (!(ls >> c.l1Assoc))
-                return fail("bad l1assoc");
-        } else if (tok == "l2kb") {
-            if (!(ls >> c.l2KB))
-                return fail("bad l2kb");
-        } else if (tok == "l2assoc") {
-            if (!(ls >> c.l2Assoc))
-                return fail("bad l2assoc");
-        } else if (tok == "vidbits") {
-            if (!(ls >> c.vidBits))
-                return fail("bad vidbits");
-        } else if (tok == "unbounded") {
-            unsigned v;
-            if (!(ls >> v))
-                return fail("bad unbounded");
-            c.unboundedSpecSets = v != 0;
-        } else if (tok == "sla") {
-            unsigned v;
-            if (!(ls >> v))
-                return fail("bad sla");
-            c.slaEnabled = v != 0;
-        } else if (tok == "shards") {
-            for (unsigned& sh : c.shards)
-                if (!(ls >> sh))
-                    return fail("bad shards");
-        } else if (tok == "shardthreads") {
-            for (unsigned& t : c.shardThreads)
-                if (!(ls >> t))
-                    return fail("bad shardthreads");
-        } else if (tok == "enginethreads") {
-            for (unsigned& t : c.engineThreads)
-                if (!(ls >> t))
-                    return fail("bad enginethreads");
-        } else if (tok == "btx") {
-            if (!(ls >> c.btxRetries >> c.btxThreshold))
-                return fail("bad btx");
-            if (c.btxRetries == 0)
-                return fail("btx retries must be >= 1");
-            if (c.btxThreshold != 0 && c.btxThreshold < c.btxRetries)
-                return fail("btx threshold below retry budget");
-        } else if (tok == "limitedk") {
-            if (!(ls >> c.limitedK) || c.limitedK == 0)
-                return fail("bad limitedk");
-        } else if (tok == "fastpath") {
-            if (!(ls >> c.fastPathMask))
-                return fail("bad fastpath");
-        } else {
-            OpKind kind;
-            if (!kindOf(tok, kind))
-                return fail("unknown token");
+        } else if (kindOf(tok, kind)) {
             Op op;
             op.kind = kind;
             unsigned core, vidOff, size;
             std::uint64_t addr, value;
             if (!(ls >> core >> vidOff >> size >> std::hex >> addr >>
                   value))
-                return fail("bad op fields");
+                return fail("truncated or malformed op line (want "
+                            "KIND core vidOff size addr value)");
+            if (!lineDone())
+                return fail("trailing fields after op");
+            if (core > 255)
+                return fail("core out of range");
             if (vidOff < 1 || vidOff > 64)
                 return fail("vidOff out of range");
             if (size < 1 || size > 8 || (addr & 7) + size > 8)
@@ -363,7 +327,100 @@ parse(const std::string& text, Schedule& out, std::string& err)
             op.addr = addr;
             op.value = value;
             out.ops.push_back(op);
+            continue;
         }
+        // Config lines, each legal exactly once and only in the
+        // header (before any op).
+        if (!out.ops.empty())
+            return fail("config line '" + tok + "' after the first op");
+        if (!seenCfg.insert(tok).second)
+            return fail("duplicate '" + tok + "' line");
+        if (tok == "cores") {
+            if (!(ls >> c.numCores))
+                return fail("bad cores");
+            if (c.numCores < 1 || c.numCores > 64)
+                return fail("cores out of range (1..64)");
+        } else if (tok == "l1kb") {
+            if (!(ls >> c.l1KB) || c.l1KB == 0)
+                return fail("bad l1kb");
+        } else if (tok == "l1assoc") {
+            if (!(ls >> c.l1Assoc) || c.l1Assoc == 0)
+                return fail("bad l1assoc");
+        } else if (tok == "l2kb") {
+            if (!(ls >> c.l2KB) || c.l2KB == 0)
+                return fail("bad l2kb");
+        } else if (tok == "l2assoc") {
+            if (!(ls >> c.l2Assoc) || c.l2Assoc == 0)
+                return fail("bad l2assoc");
+        } else if (tok == "vidbits") {
+            if (!(ls >> c.vidBits))
+                return fail("bad vidbits");
+            if (c.vidBits < 2 || c.vidBits > 16)
+                return fail("vidbits out of range (2..16)");
+        } else if (tok == "unbounded") {
+            unsigned v;
+            if (!(ls >> v) || v > 1)
+                return fail("bad unbounded (want 0 or 1)");
+            c.unboundedSpecSets = v != 0;
+        } else if (tok == "sla") {
+            unsigned v;
+            if (!(ls >> v) || v > 1)
+                return fail("bad sla (want 0 or 1)");
+            c.slaEnabled = v != 0;
+        } else if (tok == "shards") {
+            for (unsigned& sh : c.shards) {
+                if (!(ls >> sh))
+                    return fail("bad shards (want 4 cell counts)");
+                if (sh < 1 || sh > 4096)
+                    return fail("shard count out of range (1..4096)");
+            }
+        } else if (tok == "shardthreads") {
+            for (unsigned& t : c.shardThreads) {
+                if (!(ls >> t))
+                    return fail("bad shardthreads (want 4 cell "
+                                "policies)");
+                if (t > 4096)
+                    return fail("shardthreads out of range (0..4096)");
+            }
+        } else if (tok == "enginethreads") {
+            for (unsigned& t : c.engineThreads) {
+                if (!(ls >> t))
+                    return fail("bad enginethreads (want 2 cell "
+                                "policies)");
+                if (t > 4096)
+                    return fail("enginethreads out of range "
+                                "(0..4096)");
+            }
+            out.omittedKnobs &= ~kOmitEngineThreads;
+        } else if (tok == "btx") {
+            if (!(ls >> c.btxRetries >> c.btxThreshold))
+                return fail("bad btx");
+            if (c.btxRetries == 0)
+                return fail("btx retries must be >= 1");
+            if (c.btxThreshold != 0 && c.btxThreshold < c.btxRetries)
+                return fail("btx threshold below retry budget");
+            out.omittedKnobs &= ~kOmitBtx;
+        } else if (tok == "limitedk") {
+            if (!(ls >> c.limitedK) || c.limitedK == 0)
+                return fail("bad limitedk");
+            out.omittedKnobs &= ~kOmitLimitedK;
+        } else if (tok == "fastpath") {
+            if (!(ls >> c.fastPathMask))
+                return fail("bad fastpath");
+            if (c.fastPathMask >= (1u << 10))
+                return fail("fastpath mask out of range (10 cell "
+                            "bits)");
+            out.omittedKnobs &= ~kOmitFastPath;
+        } else if (tok == "program") {
+            unsigned v;
+            if (!(ls >> v) || v > 1)
+                return fail("bad program (want 0 or 1)");
+            out.isProgram = v != 0;
+        } else {
+            return fail("unknown token '" + tok + "'");
+        }
+        if (!lineDone())
+            return fail("trailing fields after '" + tok + "'");
     }
     if (!sawVersion) {
         err = "empty schedule file";
@@ -371,10 +428,6 @@ parse(const std::string& text, Schedule& out, std::string& err)
     }
     if (!sawEnd) {
         err = "missing 'end' line";
-        return false;
-    }
-    if (out.cfg.numCores < 1 || out.cfg.numCores > 64) {
-        err = "cores out of range";
         return false;
     }
     return true;

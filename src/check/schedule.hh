@@ -94,10 +94,37 @@ struct FuzzConfig
     unsigned fastPathMask = 0;
 };
 
+/** Bits of Schedule::omittedKnobs: optional config lines a replay
+ *  file may omit (they postdate the v1 format). parse() records what
+ *  was missing so replay tools can print the defaults they assumed —
+ *  a pre-PR-7/PR-8 witness then replays unambiguously. */
+enum OmittedKnob : unsigned
+{
+    kOmitEngineThreads = 1u << 0,
+    kOmitBtx = 1u << 1,
+    kOmitLimitedK = 1u << 2,
+    kOmitFastPath = 1u << 3,
+};
+
 struct Schedule
 {
     FuzzConfig cfg;
     std::vector<Op> ops;
+    /**
+     * Branching extension of the replay format (`program` header
+     * line): only each core's *own* op order is binding; the
+     * cross-core interleaving is free. The model checker
+     * (check/explorer.hh) enumerates every merge of the per-core
+     * sequences; plain replay (differ::runSchedule) runs the file
+     * order, which is one legal interleaving. A divergence witness is
+     * always serialized flattened — the diverging interleaving in
+     * file order with the flag clear — so every witness replays
+     * byte-for-byte through the ordinary fuzzer and corpus test.
+     */
+    bool isProgram = false;
+    /** Parse provenance: OmittedKnob bits for absent optional lines.
+     *  Ignored by serialize() (which always emits every knob). */
+    unsigned omittedKnobs = 0;
 };
 
 /**
@@ -117,7 +144,10 @@ std::string describe(const Op& op);
 /**
  * Parses a replay file. Returns false and sets @p err on malformed
  * input; accepts exactly what serialize() emits plus blank lines and
- * `#` comments.
+ * `#` comments. Hand-edited witnesses fail loudly rather than
+ * replaying the wrong schedule: duplicate header lines, config lines
+ * after the first op, out-of-range shard/cell/knob encodings, and
+ * truncated or over-long op lines are all explicit errors.
  */
 bool parse(const std::string& text, Schedule& out, std::string& err);
 

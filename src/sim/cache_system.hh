@@ -172,6 +172,9 @@ class CacheSystem
 
     /** The configured coherence fabric (exposed for tests/reports). */
     const Interconnect& interconnect() const { return *net_; }
+    /** Mutable fabric access, so the model checker (check/explorer.hh)
+     *  can install a DeliveryChooser at the reordering seam. */
+    Interconnect& interconnect() { return *net_; }
 
     /** L1 of @p core (exposed for tests). */
     Cache& l1(CoreId core) { return caches_[core]; }

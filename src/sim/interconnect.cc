@@ -7,6 +7,7 @@ namespace hmtx::sim
 {
 
 Interconnect::~Interconnect() = default;
+DeliveryChooser::~DeliveryChooser() = default;
 
 namespace
 {
@@ -105,10 +106,20 @@ class DirectoryFabric final : public Interconnect
     acquire(Tick now, Addr la) override
     {
         Tick& bank = bankOf(la);
-        Tick start = std::max(now, bank);
-        bank = start + cfg_.busCycles;
         ++stats_.dirLookups;
         ++stats_.busTxns;
+        // Delivery decision point (DESIGN.md §14): a request reaching
+        // a busy bank may queue behind the in-flight work (FIFO, the
+        // default) or overtake it on another virtual channel — the
+        // bank then services it in the gap and its pending work slips
+        // later. Point-to-point networks guarantee neither order;
+        // both must be architecturally equivalent.
+        if (now < bank && chooseDelivery(la, 2) == 1) {
+            bank += cfg_.busCycles;
+            return cfg_.dirLookup + cfg_.dirHop;
+        }
+        Tick start = std::max(now, bank);
+        bank = start + cfg_.busCycles;
         return (start - now) + cfg_.dirLookup + cfg_.dirHop;
     }
 
@@ -118,9 +129,12 @@ class DirectoryFabric final : public Interconnect
         if (op == FabricOp::StoreAggregate)
             return 0; // sharer list lives at the acquired bank
         Tick& bank = bankOf(la);
-        bank = std::max(bank, now) + cfg_.busCycles;
         ++stats_.dirLookups;
         ++stats_.busTxns;
+        // One-way traffic admits the same overtake freedom as
+        // acquire(), but the requester never stalls for it, so both
+        // orders leave identical bank occupancy — no decision point.
+        bank = std::max(bank, now) + cfg_.busCycles;
         return isBroadcast(op) ? cfg_.busCycles : 0;
     }
 

@@ -50,6 +50,34 @@ enum class FabricOp : std::uint8_t
 };
 
 /**
+ * A protocol-decision point where the fabric may legally reorder
+ * concurrent message deliveries (DESIGN.md §14). Point-to-point
+ * fabrics guarantee no global arrival order: when a message reaches
+ * an ordering point (a directory bank) that is already busy, the
+ * network is free to queue it behind the in-flight work *or* let it
+ * overtake on another virtual channel. The default (no chooser
+ * installed) is deterministic FIFO queueing — exactly the pre-hook
+ * behaviour. The model checker installs a chooser to enumerate the
+ * reordering freedom as explicit decision points; because delivery
+ * order is timing-only, every choice must leave the architectural
+ * outcome untouched, and the differential runner fails loudly if it
+ * does not.
+ */
+class DeliveryChooser
+{
+  public:
+    virtual ~DeliveryChooser();
+
+    /**
+     * Picks one of @p n legal delivery orders for the message at
+     * @p la's ordering point (0 = FIFO default, the only order the
+     * fabric takes when no chooser is installed). Out-of-range
+     * returns are clamped to n - 1.
+     */
+    virtual unsigned choose(Addr la, unsigned n) = 0;
+};
+
+/**
  * Timing/occupancy model of one coherence fabric.
  *
  * The contract mirrors how CacheSystem uses the fabric:
@@ -105,6 +133,29 @@ class Interconnect
 
     /** Occupies the fabric for @p cycles of bulk protocol walk. */
     virtual void occupy(Tick now, Cycles cycles) = 0;
+
+    /**
+     * Installs (or clears, with nullptr) the delivery-order chooser
+     * consulted at this fabric's reordering decision points. Fabrics
+     * with a total message order (the snoopy bus) have no such points
+     * and never consult it. @p c must outlive the fabric or be
+     * cleared first.
+     */
+    void setDeliveryChooser(DeliveryChooser* c) { chooser_ = c; }
+
+  protected:
+    /** Resolves one delivery decision: FIFO without a chooser. */
+    unsigned
+    chooseDelivery(Addr la, unsigned n)
+    {
+        if (chooser_ == nullptr || n < 2)
+            return 0;
+        const unsigned pick = chooser_->choose(la, n);
+        return pick < n ? pick : n - 1;
+    }
+
+  private:
+    DeliveryChooser* chooser_ = nullptr;
 };
 
 /**

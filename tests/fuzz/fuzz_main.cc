@@ -260,6 +260,25 @@ main(int argc, char **argv)
             std::cerr << replayFile << ": parse error: " << err << "\n";
             return 2;
         }
+        // Pre-PR-7/PR-8 witnesses omit the newer knob lines; say what
+        // defaults this replay actually assumed so the run is
+        // unambiguous.
+        if (s.omittedKnobs != 0) {
+            std::cerr << replayFile
+                      << ": older replay format, assuming defaults:";
+            if (s.omittedKnobs & kOmitEngineThreads)
+                std::cerr << " enginethreads="
+                          << s.cfg.engineThreads[0] << ","
+                          << s.cfg.engineThreads[1];
+            if (s.omittedKnobs & kOmitBtx)
+                std::cerr << " btxRetries=" << s.cfg.btxRetries
+                          << " btxThreshold=" << s.cfg.btxThreshold;
+            if (s.omittedKnobs & kOmitLimitedK)
+                std::cerr << " limitedK=" << s.cfg.limitedK;
+            if (s.omittedKnobs & kOmitFastPath)
+                std::cerr << " fastPathMask=" << s.cfg.fastPathMask;
+            std::cerr << "\n";
+        }
         Coverage rcov;
         Divergence d = runSchedule(s, &rcov, groupMask);
         if (!d.found) {
