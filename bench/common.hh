@@ -8,6 +8,7 @@
 #define HMTX_BENCH_COMMON_HH
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -162,6 +163,51 @@ applyEngineEnv(sim::MachineConfig& cfg)
     if (const char* c = std::getenv("HMTX_APPLY_COMMUTE"))
         cfg.applyCommute = onOff("HMTX_APPLY_COMMUTE", c);
     return engineName(cfg);
+}
+
+/**
+ * Serving-bench knobs (HMTX_SERVE_*). Unset fields keep the bench
+ * defaults: theta/writeRatio/burstDuty stay negative and ops stays 0,
+ * so callers test `>= 0` / `> 0` before overriding. HMTX_SERVE_THETA
+ * and HMTX_SERVE_WRITE_RATIO collapse the respective sweep axis to
+ * the single given value; HMTX_SERVE_OPS overrides requests per cell
+ * and HMTX_SERVE_BURST_DUTY the ON-fraction of the bursty arrival
+ * process (1.0 = smooth open loop).
+ */
+struct ServeEnv
+{
+    double theta = -1.0;
+    double writeRatio = -1.0;
+    std::uint64_t ops = 0;
+    double burstDuty = -1.0;
+};
+
+inline ServeEnv
+serveEnv()
+{
+    auto fatal = [](const char* name, const char* v) {
+        std::fprintf(stderr, "FATAL: %s=%s (want a number)\n", name,
+                     v);
+        std::abort();
+    };
+    auto num = [&](const char* name, double lo, double hi) {
+        const char* v = std::getenv(name);
+        if (!v)
+            return -1.0;
+        char* end = nullptr;
+        const double d = std::strtod(v, &end);
+        if (end == v || *end != '\0' || d < lo || d > hi)
+            fatal(name, v);
+        return d;
+    };
+    ServeEnv e;
+    e.theta = num("HMTX_SERVE_THETA", 0.0, 4.0);
+    e.writeRatio = num("HMTX_SERVE_WRITE_RATIO", 0.0, 1.0);
+    const double ops = num("HMTX_SERVE_OPS", 1.0, 1e9);
+    if (ops > 0)
+        e.ops = static_cast<std::uint64_t>(ops);
+    e.burstDuty = num("HMTX_SERVE_BURST_DUTY", 0.01, 1.0);
+    return e;
 }
 
 /** Verifies checksum equality and aborts the bench loudly if the

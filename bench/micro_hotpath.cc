@@ -136,6 +136,32 @@ BENCHMARK(BM_VidReset)
     ->Unit(benchmark::kMicrosecond);
 
 void
+BM_VidResetDirtyBg(benchmark::State& state)
+{
+    // Serving-shaped variant of BM_VidReset: the background lines are
+    // dirty *committed* table data (a KV store's working set stays
+    // dirty-in-cache for the whole run), not clean fills. Bulk walks
+    // must not pay for them — vidReset/commit/abort only act on
+    // speculative lines, so with the class-split registry the reset
+    // walk scales with the window's speculative footprint, not the
+    // dirty working set. Arg: table2 geometry (0/1); indexed mode
+    // only (the full-scan cost is BM_VidReset's story).
+    sim::EventQueue eq;
+    sim::CacheSystem sys(eq, makeCfg(state.range(0), false));
+    const unsigned lines = backgroundLines(state.range(0));
+    for (unsigned i = 0; i < lines; ++i)
+        sys.store(0, kBackBase + Addr{i} * 64, i, 8, 0);
+    for (auto _ : state) {
+        specStores(sys, 64);
+        for (Vid v = 1; v <= 8; ++v)
+            sys.commit(v);
+        benchmark::DoNotOptimize(sys.vidReset());
+    }
+}
+BENCHMARK(BM_VidResetDirtyBg)
+    ->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void
 BM_EagerCommit(benchmark::State& state)
 {
     // Naive commit processing (§4.4): every commit walks the caches.

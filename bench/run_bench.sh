@@ -22,11 +22,18 @@
 #                       with the serialized fallback, rising stores
 #                       per transaction on both fabrics); the run
 #                       fails if no crossover exists on either fabric.
+#   BENCH_serving.json  ext_kv_serving open-loop KV/OLTP serving sweep
+#                       (1.2M requests: modes x fabrics x Zipf skew x
+#                       write mix with streaming p50/p99/p999) plus
+#                       the streaming-vs-naive host-throughput profile
+#                       ci/check.sh gates against; the run fails if no
+#                       cell shows best-effort degrading p999 >= 1.2x
+#                       vs lazy HMTX.
 #
 # Run from the repository root:
 #
 #   bench/run_bench.sh [build-dir] [hotpath.json] [scaling.json]
-#                      [modes.json]
+#                      [modes.json] [serving.json]
 #
 # A smoke ctest (bench_hotpath_smoke) asserting indexed/full-scan
 # behavioural identity runs as part of the normal test suite; this
@@ -39,6 +46,7 @@ BUILD=${1:-"$ROOT/build-release"}
 OUT=${2:-"$ROOT/BENCH_hotpath.json"}
 SCALING_OUT=${3:-"$ROOT/BENCH_scaling.json"}
 MODES_OUT=${4:-"$ROOT/BENCH_modes.json"}
+SERVING_OUT=${5:-"$ROOT/BENCH_serving.json"}
 RUNS=${FIG8_RUNS:-3}
 
 # Configure through the release preset so the benchmark binaries get
@@ -53,13 +61,16 @@ else
 fi
 cmake --build "$BUILD" -j \
     --target micro_hotpath fig8_speedup ext_directory_scaling \
-    ext_mode_crossover
+    ext_mode_crossover ext_kv_serving
 
 echo "== ext_directory_scaling (cores x fabric sweep) =="
 "$BUILD/bench/ext_directory_scaling" "$SCALING_OUT"
 
 echo "== ext_mode_crossover (commit-mode write-set sweep) =="
 "$BUILD/bench/ext_mode_crossover" "$MODES_OUT"
+
+echo "== ext_kv_serving (open-loop serving sweep, 1.2M requests) =="
+"$BUILD/bench/ext_kv_serving" "$SERVING_OUT"
 
 echo "== micro_hotpath smoke (behavioural identity + speedup bound) =="
 "$BUILD/bench/micro_hotpath" --smoke

@@ -219,4 +219,40 @@ print("fast-path speedup gate: ok")
 EOF
 fi
 
+# Serving throughput floor (DESIGN.md section 15): one streaming gate
+# cell of the KV/OLTP serving engine (60k requests, lazy/snoop-bus;
+# the run itself verifies the oracle and the attempt accounting, so
+# this doubles as the serving smoke). Host requests/sec must stay
+# within 25% of the committed BENCH_serving.json profile.
+if printf '%s\n' "${PRESETS[@]}" | grep -qx release; then
+    if [ ! -f "$ROOT/BENCH_serving.json" ]; then
+        echo "FATAL: BENCH_serving.json baseline is missing;" \
+             "regenerate it with bench/run_bench.sh (or restore the" \
+             "committed copy) — refusing to skip the serving" \
+             "throughput gate" >&2
+        exit 1
+    fi
+    echo "==== bench: serving smoke + throughput floor ===="
+    cmake --build --preset release -j "$JOBS" --target ext_kv_serving
+    CI_SERVE_LINE=$("$ROOT/build-release/bench/ext_kv_serving" --gate)
+    echo "  $CI_SERVE_LINE"
+    python3 - "$ROOT/BENCH_serving.json" "${CI_SERVE_LINE##* }" <<'EOF'
+import json
+import sys
+
+base_path, rate = sys.argv[1:]
+cur = float(rate)
+with open(base_path) as f:
+    base = json.load(f)
+ref = float(base["profile"]["streaming_requests_per_sec"])
+ratio = cur / ref
+print(f"  serving gate cell: {cur:.0f} req/s vs baseline "
+      f"{ref:.0f} req/s ({ratio:.2f}x)")
+if cur < ref / 1.25:
+    sys.exit("FATAL: serving engine host throughput regressed >25% "
+             "vs BENCH_serving.json")
+print("serving throughput gate: ok")
+EOF
+fi
+
 echo "All presets green."

@@ -50,8 +50,12 @@ struct LineBookkeeping
     std::uint32_t cacheId = kNoCacheId;
     /** True while this slot is counted in the presence filter. */
     bool present = false;
-    /** True while this slot sits on the owning cache's registry. */
-    bool onRegistry = false;
+    /** True while this slot sits on the owning cache's *speculative*
+     *  registry (lines in a spec state). */
+    bool onSpecReg = false;
+    /** True while this slot sits on the owning cache's *dirty*
+     *  registry (valid lines holding data memory does not). */
+    bool onDirtyReg = false;
     /** Address under which `present` was counted (may lag `base`). */
     Addr presentAddr = 0;
 };
@@ -207,7 +211,7 @@ class Cache
     Cache(std::string name, unsigned sets, unsigned assoc,
           std::uint32_t id = kNoCacheId)
         : name_(std::move(name)), id_(id), setCount_(sets),
-          assoc_(assoc), sets_(sets), registries_(1)
+          assoc_(assoc), sets_(sets), specRegs_(1), dirtyRegs_(1)
     {}
 
     const std::string& name() const { return name_; }
@@ -230,7 +234,8 @@ class Cache
             (banks & (banks - 1)) != 0) {
             banks = 1;
         }
-        registries_.assign(banks, {});
+        specRegs_.assign(banks, {});
+        dirtyRegs_.assign(banks, {});
         bankMask_ = banks - 1;
     }
 
@@ -245,10 +250,12 @@ class Cache
     }
 
     /**
-     * True when @p l needs to be visited by the bulk protocol walks
+     * True when @p l needs to be visited by *some* bulk protocol walk
      * (commit/abort/VID-reset/flush): it is speculative in some way or
      * holds data memory does not. Clean non-speculative lines are
-     * no-ops for all of those walks.
+     * no-ops for all of those walks. This is the union of the two
+     * registry classes below; the full-scan fallback and the
+     * invariant checks still use it.
      */
     static bool
     interesting(const Line& l)
@@ -257,86 +264,118 @@ class Cache
     }
 
     /**
-     * Puts @p l on this cache's registry of interesting lines (the ORB
-     * analog, §4.4) if it is not already there. Slots are never
-     * removed eagerly; forEachInteresting() purges stale entries
-     * lazily. @p l must be a slot of this cache. The entry lands on
-     * the bank owning the slot's set, so concurrent bank-local walks
-     * touch disjoint registry storage.
+     * Registry class 1: lines in a speculative state. The
+     * commit/abort/VID-reset walks act *only* on these — a dirty
+     * committed line is a no-op for all three — so keeping them on
+     * their own registry makes those walks scale with the VID
+     * window's speculative footprint instead of the dirty working
+     * set (which a serving workload keeps resident for the whole
+     * run).
+     */
+    static bool
+    specInteresting(const Line& l)
+    {
+        return l.state != State::Invalid && isSpec(l.state);
+    }
+
+    /**
+     * Registry class 2: valid lines holding data memory does not.
+     * Only the region-boundary flush needs these; a line that is both
+     * spec and dirty sits on both registries.
+     */
+    static bool
+    dirtyInteresting(const Line& l)
+    {
+        return l.state != State::Invalid && l.dirty;
+    }
+
+    /**
+     * Puts @p l on this cache's class registries of interesting lines
+     * (the ORB analog, §4.4) — the spec registry if it is in a
+     * speculative state, the dirty registry if it holds unwritten
+     * data — if it is not already there. Slots are never removed
+     * eagerly; the walks purge stale entries lazily. @p l must be a
+     * slot of this cache. Entries land on the bank owning the slot's
+     * set, so concurrent bank-local walks touch disjoint registry
+     * storage.
      */
     void
     noteInteresting(Line& l)
     {
-        if (!l.bk.onRegistry) {
-            l.bk.onRegistry = true;
-            registries_[bankOf(l.base)].push_back(&l);
+        if (isSpec(l.state) && !l.bk.onSpecReg) {
+            l.bk.onSpecReg = true;
+            specRegs_[bankOf(l.base)].push_back(&l);
+        }
+        if (l.dirty && l.state != State::Invalid && !l.bk.onDirtyReg) {
+            l.bk.onDirtyReg = true;
+            dirtyRegs_[bankOf(l.base)].push_back(&l);
         }
     }
 
     /**
-     * Applies @p fn to every interesting (spec or dirty) line in this
-     * cache, dropping registry entries that went stale since they were
-     * added. Entries whose line @p fn itself retires (e.g. a commit
-     * walk reconciling a line to non-spec clean) are also dropped, so
-     * repeated walks stay proportional to live speculative state.
-     * Banks are visited in ascending order.
+     * Applies @p fn to every speculative line in bank @p b, dropping
+     * registry entries that went stale since they were added. Entries
+     * whose line @p fn itself retires (e.g. a commit walk reconciling
+     * a line to non-spec) are also dropped, so repeated walks stay
+     * proportional to live speculative state. Safe to run
+     * concurrently for distinct banks as long as @p fn itself only
+     * touches bank-local state. @p fn may re-enlist the line on the
+     * *dirty* registry (via noteInteresting) but must not make a
+     * non-spec line speculative.
      */
     template <typename Fn>
     void
-    forEachInteresting(Fn&& fn)
+    forEachSpecInBank(unsigned b, Fn&& fn)
     {
-        for (unsigned b = 0; b < bankCount(); ++b)
-            forEachInterestingInBank(b, fn);
+        walkReg(specRegs_[b], &specInteresting,
+                &LineBookkeeping::onSpecReg, fn);
     }
 
     /**
-     * Bank-local variant of forEachInteresting(): walks (and lazily
-     * purges) only bank @p b's registry. Safe to run concurrently for
-     * distinct banks as long as @p fn itself only touches bank-local
-     * state.
+     * Applies @p fn to every dirty valid line in bank @p b, with the
+     * same lazy-purge discipline as forEachSpecInBank(). Lines that
+     * are both spec and dirty appear here too — a walk needing the
+     * union (flush) visits both registries and must tolerate seeing
+     * such a line twice.
      */
     template <typename Fn>
     void
-    forEachInterestingInBank(unsigned b, Fn&& fn)
+    forEachDirtyInBank(unsigned b, Fn&& fn)
     {
-        auto& reg = registries_[b];
-        std::size_t i = 0;
-        while (i < reg.size()) {
-            Line& l = *reg[i];
-            if (!interesting(l)) {
-                l.bk.onRegistry = false;
-                reg[i] = reg.back();
-                reg.pop_back();
-                continue;
-            }
-            fn(l);
-            if (!interesting(l)) {
-                l.bk.onRegistry = false;
-                reg[i] = reg.back();
-                reg.pop_back();
-                continue;
-            }
-            ++i;
-        }
+        walkReg(dirtyRegs_[b], &dirtyInteresting,
+                &LineBookkeeping::onDirtyReg, fn);
     }
 
-    /** Current registry length, stale entries included (diagnostics). */
+    /** Current registry lengths, stale entries and dual-class
+     *  duplicates included (diagnostics). */
     std::size_t
     registrySize() const
     {
         std::size_t n = 0;
-        for (const auto& r : registries_)
+        for (const auto& r : specRegs_)
+            n += r.size();
+        for (const auto& r : dirtyRegs_)
             n += r.size();
         return n;
     }
 
-    /** Applies @p fn(const Line*) to every raw registry entry, banks
-     *  in ascending order (index cross-check). */
+    /** Applies @p fn(const Line*) to every raw spec-registry entry,
+     *  banks in ascending order (index cross-check). */
     template <typename Fn>
     void
-    forEachRegistryEntry(Fn&& fn) const
+    forEachSpecRegistryEntry(Fn&& fn) const
     {
-        for (const auto& r : registries_)
+        for (const auto& r : specRegs_)
+            for (const Line* l : r)
+                fn(l);
+    }
+
+    /** Dirty-registry analog of forEachSpecRegistryEntry(). */
+    template <typename Fn>
+    void
+    forEachDirtyRegistryEntry(Fn&& fn) const
+    {
+        for (const auto& r : dirtyRegs_)
             for (const Line* l : r)
                 fn(l);
     }
@@ -380,7 +419,7 @@ class Cache
 
     /**
      * Applies @p fn to every metadata slot whose set belongs to bank
-     * @p b (the full-scan analog of forEachInterestingInBank). Because
+     * @p b (the full-scan analog of the registry walks). Because
      * the bank count divides the set count, this visits sets
      * b, b+banks, b+2*banks, ...
      */
@@ -435,14 +474,48 @@ class Cache
     }
 
   private:
+    /**
+     * Shared walk-and-purge body of the class registries: visits
+     * every entry of @p reg still satisfying @p pred, dropping (and
+     * unflagging via @p flag) entries that no longer do — before the
+     * visit for entries gone stale since they were added, after it
+     * for entries @p fn itself retires.
+     */
+    template <typename Pred, typename Fn>
+    static void
+    walkReg(std::vector<Line*>& reg, Pred pred,
+            bool LineBookkeeping::* flag, Fn&& fn)
+    {
+        std::size_t i = 0;
+        while (i < reg.size()) {
+            Line& l = *reg[i];
+            if (!pred(l)) {
+                l.bk.*flag = false;
+                reg[i] = reg.back();
+                reg.pop_back();
+                continue;
+            }
+            fn(l);
+            if (!pred(l)) {
+                l.bk.*flag = false;
+                reg[i] = reg.back();
+                reg.pop_back();
+                continue;
+            }
+            ++i;
+        }
+    }
+
     std::string name_;
     std::uint32_t id_;
     unsigned setCount_;
     unsigned assoc_;
     std::vector<LineSet> sets_;
-    /** Per-bank registries of slots that were interesting when last
-     *  touched (lazily purged); single bank unless setBanks() ran. */
-    std::vector<std::vector<Line*>> registries_;
+    /** Per-bank class registries of slots that were spec
+     *  (resp. dirty) when last touched (lazily purged); single bank
+     *  unless setBanks() ran. */
+    std::vector<std::vector<Line*>> specRegs_;
+    std::vector<std::vector<Line*>> dirtyRegs_;
     /** bankCount() - 1; bank of a set = setIndex & bankMask_. */
     unsigned bankMask_ = 0;
 };

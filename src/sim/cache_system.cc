@@ -272,9 +272,14 @@ CacheSystem::verifyIndexes()
                     "index check: valid line not counted under its "
                     "address in " + caches_[ci].name());
             }
-            if (Cache::interesting(l) && !l.bk.onRegistry) {
+            if (Cache::specInteresting(l) && !l.bk.onSpecReg) {
                 throw std::logic_error(
-                    "index check: spec/dirty line missing from the "
+                    "index check: spec line missing from the spec "
+                    "registry of " + caches_[ci].name());
+            }
+            if (Cache::dirtyInteresting(l) && !l.bk.onDirtyReg) {
+                throw std::logic_error(
+                    "index check: dirty line missing from the dirty "
                     "registry of " + caches_[ci].name());
             }
             if (filterEnabled_)
@@ -305,22 +310,34 @@ CacheSystem::verifyIndexes()
             }
         }
     }
-    // Registries may hold stale (no longer interesting) entries, but
-    // every entry must be flagged and unique so lazy purging stays
-    // linear. Entries must also sit on the bank owning their slot's
-    // set, or concurrent bank walks would race.
+    // Registries may hold stale (no longer in-class) entries, but
+    // every entry must be flagged and unique within its class so lazy
+    // purging stays linear. Entries must also sit on the bank owning
+    // their slot's set, or concurrent bank walks would race.
     for (auto& c : caches_) {
-        std::unordered_set<const Line*> seen;
-        c.forEachRegistryEntry([&](const Line* l) {
-            if (!l->bk.onRegistry) {
+        std::unordered_set<const Line*> seenSpec, seenDirty;
+        c.forEachSpecRegistryEntry([&](const Line* l) {
+            if (!l->bk.onSpecReg) {
                 throw std::logic_error(
-                    "index check: unflagged registry entry in " +
+                    "index check: unflagged spec-registry entry in " +
                     c.name());
             }
-            if (!seen.insert(l).second) {
+            if (!seenSpec.insert(l).second) {
                 throw std::logic_error(
-                    "index check: duplicate registry entry in " +
+                    "index check: duplicate spec-registry entry in " +
                     c.name());
+            }
+        });
+        c.forEachDirtyRegistryEntry([&](const Line* l) {
+            if (!l->bk.onDirtyReg) {
+                throw std::logic_error(
+                    "index check: unflagged dirty-registry entry "
+                    "in " + c.name());
+            }
+            if (!seenDirty.insert(l).second) {
+                throw std::logic_error(
+                    "index check: duplicate dirty-registry entry "
+                    "in " + c.name());
             }
         });
     }

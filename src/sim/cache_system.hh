@@ -475,23 +475,47 @@ class CacheSystem
     };
 
     /**
+     * Which registry class a bulk walk needs to visit.
+     * Commit/abort/VID-reset act only on speculative lines — a dirty
+     * committed line is a no-op for all three — so they walk the spec
+     * registry alone and stay O(window speculative footprint) even
+     * when the caches hold a large dirty working set. Only the
+     * region-boundary flush needs the union.
+     */
+    enum class WalkClass
+    {
+        /** Speculative lines only (commit/abort/vidReset). */
+        Spec,
+        /**
+         * Spec plus dirty committed lines (flush). A line that is
+         * both spec and dirty sits on both class registries and is
+         * visited twice; the walk body must be idempotent.
+         */
+        SpecAndDirty,
+    };
+
+    /**
      * Runs one bulk protocol walk on the shard engine: compiles the
      * phase-ordered per-bank command list (cache registry/full-scan
      * segments, plus an optional overflow fold per @p ov), dispatches
      * a single epoch, and returns the per-bank scratches folded in
      * ascending bank order.
      *
-     * @p lineFn(Line&, WalkScratch&) runs for every interesting line
-     * (scratch slots 0-2 are the caller's; slot 3 counts registry
-     * lines); @p ovFn(Line&, LineData&, WalkScratch&) for every
-     * overflow entry. Both MUST touch only bank-local state — the
-     * line/entry itself, its set, its bank's presence, registry,
-     * memory, and overflow partitions — because with worker threads
-     * they run concurrently across banks.
+     * @p lineFn(Line&, WalkScratch&) runs for every line of the
+     * requested @p wc registry class (scratch slots 0-2 are the
+     * caller's; slot 3 counts registry lines); @p ovFn(Line&,
+     * LineData&, WalkScratch&) for every overflow entry. Both MUST
+     * touch only bank-local state — the line/entry itself, its set,
+     * its bank's presence, registry, memory, and overflow partitions
+     * — because with worker threads they run concurrently across
+     * banks. Under MachineConfig::forceFullScan every walk visits
+     * the union class (each interesting line once), so Spec walk
+     * bodies must be no-ops on non-spec dirty lines rather than
+     * rely on never seeing them.
      */
     template <typename LineFn, typename OvFn>
     WalkScratch
-    shardedWalk(OvPhase ov, LineFn&& lineFn, OvFn&& ovFn)
+    shardedWalk(OvPhase ov, WalkClass wc, LineFn&& lineFn, OvFn&& ovFn)
     {
         std::vector<BankCmd> cmds;
         if (ov == OvPhase::BeforeLines)
@@ -515,10 +539,16 @@ class CacheSystem
                             lineFn(l, s);
                     });
                 } else {
-                    cc.forEachInterestingInBank(b, [&](Line& l) {
+                    cc.forEachSpecInBank(b, [&](Line& l) {
                         ++s.n[3];
                         lineFn(l, s);
                     });
+                    if (wc == WalkClass::SpecAndDirty) {
+                        cc.forEachDirtyInBank(b, [&](Line& l) {
+                            ++s.n[3];
+                            lineFn(l, s);
+                        });
+                    }
                 }
             } else {
                 overflow_.forEachInBank(b, [&](Line& l, LineData& d) {

@@ -64,7 +64,7 @@ CacheSystem::commit(Vid vid)
         // >500k cycles per commit with Table 2's 32 MB L2. The walk
         // occupies the memory system, stalling every core's misses.
         WalkScratch agg = shardedWalk(
-            OvPhase::None,
+            OvPhase::None, WalkClass::Spec,
             [&](Line& l, WalkScratch& s) {
                 if (isSpec(l.state)) {
                     ++s.n[0];
@@ -90,7 +90,7 @@ CacheSystem::abortAll()
     // the lines an abort leaves untouched.
     ++stats_.aborts;
     WalkScratch agg = shardedWalk(
-        OvPhase::AfterLines,
+        OvPhase::AfterLines, WalkClass::Spec,
         [&](Line& l, WalkScratch& s) {
             if (!isSpec(l.state))
                 return; // dirty committed lines survive aborts
@@ -143,8 +143,11 @@ CacheSystem::vidReset()
             "vidReset with outstanding uncommitted transactions");
     }
     WalkScratch agg = shardedWalk(
-        OvPhase::BeforeLines,
+        OvPhase::BeforeLines, WalkClass::Spec,
         [&](Line& l, WalkScratch& s) {
+            // Spec walk: plain dirty committed lines stay cached and
+            // dirty across the reset (reconcile would be a no-op on
+            // them), so only speculative lines need visiting.
             reconcile(l);
             if (isSpec(l.state)) {
                 applyView(l, resetVersion(viewOf(l)));
@@ -181,8 +184,11 @@ CacheSystem::flushDirtyToMemory()
 {
     ++fastGen_; // VID recycling / bulk rewrite: retire all fast tags
     WalkScratch agg = shardedWalk(
-        OvPhase::BeforeLines,
+        OvPhase::BeforeLines, WalkClass::SpecAndDirty,
         [&](Line& l, WalkScratch& s) {
+            // Union walk: a spec+dirty line appears via both class
+            // registries; the second visit sees it already reconciled
+            // and written back (clean), so the body is idempotent.
             reconcile(l);
             // Reconciliation may retire a superseded version to
             // Invalid; its stale data must not reach memory.

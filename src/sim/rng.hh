@@ -6,7 +6,11 @@
 #ifndef HMTX_SIM_RNG_HH
 #define HMTX_SIM_RNG_HH
 
+#include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <cstdint>
+#include <vector>
 
 namespace hmtx::sim
 {
@@ -47,6 +51,108 @@ class Rng
 
   private:
     std::uint64_t state_;
+};
+
+/**
+ * Zipfian rank sampler over [0, n): rank k is drawn with probability
+ * P(k) = (k+1)^-theta / H(n, theta), the key-popularity law of
+ * OLTP/KV serving traces (theta ~0.99 in YCSB; theta = 0 degenerates
+ * to uniform). Implemented as an exact inverse-CDF table — O(n)
+ * doubles at construction, O(log n) per draw — rather than the
+ * YCSB-style rejection trick, because the table is exact for *any*
+ * theta >= 0 (including the theta > 1 high-skew cells the serving
+ * sweep measures, where the closed-form approximation breaks down)
+ * and the generator runs off the simulation hot path. Draws consume
+ * exactly one Rng value, so seeded runs are reproducible.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t n, double theta)
+        : theta_(theta)
+    {
+        assert(n > 0 && theta >= 0.0);
+        cdf_.reserve(n);
+        double cum = 0.0;
+        for (std::uint64_t k = 0; k < n; ++k) {
+            cum += weight(k);
+            cdf_.push_back(cum);
+        }
+        total_ = cum;
+    }
+
+    /** Number of ranks. */
+    std::uint64_t n() const { return cdf_.size(); }
+
+    /** Draws a rank in [0, n) with Zipfian popularity. */
+    std::uint64_t
+    operator()(Rng& rng) const
+    {
+        const double u = rng.uniform() * total_;
+        auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+        const auto k =
+            static_cast<std::uint64_t>(it - cdf_.begin());
+        return k >= cdf_.size() ? cdf_.size() - 1 : k;
+    }
+
+    /** Closed-form P(rank k) — what the unit test pins draws to. */
+    double
+    probOfRank(std::uint64_t k) const
+    {
+        return weight(k) / total_;
+    }
+
+  private:
+    double
+    weight(std::uint64_t k) const
+    {
+        return std::pow(static_cast<double>(k + 1), -theta_);
+    }
+
+    double theta_;
+    double total_ = 0.0;
+    std::vector<double> cdf_;
+};
+
+/**
+ * Bounded-Pareto sampler over [lo, hi] with shape alpha: the
+ * heavy-tailed burst-length law (inverse-CDF method, one Rng draw
+ * per sample). Used by the serving generator's ON/OFF arrival
+ * process, where a heavy-tailed ON period is what makes open-loop
+ * tail latency interesting.
+ */
+class BoundedParetoSampler
+{
+  public:
+    BoundedParetoSampler(double lo, double hi, double alpha)
+        : lo_(lo), alpha_(alpha), loA_(std::pow(lo, alpha)),
+          ratioA_(1.0 - std::pow(lo / hi, alpha))
+    {
+        assert(lo > 0.0 && hi > lo && alpha > 0.0);
+    }
+
+    double
+    operator()(Rng& rng) const
+    {
+        // Inverse of F(x) = (1 - lo^a x^-a) / (1 - (lo/hi)^a).
+        const double u = rng.uniform();
+        return std::pow(loA_ / (1.0 - u * ratioA_), 1.0 / alpha_);
+    }
+
+    /** Closed-form quantile (e.g. quantile(0.5) = median). */
+    double
+    quantile(double q) const
+    {
+        return std::pow(loA_ / (1.0 - q * ratioA_), 1.0 / alpha_);
+    }
+
+    double lo() const { return lo_; }
+
+  private:
+    double lo_;
+    double alpha_;
+    double loA_;
+    double ratioA_;
 };
 
 } // namespace hmtx::sim

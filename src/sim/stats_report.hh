@@ -19,6 +19,11 @@ namespace hmtx::sim
  * Formats a SysStats snapshot as a gem5-style `name  value  # desc`
  * listing. Used by the benchmark driver example and handy when
  * debugging a run interactively.
+ *
+ * Each optional diagnostics block (sim.*, config.*) registers through
+ * one shared helper — group() plus the RowSink formatter — so every
+ * namespace renders identically and adding a block is one print
+ * function plus one group() line, not a copy-pasted formatting block.
  */
 class StatsReport
 {
@@ -41,6 +46,9 @@ class StatsReport
      * @param fast  optional zero-event fast-path counters (hits,
      *              generation-tag rejections, event bypasses);
      *              printed when given
+     * @param serve optional KV/OLTP serving-engine counters (request
+     *              pipeline + latency percentiles); printed when
+     *              given
      */
     explicit StatsReport(const SysStats& s,
                          const IndexStats* idx = nullptr,
@@ -48,233 +56,329 @@ class StatsReport
                          const ParStats* par = nullptr,
                          const MachineConfig* cfg = nullptr,
                          const TxModeStats* tx = nullptr,
-                         const FastStats* fast = nullptr)
+                         const FastStats* fast = nullptr,
+                         const ServeStats* serve = nullptr)
         : s_(s), idx_(idx), shard_(shard), par_(par), cfg_(cfg),
-          tx_(tx), fast_(fast)
+          tx_(tx), fast_(fast), serve_(serve)
     {}
 
     /** Writes the report to @p out. */
     void
     print(std::FILE* out = stdout) const
     {
-        auto row = [&](const char* name, double v,
-                       const char* desc) {
-            std::fprintf(out, "%-28s %14.0f  # %s\n", name, v, desc);
-        };
-        auto rate = [&](const char* name, double v,
-                        const char* desc) {
-            std::fprintf(out, "%-28s %14.4f  # %s\n", name, v, desc);
-        };
-
-        if (cfg_) {
-            std::fprintf(out, "%-28s %14s  # %s\n", "config.txMode",
-                         txModeName(cfg_->txMode),
-                         "commit-mode policy (TxPolicy axis)");
-            row("config.btxMaxRetries", double(cfg_->btxMaxRetries),
-                "best-effort retries before the fallback lock");
-            row("config.btxAbortThreshold",
-                double(cfg_->btxAbortThreshold),
-                "total-abort threshold for early fallback (0 = off)");
-            row("config.limitedSetK", double(cfg_->limitedSetK),
-                "speculative lines tracked per VID (limited-set)");
-        }
-
-        row("mem.loads", double(s_.loads), "loads issued");
-        row("mem.stores", double(s_.stores), "stores issued");
-        row("mem.specLoads", double(s_.specLoads),
-            "speculative loads (VID != 0)");
-        row("mem.specStores", double(s_.specStores),
-            "speculative stores");
-        row("mem.wrongPathLoads", double(s_.wrongPathLoads),
-            "squashed wrong-path loads (SS 5.1)");
-        row("cache.l1Hits", double(s_.l1Hits), "L1 hits");
-        row("cache.l1Misses", double(s_.l1Misses), "L1 misses");
-        rate("cache.l1MissRate",
-             s_.l1Hits + s_.l1Misses
-                 ? double(s_.l1Misses) / double(s_.l1Hits +
-                                               s_.l1Misses)
-                 : 0.0,
-             "L1 miss rate");
-        row("cache.snoopHits", double(s_.snoopHits),
-            "hits served by a peer cache or the L2");
-        row("cache.memFetches", double(s_.memFetches),
-            "lines fetched from memory");
-        row("cache.writebacks", double(s_.writebacks),
-            "dirty lines written back");
-        row("fabric.busTxns", double(s_.busTxns),
-            "coherence transactions");
-        row("fabric.dirLookups", double(s_.dirLookups),
-            "directory bank lookups (SS 8 fabric)");
-        row("hmtx.commits", double(s_.commits),
-            "group commits (SS 4.4)");
-        row("hmtx.aborts", double(s_.aborts),
-            "transactional aborts");
-        row("hmtx.newVersions", double(s_.newVersions),
-            "speculative line versions created");
-        row("hmtx.commitCycles", double(s_.commitProcessingCycles),
-            "memory-system cycles processing commits (SS 5.3)");
-        row("hmtx.vidResets", double(s_.vidResets),
-            "VID window resets (SS 4.6)");
-        row("sla.needed", double(s_.slaNeeded),
-            "loads needing an acknowledgment (SS 5.1)");
-        rate("sla.neededRate", s_.slaNeededRate(),
-             "fraction of speculative loads needing an SLA");
-        row("sla.avoidedAborts", double(s_.avoidedAborts),
-            "false aborts avoided by SLAs");
-        row("overflow.soWritebacks", double(s_.soOverflowWritebacks),
-            "pristine versions overflowed to memory (SS 5.4)");
-        row("overflow.soRefetches", double(s_.soRefetches),
-            "pristine versions recovered from memory (SS 5.4)");
-        row("overflow.specSpills", double(s_.specSpills),
-            "speculative lines spilled (unbounded sets, SS 8)");
-        row("overflow.specRefills", double(s_.specRefills),
-            "speculative lines refilled (unbounded sets, SS 8)");
-        row("tx.committed", double(s_.committedTxs),
-            "committed transactions");
-        rate("tx.avgReadSetKB", s_.avgReadSetKB(),
-             "avg read set per transaction, kB (Fig. 9)");
-        rate("tx.avgWriteSetKB", s_.avgWriteSetKB(),
-             "avg write set per transaction, kB (Fig. 9)");
-        rate("tx.avgSpecAccesses", s_.avgSpecAccessesPerTx(),
-             "avg speculative accesses per transaction (Table 1)");
-        row("sim.idleCores", double(s_.idleCores),
-            "cores the execution model left idle");
-
-        if (idx_) {
-            row("sim.snoopsVisited", double(idx_->snoopsVisited),
-                "caches visited by filtered snoops");
-            row("sim.snoopsFiltered", double(idx_->snoopsFiltered),
-                "cache snoops skipped by the presence filter");
-            rate("sim.snoopFilterRate", idx_->snoopFilterRate(),
-                 "fraction of snoop targets filtered out");
-            row("sim.registryWalks", double(idx_->registryWalks),
-                "bulk walks served from spec-line registries");
-            row("sim.registryWalkLines",
-                double(idx_->registryWalkLines),
-                "lines visited by those registry walks");
-            row("sim.fullScanWalks", double(idx_->fullScanWalks),
-                "bulk walks that scanned every cache slot");
-            row("sim.indexCrossChecks", double(idx_->crossChecks),
-                "full-scan index verifications performed");
-        }
-
-        if (shard_) {
-            row("sim.shard.banks", double(shard_->banks),
-                "address-hashed banks of the sharded engine");
-            row("sim.shard.threaded", shard_->threaded ? 1.0 : 0.0,
-                "1 when dedicated bank workers drained the rings");
-            row("sim.shard.epochs", double(shard_->epochs),
-                "epoch barriers executed (one per bulk operation)");
-            row("sim.shard.cmds", double(shard_->totalCmds()),
-                "commands routed through the bank SPSC rings");
-            std::uint64_t mn = 0, mx = 0;
-            if (!shard_->bankCmds.empty()) {
-                mn = mx = shard_->bankCmds[0];
-                for (std::uint64_t c : shard_->bankCmds) {
-                    mn = c < mn ? c : mn;
-                    mx = c > mx ? c : mx;
-                }
-            }
-            row("sim.shard.bankCmdsMin", double(mn),
-                "commands routed to the least-loaded bank");
-            row("sim.shard.bankCmdsMax", double(mx),
-                "commands routed to the most-loaded bank");
-            row("sim.shard.ringHighWater",
-                double(shard_->ringHighWater),
-                "max SPSC ring occupancy observed");
-            row("sim.shard.pushStalls", double(shard_->pushStalls),
-                "ring-full back-pressure events at the producer");
-            row("sim.shard.barrierStalls",
-                double(shard_->barrierStalls),
-                "epoch barriers where the coordinator blocked");
-        }
-
-        if (par_) {
-            row("sim.parallel.workers", double(par_->workers),
-                "host staging threads of the parallel engine");
-            row("sim.parallel.threaded", par_->threaded ? 1.0 : 0.0,
-                "1 when stages ran on dedicated worker threads");
-            row("sim.parallel.windows", double(par_->windows),
-                "time windows executed (min c2c latency each)");
-            row("sim.parallel.events", double(par_->events),
-                "events popped by the coordinator");
-            rate("sim.parallel.eventsPerWindow",
-                 par_->eventsPerWindow(),
-                 "mean events retired per time window");
-            row("sim.parallel.laneEvents", double(par_->laneEvents),
-                "lane turns dispatched for staging");
-            row("sim.parallel.sections", double(par_->sections),
-                "staged workload sections opened");
-            row("sim.parallel.intents", double(par_->intents),
-                "memory intents retired in event order");
-            row("sim.parallel.barrierStalls",
-                double(par_->barrierStalls),
-                "retirements where the coordinator blocked on a "
-                "worker");
-            row("sim.parallel.rollbacks", double(par_->rollbacks),
-                "speculation rollbacks (always 0: conservative "
-                "engine)");
-            row("sim.parallel.apply.batches",
-                double(par_->commuteBatches),
-                "commute-aware batches committed concurrently");
-            row("sim.parallel.apply.applied",
-                double(par_->commuteApplied),
-                "intents applied through commute batches");
-            row("sim.parallel.apply.conflicts",
-                double(par_->commuteConflicts),
-                "batches cut short by a commutativity-class clash");
-            row("sim.parallel.apply.serialFallbacks",
-                double(par_->commuteSerialFallbacks),
-                "intents retired alone in exact serial order");
-        }
-
-        if (fast_) {
-            row("sim.fastpath.attempts", double(fast_->attempts),
-                "accesses probed for the zero-event fast path");
-            row("sim.fastpath.hits", double(fast_->hits()),
-                "accesses retired without touching the event queue");
-            row("sim.fastpath.loadHits", double(fast_->loadHits),
-                "fast-path load hits");
-            row("sim.fastpath.storeHits", double(fast_->storeHits),
-                "fast-path store hits");
-            row("sim.fastpath.genRejections",
-                double(fast_->genRejections),
-                "probes rejected by a stale generation tag");
-            row("sim.fastpath.eventBypasses",
-                double(fast_->eventBypasses),
-                "wake-ups retired inline via the queue bypass");
-            rate("sim.fastpath.hitRate", fast_->hitRate(),
-                 "fraction of probed accesses retired fast");
-        }
-
-        if (tx_) {
-            row("sim.txmode.retryAborts", double(tx_->retryAborts),
-                "aborts charged against the retry budget");
-            row("sim.txmode.fallbackEntries",
-                double(tx_->fallbackEntries),
-                "times the serialized fallback lock engaged");
-            row("sim.txmode.fallbackAccesses",
-                double(tx_->fallbackAccesses),
-                "accesses executed under the fallback lock");
-            row("sim.txmode.fallbackCommits",
-                double(tx_->fallbackCommits),
-                "commits that released the fallback lock");
-            row("sim.txmode.fallbackCycles",
-                double(tx_->fallbackCycles),
-                "memory-system cycles of serialized execution");
-            row("sim.txmode.fallbackWrapRemaps",
-                double(tx_->fallbackWrapRemaps),
-                "VID-window resets absorbed while the lock was held");
-            row("sim.txmode.earlyFallbacks",
-                double(tx_->earlyFallbacks),
-                "fallbacks taken early via the abort threshold");
-            row("sim.txmode.limitedSetAborts",
-                double(tx_->limitedSetAborts),
-                "capacity aborts from the K-line set limit");
-        }
+        RowSink sink{out};
+        group(sink, cfg_, &printConfig);
+        printSys(sink, s_);
+        group(sink, idx_, &printIndex);
+        group(sink, shard_, &printShard);
+        group(sink, par_, &printParallel);
+        group(sink, fast_, &printFastPath);
+        group(sink, tx_, &printTxMode);
+        group(sink, serve_, &printServe);
     }
 
   private:
+    /** Shared row formatter every stats namespace renders through. */
+    struct RowSink
+    {
+        std::FILE* out;
+
+        /** Integer-valued counter row. */
+        void
+        row(const char* name, double v, const char* desc) const
+        {
+            std::fprintf(out, "%-28s %14.0f  # %s\n", name, v, desc);
+        }
+
+        /** Fractional row (rates, averages, kB). */
+        void
+        rate(const char* name, double v, const char* desc) const
+        {
+            std::fprintf(out, "%-28s %14.4f  # %s\n", name, v, desc);
+        }
+
+        /** String-valued row (config axes). */
+        void
+        str(const char* name, const char* v, const char* desc) const
+        {
+            std::fprintf(out, "%-28s %14s  # %s\n", name, v, desc);
+        }
+    };
+
+    /**
+     * The one registration point for optional stats namespaces:
+     * renders @p t through @p fn when present, skips the block
+     * entirely when absent.
+     */
+    template <typename T>
+    static void
+    group(RowSink& sink, const T* t, void (*fn)(RowSink&, const T&))
+    {
+        if (t)
+            fn(sink, *t);
+    }
+
+    static void
+    printConfig(RowSink& k, const MachineConfig& cfg)
+    {
+        k.str("config.txMode", txModeName(cfg.txMode),
+              "commit-mode policy (TxPolicy axis)");
+        k.row("config.btxMaxRetries", double(cfg.btxMaxRetries),
+              "best-effort retries before the fallback lock");
+        k.row("config.btxAbortThreshold",
+              double(cfg.btxAbortThreshold),
+              "total-abort threshold for early fallback (0 = off)");
+        k.row("config.limitedSetK", double(cfg.limitedSetK),
+              "speculative lines tracked per VID (limited-set)");
+    }
+
+    static void
+    printSys(RowSink& k, const SysStats& s)
+    {
+        k.row("mem.loads", double(s.loads), "loads issued");
+        k.row("mem.stores", double(s.stores), "stores issued");
+        k.row("mem.specLoads", double(s.specLoads),
+              "speculative loads (VID != 0)");
+        k.row("mem.specStores", double(s.specStores),
+              "speculative stores");
+        k.row("mem.wrongPathLoads", double(s.wrongPathLoads),
+              "squashed wrong-path loads (SS 5.1)");
+        k.row("cache.l1Hits", double(s.l1Hits), "L1 hits");
+        k.row("cache.l1Misses", double(s.l1Misses), "L1 misses");
+        k.rate("cache.l1MissRate",
+               s.l1Hits + s.l1Misses
+                   ? double(s.l1Misses) / double(s.l1Hits +
+                                                 s.l1Misses)
+                   : 0.0,
+               "L1 miss rate");
+        k.row("cache.snoopHits", double(s.snoopHits),
+              "hits served by a peer cache or the L2");
+        k.row("cache.memFetches", double(s.memFetches),
+              "lines fetched from memory");
+        k.row("cache.writebacks", double(s.writebacks),
+              "dirty lines written back");
+        k.row("fabric.busTxns", double(s.busTxns),
+              "coherence transactions");
+        k.row("fabric.dirLookups", double(s.dirLookups),
+              "directory bank lookups (SS 8 fabric)");
+        k.row("hmtx.commits", double(s.commits),
+              "group commits (SS 4.4)");
+        k.row("hmtx.aborts", double(s.aborts),
+              "transactional aborts");
+        k.row("hmtx.newVersions", double(s.newVersions),
+              "speculative line versions created");
+        k.row("hmtx.commitCycles", double(s.commitProcessingCycles),
+              "memory-system cycles processing commits (SS 5.3)");
+        k.row("hmtx.vidResets", double(s.vidResets),
+              "VID window resets (SS 4.6)");
+        k.row("sla.needed", double(s.slaNeeded),
+              "loads needing an acknowledgment (SS 5.1)");
+        k.rate("sla.neededRate", s.slaNeededRate(),
+               "fraction of speculative loads needing an SLA");
+        k.row("sla.avoidedAborts", double(s.avoidedAborts),
+              "false aborts avoided by SLAs");
+        k.row("overflow.soWritebacks", double(s.soOverflowWritebacks),
+              "pristine versions overflowed to memory (SS 5.4)");
+        k.row("overflow.soRefetches", double(s.soRefetches),
+              "pristine versions recovered from memory (SS 5.4)");
+        k.row("overflow.specSpills", double(s.specSpills),
+              "speculative lines spilled (unbounded sets, SS 8)");
+        k.row("overflow.specRefills", double(s.specRefills),
+              "speculative lines refilled (unbounded sets, SS 8)");
+        k.row("tx.committed", double(s.committedTxs),
+              "committed transactions");
+        k.rate("tx.avgReadSetKB", s.avgReadSetKB(),
+               "avg read set per transaction, kB (Fig. 9)");
+        k.rate("tx.avgWriteSetKB", s.avgWriteSetKB(),
+               "avg write set per transaction, kB (Fig. 9)");
+        k.rate("tx.avgSpecAccesses", s.avgSpecAccessesPerTx(),
+               "avg speculative accesses per transaction (Table 1)");
+        k.row("sim.idleCores", double(s.idleCores),
+              "cores the execution model left idle");
+    }
+
+    static void
+    printIndex(RowSink& k, const IndexStats& idx)
+    {
+        k.row("sim.snoopsVisited", double(idx.snoopsVisited),
+              "caches visited by filtered snoops");
+        k.row("sim.snoopsFiltered", double(idx.snoopsFiltered),
+              "cache snoops skipped by the presence filter");
+        k.rate("sim.snoopFilterRate", idx.snoopFilterRate(),
+               "fraction of snoop targets filtered out");
+        k.row("sim.registryWalks", double(idx.registryWalks),
+              "bulk walks served from spec-line registries");
+        k.row("sim.registryWalkLines",
+              double(idx.registryWalkLines),
+              "lines visited by those registry walks");
+        k.row("sim.fullScanWalks", double(idx.fullScanWalks),
+              "bulk walks that scanned every cache slot");
+        k.row("sim.indexCrossChecks", double(idx.crossChecks),
+              "full-scan index verifications performed");
+    }
+
+    static void
+    printShard(RowSink& k, const ShardStats& shard)
+    {
+        k.row("sim.shard.banks", double(shard.banks),
+              "address-hashed banks of the sharded engine");
+        k.row("sim.shard.threaded", shard.threaded ? 1.0 : 0.0,
+              "1 when dedicated bank workers drained the rings");
+        k.row("sim.shard.epochs", double(shard.epochs),
+              "epoch barriers executed (one per bulk operation)");
+        k.row("sim.shard.cmds", double(shard.totalCmds()),
+              "commands routed through the bank SPSC rings");
+        std::uint64_t mn = 0, mx = 0;
+        if (!shard.bankCmds.empty()) {
+            mn = mx = shard.bankCmds[0];
+            for (std::uint64_t c : shard.bankCmds) {
+                mn = c < mn ? c : mn;
+                mx = c > mx ? c : mx;
+            }
+        }
+        k.row("sim.shard.bankCmdsMin", double(mn),
+              "commands routed to the least-loaded bank");
+        k.row("sim.shard.bankCmdsMax", double(mx),
+              "commands routed to the most-loaded bank");
+        k.row("sim.shard.ringHighWater",
+              double(shard.ringHighWater),
+              "max SPSC ring occupancy observed");
+        k.row("sim.shard.pushStalls", double(shard.pushStalls),
+              "ring-full back-pressure events at the producer");
+        k.row("sim.shard.barrierStalls",
+              double(shard.barrierStalls),
+              "epoch barriers where the coordinator blocked");
+    }
+
+    static void
+    printParallel(RowSink& k, const ParStats& par)
+    {
+        k.row("sim.parallel.workers", double(par.workers),
+              "host staging threads of the parallel engine");
+        k.row("sim.parallel.threaded", par.threaded ? 1.0 : 0.0,
+              "1 when stages ran on dedicated worker threads");
+        k.row("sim.parallel.windows", double(par.windows),
+              "time windows executed (min c2c latency each)");
+        k.row("sim.parallel.events", double(par.events),
+              "events popped by the coordinator");
+        k.rate("sim.parallel.eventsPerWindow",
+               par.eventsPerWindow(),
+               "mean events retired per time window");
+        k.row("sim.parallel.laneEvents", double(par.laneEvents),
+              "lane turns dispatched for staging");
+        k.row("sim.parallel.sections", double(par.sections),
+              "staged workload sections opened");
+        k.row("sim.parallel.intents", double(par.intents),
+              "memory intents retired in event order");
+        k.row("sim.parallel.barrierStalls",
+              double(par.barrierStalls),
+              "retirements where the coordinator blocked on a "
+              "worker");
+        k.row("sim.parallel.rollbacks", double(par.rollbacks),
+              "speculation rollbacks (always 0: conservative "
+              "engine)");
+        k.row("sim.parallel.apply.batches",
+              double(par.commuteBatches),
+              "commute-aware batches committed concurrently");
+        k.row("sim.parallel.apply.applied",
+              double(par.commuteApplied),
+              "intents applied through commute batches");
+        k.row("sim.parallel.apply.conflicts",
+              double(par.commuteConflicts),
+              "batches cut short by a commutativity-class clash");
+        k.row("sim.parallel.apply.serialFallbacks",
+              double(par.commuteSerialFallbacks),
+              "intents retired alone in exact serial order");
+    }
+
+    static void
+    printFastPath(RowSink& k, const FastStats& fast)
+    {
+        k.row("sim.fastpath.attempts", double(fast.attempts),
+              "accesses probed for the zero-event fast path");
+        k.row("sim.fastpath.hits", double(fast.hits()),
+              "accesses retired without touching the event queue");
+        k.row("sim.fastpath.loadHits", double(fast.loadHits),
+              "fast-path load hits");
+        k.row("sim.fastpath.storeHits", double(fast.storeHits),
+              "fast-path store hits");
+        k.row("sim.fastpath.genRejections",
+              double(fast.genRejections),
+              "probes rejected by a stale generation tag");
+        k.row("sim.fastpath.eventBypasses",
+              double(fast.eventBypasses),
+              "wake-ups retired inline via the queue bypass");
+        k.rate("sim.fastpath.hitRate", fast.hitRate(),
+               "fraction of probed accesses retired fast");
+    }
+
+    static void
+    printTxMode(RowSink& k, const TxModeStats& tx)
+    {
+        k.row("sim.txmode.retryAborts", double(tx.retryAborts),
+              "aborts charged against the retry budget");
+        k.row("sim.txmode.fallbackEntries",
+              double(tx.fallbackEntries),
+              "times the serialized fallback lock engaged");
+        k.row("sim.txmode.fallbackAccesses",
+              double(tx.fallbackAccesses),
+              "accesses executed under the fallback lock");
+        k.row("sim.txmode.fallbackCommits",
+              double(tx.fallbackCommits),
+              "commits that released the fallback lock");
+        k.row("sim.txmode.fallbackCycles",
+              double(tx.fallbackCycles),
+              "memory-system cycles of serialized execution");
+        k.row("sim.txmode.fallbackWrapRemaps",
+              double(tx.fallbackWrapRemaps),
+              "VID-window resets absorbed while the lock was held");
+        k.row("sim.txmode.earlyFallbacks",
+              double(tx.earlyFallbacks),
+              "fallbacks taken early via the abort threshold");
+        k.row("sim.txmode.limitedSetAborts",
+              double(tx.limitedSetAborts),
+              "capacity aborts from the K-line set limit");
+    }
+
+    static void
+    printServe(RowSink& k, const ServeStats& sv)
+    {
+        k.row("sim.serve.requests", double(sv.requests),
+              "serving requests completed");
+        k.row("sim.serve.issued", double(sv.issued),
+              "transaction attempts started");
+        k.row("sim.serve.committed", double(sv.committed),
+              "attempts that committed");
+        k.row("sim.serve.aborted", double(sv.aborted),
+              "attempts ended by an abort (re-issued)");
+        k.row("sim.serve.drains", double(sv.drains),
+              "serialized oldest-alone drain passes after aborts");
+        k.row("sim.serve.lockRestarts", double(sv.lockRestarts),
+              "bodies restarted when the fallback lock engaged");
+        k.row("sim.serve.nonSpecFallbacks",
+              double(sv.nonSpecFallbacks),
+              "over-K requests run non-speculatively (ltd)");
+        k.row("sim.serve.windowResets", double(sv.windowResets),
+              "VID-window resets between request batches");
+        k.row("sim.serve.batches", double(sv.batches),
+              "generator refill batches injected");
+        k.row("sim.serve.idleCycles", double(sv.idleCycles),
+              "core cycles idle awaiting open-loop arrivals");
+        k.row("sim.serve.latencyP50",
+              double(sv.latency.percentile(0.5)),
+              "median request latency, cycles");
+        k.row("sim.serve.latencyP99",
+              double(sv.latency.percentile(0.99)),
+              "p99 request latency, cycles");
+        k.row("sim.serve.latencyP999",
+              double(sv.latency.percentile(0.999)),
+              "p999 request latency, cycles");
+        k.row("sim.serve.latencyMax", double(sv.latency.max()),
+              "max request latency, cycles");
+        k.rate("sim.serve.latencyMean", sv.latency.mean(),
+               "mean request latency, cycles");
+    }
+
     const SysStats& s_;
     const IndexStats* idx_;
     const ShardStats* shard_;
@@ -282,6 +386,7 @@ class StatsReport
     const MachineConfig* cfg_;
     const TxModeStats* tx_;
     const FastStats* fast_;
+    const ServeStats* serve_;
 };
 
 } // namespace hmtx::sim
